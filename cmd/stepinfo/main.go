@@ -1,0 +1,59 @@
+// Command stepinfo inspects a serialized SteppingNet snapshot: it
+// rebuilds the model from the given topology options, loads the
+// snapshot and prints the per-layer, per-subnet MAC profile plus the
+// incremental deltas an anytime deployment would pay.
+//
+// Usage:
+//
+//	stepinfo -model lenet3c1l -subnets 4 -expansion 1.8 -classes 10 -img 16 model.snet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"steppingnet/internal/macs"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/serialize"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stepinfo: ")
+
+	model := flag.String("model", "lenet3c1l", "network: lenet3c1l, lenet5 or vgg16")
+	subnets := flag.Int("subnets", 4, "number of subnets the snapshot was built with")
+	expansion := flag.Float64("expansion", 1.8, "expansion ratio the snapshot was built with")
+	classes := flag.Int("classes", 10, "class count")
+	img := flag.Int("img", 16, "input height/width")
+	channels := flag.Int("channels", 3, "input channels")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: stepinfo [flags] <snapshot-file>")
+	}
+	build, err := models.ByName(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := build(models.Options{
+		Classes: *classes, InC: *channels, InH: *img, InW: *img,
+		Expansion: *expansion, Subnets: *subnets, Rule: nn.RuleIncremental,
+	})
+	if err := serialize.LoadFile(flag.Arg(0), m); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Net.Validate(); err != nil {
+		log.Fatalf("snapshot violates the incremental property: %v", err)
+	}
+
+	fmt.Printf("%s snapshot %s\n", m.Name, flag.Arg(0))
+	fmt.Printf("parameters: %d scalars in one shared copy\n\n", m.Net.ParamCount())
+	p := macs.New(m.Net, *subnets)
+	if err := p.CheckMonotone(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.Render())
+}

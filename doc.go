@@ -1,0 +1,21 @@
+// Package steppingnet is a pure-Go reproduction of "SteppingNet: A
+// Stepping Neural Network with Incremental Accuracy Enhancement"
+// (Sun et al., DATE 2023). It builds a series of nested subnets out
+// of one weight-shared network such that each subnet obeys a MAC
+// budget and every larger subnet reuses the smaller subnets'
+// intermediate results, enabling anytime inference on
+// resource-constrained and resource-varying platforms.
+//
+// The implementation lives under internal/: the tensor and layer
+// substrate (internal/tensor, internal/nn), subnet bookkeeping
+// (internal/subnet), the construction and distillation algorithms
+// (internal/core), the anytime engine (internal/infer), the slimmable
+// and any-width baselines (internal/baselines/...), and the harness
+// that regenerates the paper's tables and figures
+// (internal/experiments). Entry points are cmd/steppingnet,
+// cmd/stepbench and the programs under examples/.
+//
+// The benchmarks in bench_test.go regenerate each table/figure:
+//
+//	go test -bench=. -benchmem
+package steppingnet

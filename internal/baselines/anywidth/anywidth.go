@@ -1,0 +1,61 @@
+// Package anywidth implements the any-width-network baseline (Vu et
+// al., CVPR'20; reference [13] of the paper). Like SteppingNet it
+// obeys the incremental property — no synapse runs from a
+// larger-subnet unit into a smaller-subnet unit (nn.RuleIncremental)
+// — but subnet structures are fixed, regular prefix widths
+// ("triangular" masks, paper Fig. 1b) rather than learned
+// assignments, and units the widest configuration does not cover
+// stay unused.
+package anywidth
+
+import (
+	"fmt"
+
+	"steppingnet/internal/baselines"
+	"steppingnet/internal/data"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+)
+
+// Result is a trained any-width network with its operating curve.
+type Result struct {
+	Model  *models.Model
+	Widths []float64
+	Points []baselines.OperatingPoint
+}
+
+// Run builds, calibrates, jointly trains and evaluates an any-width
+// network on the given workload.
+func Run(build models.Builder, dcfg data.Config, cfg baselines.Config) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	train, test, err := data.Generate(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	mo := models.Options{
+		Classes: dcfg.Classes, InC: dcfg.C, InH: dcfg.H, InW: dcfg.W,
+		Subnets: cfg.Subnets + 1, // +1 slot = the "not used" units of Fig. 1b
+		Rule:    nn.RuleIncremental, Seed: cfg.Seed,
+	}
+	model := build(mo)
+	refOpts := mo
+	refOpts.Subnets = 1
+	refMACs := models.ReferenceMACs(build, refOpts)
+
+	widths, err := baselines.Calibrate(model, cfg.Budgets, refMACs)
+	if err != nil {
+		return nil, fmt.Errorf("anywidth: %w", err)
+	}
+	if err := model.Net.Validate(); err != nil {
+		return nil, fmt.Errorf("anywidth: calibration broke the incremental property: %w", err)
+	}
+	baselines.TrainJoint(model.Net, train, cfg, false)
+	return &Result{
+		Model:  model,
+		Widths: widths,
+		Points: baselines.Curve(model.Net, test, cfg, refMACs),
+	}, nil
+}

@@ -1,0 +1,75 @@
+package anywidth
+
+import (
+	"testing"
+
+	"steppingnet/internal/baselines"
+	"steppingnet/internal/data"
+	"steppingnet/internal/infer"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(models.LeNet3C1L,
+		data.Config{Name: "t", Classes: 4, C: 1, H: 8, W: 8, Train: 96, Test: 48, Seed: 3},
+		baselines.Config{Subnets: 3, Budgets: []float64{0.2, 0.5, 0.9}, Epochs: 2, BatchSize: 16, Seed: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points %v", res.Points)
+	}
+	// Any-width nets must satisfy the incremental property…
+	if err := res.Model.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// …and therefore support the anytime engine exactly.
+	e := infer.NewEngine(res.Model.Net)
+	e.Audit = true
+	x := tensor.New(1, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(9), 0, 1)
+	e.Reset(x)
+	for s := 1; s <= 3; s++ {
+		if _, _, err := e.Step(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAnyWidthUsesFewerMACsThanSharedAtSameWidth(t *testing.T) {
+	// The triangular mask strictly removes synapses relative to full
+	// prefix connectivity, so at equal widths the any-width subnet
+	// must not exceed the slimmable one in MACs — the structural
+	// price it pays for reuse (paper §II).
+	budgets := []float64{0.3, 0.7}
+	mo := models.Options{Classes: 4, InC: 1, InH: 8, InW: 8, Subnets: 3, Seed: 2}
+
+	moAW := mo
+	moAW.Rule = nn.RuleIncremental
+	aw := models.LeNet3C1L(moAW)
+	refOpts := mo
+	refOpts.Subnets = 1
+	ref := models.ReferenceMACs(models.LeNet3C1L, refOpts)
+	if _, err := baselines.Calibrate(aw, budgets, ref); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the calibrated widths to a RuleShared twin.
+	moSL := mo
+	moSL.Rule = nn.RuleShared
+	sl := models.LeNet3C1L(moSL)
+	for li, mv := range aw.Movable {
+		src := mv.OutAssignment()
+		dst := sl.Movable[li].OutAssignment()
+		for u := 0; u < src.Units(); u++ {
+			dst.SetID(u, src.ID(u))
+		}
+	}
+	for s := 1; s <= 2; s++ {
+		if aw.Net.MACs(s) > sl.Net.MACs(s) {
+			t.Fatalf("subnet %d: anywidth %d > shared %d MACs", s, aw.Net.MACs(s), sl.Net.MACs(s))
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package baselines contains the machinery shared by the two
+// state-of-the-art comparators evaluated in the paper's Fig. 6: the
+// slimmable network (Yu et al., ICLR'19) and the any-width network
+// (Vu et al., CVPR'20). Both carve nested subnets out of one weight
+// store by *regular prefix widths* rather than learned assignments;
+// the packages slimmable and anywidth build on the width calibration
+// and joint-training loops here.
+package baselines
+
+import (
+	"fmt"
+
+	"steppingnet/internal/data"
+	"steppingnet/internal/loss"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/optim"
+	"steppingnet/internal/tensor"
+)
+
+// Config parameterizes a baseline run.
+type Config struct {
+	// Subnets is the number of operating points (the paper plots 5).
+	Subnets int
+	// Budgets are the target MAC fractions of the reference network,
+	// ascending, one per subnet.
+	Budgets []float64
+	Epochs  int
+
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	Seed      uint64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Subnets <= 0 {
+		c.Subnets = 5
+	}
+	if len(c.Budgets) == 0 {
+		c.Budgets = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.Momentum <= 0 {
+		c.Momentum = 0.9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Budgets) != c.Subnets {
+		return fmt.Errorf("baselines: %d budgets for %d subnets", len(c.Budgets), c.Subnets)
+	}
+	prev := 0.0
+	for i, b := range c.Budgets {
+		if b <= prev {
+			return fmt.Errorf("baselines: budgets must ascend; budget[%d]=%g after %g", i, b, prev)
+		}
+		prev = b
+	}
+	return nil
+}
+
+// OperatingPoint is one (MACs, accuracy) pair of a baseline curve.
+type OperatingPoint struct {
+	Subnet   int
+	MACs     int64
+	MACFrac  float64
+	Accuracy float64
+}
+
+// Calibrate sets nested prefix-width assignments on the model so
+// subnet s's MAC count approximates budgets[s-1]·refMACs. The model
+// must have been built with Subnets = len(budgets)+1: units that no
+// operating point uses are parked in the extra largest "subnet",
+// mirroring the any-width paper's unused neurons (paper Fig. 1b).
+// It returns the achieved per-subnet widths fractions.
+func Calibrate(model *models.Model, budgets []float64, refMACs int64) ([]float64, error) {
+	n := len(budgets)
+	if len(model.Movable) == 0 {
+		return nil, fmt.Errorf("baselines: model has no movable layers")
+	}
+	if model.Movable[0].OutAssignment().Subnets() < n+1 {
+		return nil, fmt.Errorf("baselines: model needs %d subnet slots (N+1), has %d",
+			n+1, model.Movable[0].OutAssignment().Subnets())
+	}
+	// Park everything beyond the largest operating point.
+	park := n + 1
+	for _, m := range model.Movable {
+		a := m.OutAssignment()
+		for u := 0; u < a.Units(); u++ {
+			a.SetID(u, park)
+		}
+	}
+	widths := make([]float64, n)
+	// Assign prefixes from the largest subnet down so nesting holds:
+	// a unit in subnet s is automatically in every larger subnet.
+	for s := n; s >= 1; s-- {
+		target := int64(budgets[s-1] * float64(refMACs))
+		frac := searchWidth(model, s, target)
+		widths[s-1] = frac
+		applyPrefix(model, s, frac)
+	}
+	return widths, nil
+}
+
+// applyPrefix moves the first ceil(frac·units) units of every layer
+// into subnet ≤ s (only lowering ids, preserving nesting).
+func applyPrefix(model *models.Model, s int, frac float64) {
+	for _, m := range model.Movable {
+		a := m.OutAssignment()
+		count := prefixCount(a.Units(), frac)
+		for u := 0; u < count; u++ {
+			if a.ID(u) > s {
+				a.SetID(u, s)
+			}
+		}
+	}
+}
+
+func prefixCount(units int, frac float64) int {
+	c := int(frac*float64(units) + 0.5)
+	if c < 1 {
+		c = 1
+	}
+	if c > units {
+		c = units
+	}
+	return c
+}
+
+// searchWidth binary-searches the uniform width fraction whose
+// resulting subnet-s MACs best match the target, given the (already
+// applied) assignments of larger subnets.
+func searchWidth(model *models.Model, s int, target int64) float64 {
+	// Snapshot assignments so probes are non-destructive.
+	saved := make([][]int, len(model.Movable))
+	for i, m := range model.Movable {
+		saved[i] = append([]int(nil), m.OutAssignment().IDs()...)
+	}
+	restore := func() {
+		for i, m := range model.Movable {
+			a := m.OutAssignment()
+			for u, id := range saved[i] {
+				a.SetID(u, id)
+			}
+		}
+	}
+	macsAt := func(frac float64) int64 {
+		applyPrefix(model, s, frac)
+		macs := model.Net.MACs(s)
+		restore()
+		return macs
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		if macsAt(mid) > target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// TrainJoint trains all operating points jointly: every batch is run
+// through each subnet in ascending order (the slimmable paper's
+// N-mode training; the any-width network trains the same way over
+// its triangular masks). useModes selects per-mode BatchNorm
+// statistics (slimmable only).
+func TrainJoint(net *nn.Network, train *data.Dataset, cfg Config, useModes bool) {
+	cfg = cfg.WithDefaults()
+	rng := tensor.NewRNG(cfg.Seed ^ 0xB45E)
+	opt := optim.NewSGD(cfg.LR, cfg.Momentum, 1e-4)
+	for e := 0; e < cfg.Epochs; e++ {
+		train.Batches(rng, cfg.BatchSize, func(x *tensor.Tensor, y []int) {
+			for s := 1; s <= cfg.Subnets; s++ {
+				ctx := &nn.Context{Subnet: s, Train: true}
+				if useModes {
+					ctx.Mode = s
+				}
+				logits := net.Forward(x, ctx)
+				_, grad := loss.CrossEntropy(logits, y)
+				net.Backward(grad, ctx)
+				opt.Step(net.Params())
+			}
+		})
+	}
+}
+
+// Curve evaluates each operating point on the test set.
+func Curve(net *nn.Network, test *data.Dataset, cfg Config, refMACs int64) []OperatingPoint {
+	cfg = cfg.WithDefaults()
+	pts := make([]OperatingPoint, 0, cfg.Subnets)
+	for s := 1; s <= cfg.Subnets; s++ {
+		macs := net.MACs(s)
+		acc := evaluateMode(net, test, s, cfg.BatchSize)
+		pts = append(pts, OperatingPoint{
+			Subnet: s, MACs: macs,
+			MACFrac:  float64(macs) / float64(refMACs),
+			Accuracy: acc,
+		})
+	}
+	return pts
+}
+
+// evaluateMode mirrors core.Evaluate but with Mode set for
+// switchable BatchNorm; duplicated here to avoid a dependency cycle
+// if core ever grows baseline hooks.
+func evaluateMode(net *nn.Network, ds *data.Dataset, s, batchSize int) float64 {
+	ctx := &nn.Context{Subnet: s, Mode: s}
+	correct, total := 0, 0
+	for start := 0; start < ds.Len(); start += batchSize {
+		end := start + batchSize
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, y := ds.Batch(idx)
+		logits := net.Forward(x, ctx)
+		correct += int(loss.Accuracy(logits, y)*float64(len(y)) + 0.5)
+		total += len(y)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

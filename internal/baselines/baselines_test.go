@@ -1,0 +1,104 @@
+package baselines
+
+import (
+	"testing"
+
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+)
+
+func buildParked(t *testing.T, n int, rule nn.MaskRule) (*models.Model, int64) {
+	t.Helper()
+	mo := models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8,
+		Subnets: n + 1, Rule: rule, Seed: 2,
+	}
+	m := models.LeNet3C1L(mo)
+	mo.Subnets = 1
+	ref := models.ReferenceMACs(models.LeNet3C1L, mo)
+	return m, ref
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Subnets != 5 || len(c.Budgets) != 5 {
+		t.Fatalf("defaults %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Budgets = []float64{0.5, 0.4, 0.6, 0.8, 1.0}
+	if err := c.Validate(); err == nil {
+		t.Fatal("want descending-budget error")
+	}
+}
+
+func TestCalibrateHitsBudgetsApproximately(t *testing.T) {
+	budgets := []float64{0.2, 0.5, 0.9}
+	m, ref := buildParked(t, 3, nn.RuleIncremental)
+	widths, err := Calibrate(m, budgets, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 3; s++ {
+		frac := float64(m.Net.MACs(s)) / float64(ref)
+		if frac > budgets[s-1]*1.02+0.02 {
+			t.Fatalf("subnet %d overshoots: %.3f > %.3f", s, frac, budgets[s-1])
+		}
+		// With discrete unit counts we can undershoot, but not by
+		// an order of magnitude.
+		if frac < budgets[s-1]*0.3 {
+			t.Fatalf("subnet %d far under budget: %.3f vs %.3f", s, frac, budgets[s-1])
+		}
+	}
+	// Widths must be non-decreasing.
+	for i := 1; i < len(widths); i++ {
+		if widths[i] < widths[i-1] {
+			t.Fatalf("widths not nested: %v", widths)
+		}
+	}
+}
+
+func TestCalibrateNestingInvariant(t *testing.T) {
+	m, ref := buildParked(t, 3, nn.RuleIncremental)
+	if _, err := Calibrate(m, []float64{0.2, 0.5, 0.9}, ref); err != nil {
+		t.Fatal(err)
+	}
+	// Prefix property: within every layer, assignments must be
+	// non-decreasing along the unit index.
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for u := 1; u < a.Units(); u++ {
+			if a.ID(u) < a.ID(u-1) {
+				t.Fatalf("layer %s: ids not prefix-ordered at unit %d: %v",
+					mv.Name(), u, a.IDs())
+			}
+		}
+	}
+	if err := m.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateRejectsMissingParkSlot(t *testing.T) {
+	mo := models.Options{Classes: 4, InC: 1, InH: 8, InW: 8, Subnets: 2, Rule: nn.RuleIncremental}
+	m := models.LeNet3C1L(mo)
+	if _, err := Calibrate(m, []float64{0.3, 0.6}, 1000); err == nil {
+		t.Fatal("want error when no park slot exists")
+	}
+}
+
+func TestCalibrateMACsMonotoneAcrossSubnets(t *testing.T) {
+	m, ref := buildParked(t, 4, nn.RuleShared)
+	if _, err := Calibrate(m, []float64{0.2, 0.4, 0.6, 0.9}, ref); err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(0)
+	for s := 1; s <= 4; s++ {
+		macs := m.Net.MACs(s)
+		if macs < prev {
+			t.Fatalf("MACs not monotone at %d", s)
+		}
+		prev = macs
+	}
+}

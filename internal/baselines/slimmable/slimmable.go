@@ -1,0 +1,58 @@
+// Package slimmable implements the slimmable-network baseline (Yu et
+// al., ICLR'19; reference [10] of the paper). Subnets are prefix
+// slices of every layer with *full connectivity inside the prefix*
+// (nn.RuleShared), so a larger subnet changes the inputs of units the
+// smaller subnet computed — intermediate results cannot be reused and
+// every layer carries one BatchNorm parameter set per mode (paper
+// §II and Fig. 1a).
+package slimmable
+
+import (
+	"fmt"
+
+	"steppingnet/internal/baselines"
+	"steppingnet/internal/data"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+)
+
+// Result is a trained slimmable network with its operating curve.
+type Result struct {
+	Model  *models.Model
+	Widths []float64
+	Points []baselines.OperatingPoint
+}
+
+// Run builds, calibrates, jointly trains and evaluates a slimmable
+// network on the given workload.
+func Run(build models.Builder, dcfg data.Config, cfg baselines.Config) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	train, test, err := data.Generate(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	mo := models.Options{
+		Classes: dcfg.Classes, InC: dcfg.C, InH: dcfg.H, InW: dcfg.W,
+		Subnets: cfg.Subnets + 1, // +1 slot parks unused units
+		Rule:    nn.RuleShared, BatchNorm: true, Seed: cfg.Seed,
+	}
+	model := build(mo)
+	refOpts := mo
+	refOpts.Subnets = 1
+	refOpts.BatchNorm = false
+	refMACs := models.ReferenceMACs(build, refOpts)
+
+	widths, err := baselines.Calibrate(model, cfg.Budgets, refMACs)
+	if err != nil {
+		return nil, fmt.Errorf("slimmable: %w", err)
+	}
+	baselines.TrainJoint(model.Net, train, cfg, true)
+	return &Result{
+		Model:  model,
+		Widths: widths,
+		Points: baselines.Curve(model.Net, test, cfg, refMACs),
+	}, nil
+}

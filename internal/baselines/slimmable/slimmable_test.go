@@ -1,0 +1,42 @@
+package slimmable
+
+import (
+	"testing"
+
+	"steppingnet/internal/baselines"
+	"steppingnet/internal/data"
+	"steppingnet/internal/models"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(models.LeNet3C1L,
+		data.Config{Name: "t", Classes: 4, C: 1, H: 8, W: 8, Train: 96, Test: 48, Seed: 3},
+		baselines.Config{Subnets: 3, Budgets: []float64{0.2, 0.5, 0.9}, Epochs: 2, BatchSize: 16, Seed: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 || len(res.Widths) != 3 {
+		t.Fatalf("points %v widths %v", res.Points, res.Widths)
+	}
+	prev := int64(0)
+	for _, p := range res.Points {
+		if p.MACs < prev {
+			t.Fatalf("MACs not monotone: %+v", res.Points)
+		}
+		prev = p.MACs
+		if p.Accuracy < 0 || p.Accuracy > 1 {
+			t.Fatalf("bad accuracy %+v", p)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	_, err := Run(models.LeNet3C1L,
+		data.Config{Name: "t", Classes: 4, C: 1, H: 8, W: 8, Train: 16, Test: 16, Seed: 1},
+		baselines.Config{Subnets: 2, Budgets: []float64{0.9, 0.5}},
+	)
+	if err == nil {
+		t.Fatal("want config error")
+	}
+}

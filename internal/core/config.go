@@ -1,0 +1,136 @@
+// Package core implements the SteppingNet design framework itself:
+// the iterative subnet-construction work flow of Fig. 3 (train →
+// evaluate neuron importance → move neurons between subnets → prune),
+// the importance metric of Eq. 2–3, the learning-rate suppression of
+// §III-A2, and the knowledge-distillation retraining of §III-B /
+// Eq. 4. The substrate (layers, losses, optimizers, data) lives in
+// sibling packages.
+package core
+
+import (
+	"fmt"
+
+	"steppingnet/internal/tensor"
+)
+
+// Config collects every hyperparameter of the construction and
+// retraining pipeline. Zero values select the paper's settings where
+// the paper names one (§IV), otherwise sensible defaults for the
+// scaled-down synthetic workloads.
+type Config struct {
+	// Subnets is N, the number of nested subnets (paper: 4).
+	Subnets int
+	// Budgets are the allowed MAC fractions P_i/M_t of the original
+	// (un-expanded) network, ascending, one per subnet (paper
+	// Table I: e.g. 0.10/0.30/0.50/0.85 for LeNet-3C1L).
+	Budgets []float64
+
+	// Iterations is N_t, the number of construction iterations
+	// (paper: 300; scaled default 40).
+	Iterations int
+	// BatchesPerIter is m, the batches trained at the start of each
+	// iteration (paper: 100–250; scaled default 2).
+	BatchesPerIter int
+	BatchSize      int
+
+	LR       float64
+	Momentum float64
+
+	// AlphaGrowth is the factor between consecutive α_k in Eq. 3
+	// (paper: 1.5, with α_1 = 1).
+	AlphaGrowth float64
+	// Beta is the learning-rate suppression base β (paper: 0.9).
+	Beta float64
+	// Gamma is the CE/KL mixing constant γ in Eq. 4 (paper: 0.4).
+	Gamma float64
+	// PruneThreshold is the unstructured-pruning magnitude threshold
+	// (paper: 1e-5).
+	PruneThreshold float64
+
+	// DistillEpochs is the length of the KD retraining phase.
+	DistillEpochs int
+	// TeacherEpochs trains the original network that serves as the
+	// distillation teacher and accuracy reference.
+	TeacherEpochs int
+
+	// MinUnitsPerSubnet guards against a layer losing every unit of
+	// a small subnet, which would zero that layer's features in that
+	// subnet. Default 1.
+	MinUnitsPerSubnet int
+
+	Seed uint64
+}
+
+// WithDefaults returns a copy with zero fields replaced by defaults.
+func (c Config) WithDefaults() Config {
+	if c.Subnets <= 0 {
+		c.Subnets = 4
+	}
+	if len(c.Budgets) == 0 {
+		c.Budgets = []float64{0.10, 0.30, 0.50, 0.85}
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 40
+	}
+	if c.BatchesPerIter <= 0 {
+		c.BatchesPerIter = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.Momentum <= 0 {
+		c.Momentum = 0.9
+	}
+	if c.AlphaGrowth <= 0 {
+		c.AlphaGrowth = 1.5
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.9
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.4
+	}
+	if c.PruneThreshold <= 0 {
+		c.PruneThreshold = 1e-5
+	}
+	if c.DistillEpochs <= 0 {
+		c.DistillEpochs = 5
+	}
+	if c.TeacherEpochs <= 0 {
+		c.TeacherEpochs = 5
+	}
+	if c.MinUnitsPerSubnet <= 0 {
+		c.MinUnitsPerSubnet = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors after defaulting.
+func (c Config) Validate() error {
+	if len(c.Budgets) != c.Subnets {
+		return fmt.Errorf("core: %d budgets for %d subnets", len(c.Budgets), c.Subnets)
+	}
+	prev := 0.0
+	for i, b := range c.Budgets {
+		if b <= prev {
+			return fmt.Errorf("core: budgets must be positive and strictly ascending; budget[%d]=%g after %g", i, b, prev)
+		}
+		prev = b
+	}
+	if c.Beta > 1 {
+		return fmt.Errorf("core: beta %g must be ≤ 1 (1 disables suppression)", c.Beta)
+	}
+	if c.Gamma > 1 {
+		return fmt.Errorf("core: gamma %g must be ≤ 1", c.Gamma)
+	}
+	return nil
+}
+
+// rng derives the construction RNG.
+func (c Config) rng() *tensor.RNG { return tensor.NewRNG(c.Seed ^ 0x57E9) }

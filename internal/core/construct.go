@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"steppingnet/internal/data"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/optim"
+	"steppingnet/internal/tensor"
+)
+
+// ConstructionStats records what happened during construction, for
+// reporting and tests.
+type ConstructionStats struct {
+	Iterations    int
+	UnitsMoved    int
+	WeightsPruned int
+	// FinalMACs[i] is the MAC count of subnet i+1 after construction.
+	FinalMACs []int64
+	// BudgetsMet reports whether every subnet ended at or under its
+	// MAC budget.
+	BudgetsMet bool
+}
+
+// Construct runs the Fig. 3 work flow on the model: repeatedly train
+// all subnets for m batches (accumulating Eq. 2 importance), move the
+// least-important units of over-budget subnets to the next subnet,
+// and prune. refMACs is M_t, the MAC count of the original
+// un-expanded network that budgets are fractions of.
+func Construct(model *models.Model, train *data.Dataset, cfg Config, refMACs int64) (*ConstructionStats, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Subnets
+	rng := cfg.rng()
+	net := model.Net
+	net.EnableImportance(n)
+	opt := optim.NewSGD(cfg.LR, cfg.Momentum, 1e-4)
+
+	// Absolute budgets P_i and the per-iteration movement quota
+	// (P_t − P_1)/N_t, where P_t is the full expanded network's MACs
+	// (what subnet 1 is initialized with, §III-A1).
+	budgets := make([]int64, n)
+	for i, frac := range cfg.Budgets {
+		budgets[i] = int64(frac * float64(refMACs))
+	}
+	fullMACs := net.MACs(n)
+	quota := (fullMACs - budgets[0]) / int64(cfg.Iterations)
+	if quota < 1 {
+		quota = 1
+	}
+
+	stats := &ConstructionStats{}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		stats.Iterations++
+		net.ResetImportance()
+		// Train all subnets on m batches, smaller to larger per
+		// batch, with β suppression and importance accumulation.
+		trained := 0
+		for trained < cfg.BatchesPerIter {
+			train.Batches(rng, cfg.BatchSize, func(x *tensor.Tensor, y []int) {
+				if trained >= cfg.BatchesPerIter {
+					return
+				}
+				for s := 1; s <= n; s++ {
+					trainStep(net, opt, x, y, s, cfg.Beta, true)
+				}
+				trained++
+			})
+		}
+
+		done := true
+		for s := 1; s <= n; s++ {
+			over := net.MACs(s) - budgets[s-1]
+			if over <= 0 {
+				continue
+			}
+			done = false
+			if s < n && flowGateOpen(net, budgets, s) {
+				// Move until the subnet's real MAC count reaches the
+				// iteration floor: at most quota MACs per iteration
+				// and never below the subnet's own budget. Movement
+				// is measured on the live network because moving a
+				// unit also deactivates its outgoing synapses in the
+				// next layer — a delta the unit's own row does not
+				// capture.
+				floor := budgets[s-1]
+				if cur := net.MACs(s); cur-quota > floor {
+					floor = cur - quota
+				}
+				stats.UnitsMoved += moveUnits(model, cfg, s, floor)
+			}
+			// Threshold pruning of the subnet's own weights (Fig. 3
+			// "unstructured pruning of subnet_i").
+			for _, m := range model.Movable {
+				stats.WeightsPruned += m.PruneBelow(cfg.PruneThreshold)
+			}
+			// Budget-driven magnitude pruning, rate-limited by the
+			// quota, shrinks subnets that movement alone cannot
+			// shrink (above all subnet N, which has no larger subnet
+			// to move units into).
+			excess := net.MACs(s) - budgets[s-1]
+			if excess > 0 {
+				cap := quota
+				if s == n {
+					// The largest subnet can only prune; let it shed
+					// its share faster so N_t iterations suffice.
+					cap = quota * 2
+				}
+				if excess < cap {
+					cap = excess
+				}
+				stats.WeightsPruned += budgetPrune(model, s, cap)
+			}
+		}
+		if err := net.Validate(); err != nil {
+			return stats, fmt.Errorf("core: invariant violated at iteration %d: %w", iter, err)
+		}
+		if done {
+			break // all budgets met; KD retraining continues training
+		}
+	}
+
+	stats.FinalMACs = make([]int64, n)
+	stats.BudgetsMet = true
+	for s := 1; s <= n; s++ {
+		stats.FinalMACs[s-1] = net.MACs(s)
+		if stats.FinalMACs[s-1] > budgets[s-1] {
+			stats.BudgetsMet = false
+		}
+	}
+	return stats, nil
+}
+
+// flowGateOpen implements the paper's flow condition: neurons start
+// to flow out of subnet s (s ≥ 2) only once the MAC difference to
+// the previous subnet exceeds the budget difference, "otherwise
+// subnet s cannot maintain a sufficient number of neurons".
+func flowGateOpen(net *nn.Network, budgets []int64, s int) bool {
+	if s == 1 {
+		return true
+	}
+	return net.MACs(s)-net.MACs(s-1) > budgets[s-1]-budgets[s-2]
+}
+
+// moveUnits moves the least-important units assigned to subnet s into
+// subnet s+1 until the subnet's MAC count (measured on the live
+// network, including downstream synapse deactivation) drops to the
+// floor or candidates run out. Moving a unit revives its pruned
+// incoming synapses (§III-A1: "these synapses may be essential to the
+// new subnet").
+func moveUnits(model *models.Model, cfg Config, s int, floor int64) int {
+	refs := rankedUnits(model.Movable, s, cfg.Subnets, cfg.AlphaGrowth)
+	count := 0
+	for _, ref := range refs {
+		if model.Net.MACs(s) <= floor {
+			break
+		}
+		layer := model.Movable[ref.layer]
+		a := layer.OutAssignment()
+		if a.CountIn(s) <= cfg.MinUnitsPerSubnet {
+			continue // keep the layer alive in this subnet
+		}
+		a.SetID(ref.unit, s+1)
+		layer.ReviveUnit(ref.unit)
+		count++
+	}
+	return count
+}
+
+// budgetPrune removes up to maxMACs multiply-accumulates from subnet
+// s by pruning the smallest-magnitude active weights of units
+// assigned exactly to subnet s. Units of smaller subnets are never
+// touched: pruning their weights would shrink the smaller subnets
+// below the budgets they already satisfy (a global prune mask keeps
+// subnet outputs consistent across nesting levels, so any such prune
+// propagates downward).
+func budgetPrune(model *models.Model, s int, maxMACs int64) int {
+	type cand struct {
+		layer    int
+		unit     int
+		weight   float64 // mean |w| of the unit's incoming synapses
+		unitMACs int64
+	}
+	var cands []cand
+	for li, m := range model.Movable {
+		a := m.OutAssignment()
+		for u := 0; u < a.Units(); u++ {
+			if a.ID(u) != s {
+				continue
+			}
+			cands = append(cands, cand{
+				layer: li, unit: u,
+				weight:   unitMeanAbsWeight(m, u),
+				unitMACs: m.UnitMACs(u, s),
+			})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].weight < cands[j].weight })
+
+	var freed int64
+	pruned := 0
+	for _, c := range cands {
+		if freed >= maxMACs {
+			break
+		}
+		m := model.Movable[c.layer]
+		before := m.UnitMACs(c.unit, s)
+		n := pruneUnitSmallest(m, c.unit, s, maxMACs-freed)
+		pruned += n
+		freed += before - m.UnitMACs(c.unit, s)
+	}
+	return pruned
+}
+
+// unitMeanAbsWeight returns the mean |w| over a unit's incoming
+// weights, used to pick pruning victims.
+func unitMeanAbsWeight(m nn.Masked, unit int) float64 {
+	switch l := m.(type) {
+	case *nn.Dense:
+		w := l.Weights().Value
+		in := l.In()
+		sum := 0.0
+		for i := 0; i < in; i++ {
+			sum += math.Abs(w.Data()[unit*in+i])
+		}
+		return sum / float64(in)
+	case *nn.Conv2D:
+		w := l.Weights().Value
+		cc := l.Geom().ColCols()
+		sum := 0.0
+		for i := 0; i < cc; i++ {
+			sum += math.Abs(w.Data()[unit*cc+i])
+		}
+		return sum / float64(cc)
+	}
+	return 0
+}
+
+// pruneUnitSmallest prunes the smallest-magnitude active incoming
+// weights of the unit until the unit's subnet-s MACs have dropped by
+// budget (or one weight remains — units keep at least one synapse so
+// they stay functional). Returns the number of weights pruned.
+func pruneUnitSmallest(m nn.Masked, unit, s int, budget int64) int {
+	type wref struct {
+		idx int
+		mag float64
+	}
+	var weights []float64
+	var rowBase, rowLen int
+	var macPerWeight int64
+	var activeAt func(col int) bool
+	var pruneAt func(col int)
+	switch l := m.(type) {
+	case *nn.Dense:
+		weights = l.Weights().Value.Data()
+		rowLen = l.In()
+		rowBase = unit * rowLen
+		macPerWeight = 1
+		activeAt = func(col int) bool { return l.ActiveAt(unit, col, s) }
+		pruneAt = func(col int) { l.PruneAt(unit, col) }
+	case *nn.Conv2D:
+		weights = l.Weights().Value.Data()
+		rowLen = l.Geom().ColCols()
+		rowBase = unit * rowLen
+		macPerWeight = int64(l.Geom().ColRows())
+		activeAt = func(col int) bool { return l.ActiveAt(unit, col, s) }
+		pruneAt = func(col int) { l.PruneAt(unit, col) }
+	default:
+		return 0
+	}
+	remaining := m.UnitMACs(unit, s) / macPerWeight
+	if remaining <= 1 { // keep at least one synapse
+		return 0
+	}
+	active := make([]wref, 0, rowLen)
+	for i := 0; i < rowLen; i++ {
+		if activeAt(i) {
+			active = append(active, wref{idx: i, mag: math.Abs(weights[rowBase+i])})
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].mag < active[j].mag })
+	pruned := 0
+	var freed int64
+	for _, w := range active {
+		if freed >= budget || remaining <= 1 {
+			break
+		}
+		pruneAt(w.idx)
+		freed += macPerWeight
+		remaining--
+		pruned++
+	}
+	return pruned
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"testing"
+
+	"steppingnet/internal/data"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+func tinyData() data.Config {
+	return data.Config{
+		Name: "tiny", Classes: 4, C: 1, H: 8, W: 8,
+		Train: 128, Test: 64, Seed: 7, LabelNoise: 0.02,
+	}
+}
+
+func tinyConfig() Config {
+	return Config{
+		Subnets:        3,
+		Budgets:        []float64{0.15, 0.45, 0.85},
+		Iterations:     12,
+		BatchesPerIter: 2,
+		BatchSize:      16,
+		LR:             0.05,
+		TeacherEpochs:  3,
+		DistillEpochs:  3,
+		Seed:           11,
+	}
+}
+
+func buildTiny(t *testing.T, cfg Config, expansion float64) (*models.Model, *data.Dataset, int64) {
+	t.Helper()
+	train, _, err := data.Generate(tinyData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8,
+		Expansion: expansion, Subnets: cfg.Subnets, Rule: nn.RuleIncremental, Seed: 3,
+	}
+	m := models.LeNet3C1L(mo)
+	mo.Expansion, mo.Subnets = 1, 1
+	ref := models.LeNet3C1L(mo).Net.MACs(1)
+	return m, train, ref
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Subnets != 4 || len(c.Budgets) != 4 || c.Beta != 0.9 || c.Gamma != 0.4 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	bad := []Config{
+		{Subnets: 2, Budgets: []float64{0.5}},
+		{Subnets: 2, Budgets: []float64{0.5, 0.3}},
+		{Subnets: 2, Budgets: []float64{0, 0.5}},
+	}
+	for i, c := range bad {
+		c = c.WithDefaults()
+		c.Subnets = 2
+		if i == 0 {
+			c.Budgets = []float64{0.5}
+		} else if i == 1 {
+			c.Budgets = []float64{0.5, 0.3}
+		} else {
+			c.Budgets = []float64{0, 0.5}
+		}
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestConstructMeetsBudgetsAndStaysValid(t *testing.T) {
+	cfg := tinyConfig()
+	m, train, ref := buildTiny(t, cfg, 1.5)
+	stats, err := Construct(m, train, cfg, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.BudgetsMet {
+		t.Fatalf("budgets not met: MACs %v of ref %d (budgets %v)", stats.FinalMACs, ref, cfg.Budgets)
+	}
+	if err := m.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// MACs strictly monotone across subnets (each adds something).
+	for i := 1; i < len(stats.FinalMACs); i++ {
+		if stats.FinalMACs[i] < stats.FinalMACs[i-1] {
+			t.Fatalf("subnet MACs must be monotone: %v", stats.FinalMACs)
+		}
+	}
+	if stats.UnitsMoved == 0 {
+		t.Fatal("construction should move units for these budgets")
+	}
+}
+
+func TestConstructRespectsMinUnits(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Budgets = []float64{0.01, 0.02, 0.85} // brutal small budgets
+	cfg.MinUnitsPerSubnet = 1
+	m, train, ref := buildTiny(t, cfg, 1.5)
+	if _, err := Construct(m, train, cfg, ref); err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= cfg.Subnets; s++ {
+		for _, mv := range m.Movable {
+			if mv.OutAssignment().CountIn(s) < 1 {
+				t.Fatalf("layer %s lost all units of subnet %d", mv.Name(), s)
+			}
+		}
+	}
+}
+
+func TestConstructSubnetOutputsRemainAllClasses(t *testing.T) {
+	cfg := tinyConfig()
+	m, train, ref := buildTiny(t, cfg, 1.5)
+	if _, err := Construct(m, train, cfg, ref); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(5), 0, 1)
+	for s := 1; s <= cfg.Subnets; s++ {
+		out := m.Net.Forward(x, nn.Eval(s))
+		if out.Dim(1) != 4 {
+			t.Fatalf("subnet %d output %v", s, out.Shape())
+		}
+	}
+}
+
+func TestConstructIncrementalReuseHoldsAfterConstruction(t *testing.T) {
+	cfg := tinyConfig()
+	m, train, ref := buildTiny(t, cfg, 1.5)
+	if _, err := Construct(m, train, cfg, ref); err != nil {
+		t.Fatal(err)
+	}
+	// Backbone activations of subnet s must be a superset of subnet
+	// s−1's: run each conv/dense output and compare active units.
+	x := tensor.New(1, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(9), 0, 1)
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		_ = a
+	}
+	// End-to-end check via layer-by-layer forward at two subnets.
+	for s := 2; s <= cfg.Subnets; s++ {
+		outPrev := forwardCollect(m.Net, x, s-1)
+		outCur := forwardCollect(m.Net, x, s)
+		for li := range outPrev {
+			lp, lc := outPrev[li], outCur[li]
+			mv, ok := m.Net.Layers()[li].(nn.Masked)
+			if !ok || mv.Rule() != nn.RuleIncremental {
+				continue
+			}
+			checkSupersetActivations(t, mv, lp, lc, s-1)
+		}
+	}
+}
+
+// forwardCollect runs the network at subnet s and returns every
+// layer's output.
+func forwardCollect(net *nn.Network, x *tensor.Tensor, s int) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(net.Layers()))
+	cur := x
+	ctx := nn.Eval(s)
+	for i, l := range net.Layers() {
+		cur = l.Forward(cur, ctx)
+		outs[i] = cur
+	}
+	return outs
+}
+
+// checkSupersetActivations asserts that units active in subnet sPrev
+// have identical outputs in the larger subnet's pass.
+func checkSupersetActivations(t *testing.T, m nn.Masked, prev, cur *tensor.Tensor, sPrev int) {
+	t.Helper()
+	a := m.OutAssignment()
+	units := a.Units()
+	per := prev.Len() / prev.Dim(0) / units // spatial elements per unit
+	for u := 0; u < units; u++ {
+		if a.ID(u) > sPrev {
+			continue
+		}
+		for b := 0; b < prev.Dim(0); b++ {
+			base := b*units*per + u*per
+			for p := 0; p < per; p++ {
+				if prev.Data()[base+p] != cur.Data()[base+p] {
+					t.Fatalf("layer %s unit %d: activation changed between subnets (%g → %g) — reuse broken",
+						m.Name(), u, prev.Data()[base+p], cur.Data()[base+p])
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateOnPerfectlySeparableTask(t *testing.T) {
+	// A dataset labelled by the network itself must evaluate at 100%.
+	cfg := tinyConfig()
+	m, _, _ := buildTiny(t, cfg, 1.0)
+	train, _, _ := data.Generate(tinyData())
+	ctx := nn.Eval(cfg.Subnets)
+	bx, _ := train.Batch(seq(train.Len()))
+	logits := m.Net.Forward(bx, ctx)
+	labels := make([]int, train.Len())
+	for i := range labels {
+		row := logits.Data()[i*4 : (i+1)*4]
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		labels[i] = bi
+	}
+	ds := &data.Dataset{X: train.X, Y: labels, Classes: 4}
+	if acc := Evaluate(m.Net, ds, cfg.Subnets, 16); acc != 1.0 {
+		t.Fatalf("self-labelled accuracy %g", acc)
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func TestTrainPlainReducesLoss(t *testing.T) {
+	cfg := tinyConfig()
+	m, train, _ := buildTiny(t, cfg, 1.0)
+	rng := tensor.NewRNG(13)
+	first := TrainPlain(m.Net, train, 1, 16, 0.05, 0.9, rng)
+	last := TrainPlain(m.Net, train, 5, 16, 0.05, 0.9, rng)
+	if last >= first {
+		t.Fatalf("loss did not decrease: %g → %g", first, last)
+	}
+}
+
+func TestDistillRunsWithAndWithoutTeacher(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DistillEpochs = 1
+	m, train, ref := buildTiny(t, cfg, 1.2)
+	if _, err := Construct(m, train, cfg, ref); err != nil {
+		t.Fatal(err)
+	}
+	teacherModel := models.LeNet3C1L(models.Options{Classes: 4, InC: 1, InH: 8, InW: 8, Seed: 5})
+	Distill(m.Net, teacherModel.Net, train, cfg) // with teacher
+	Distill(m.Net, nil, train, cfg)              // ablation path
+	if err := m.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(PipelineOptions{
+		Build:     models.LeNet3C1L,
+		Data:      tinyData(),
+		Expansion: 1.4,
+		Config:    tinyConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 3 {
+		t.Fatalf("stats %v", res.Stats)
+	}
+	prevMAC := int64(0)
+	for i, st := range res.Stats {
+		if st.MACs < prevMAC {
+			t.Fatalf("MACs not monotone: %+v", res.Stats)
+		}
+		prevMAC = st.MACs
+		if st.MACFrac > tinyConfig().Budgets[i]+1e-9 {
+			t.Fatalf("subnet %d over budget: %g > %g", st.Subnet, st.MACFrac, tinyConfig().Budgets[i])
+		}
+		if st.Accuracy < 0 || st.Accuracy > 1 {
+			t.Fatalf("accuracy out of range: %+v", st)
+		}
+	}
+	if !res.Construction.BudgetsMet {
+		t.Fatal("budgets not met")
+	}
+	// The largest subnet should beat chance (4 classes → 0.25) after
+	// this little training; allow generous slack but require signal.
+	if res.Stats[2].Accuracy < 0.3 {
+		t.Fatalf("largest subnet barely above chance: %g", res.Stats[2].Accuracy)
+	}
+}
+
+func TestRunAblationFlags(t *testing.T) {
+	res, err := Run(PipelineOptions{
+		Build:              models.LeNet3C1L,
+		Data:               tinyData(),
+		Expansion:          1.2,
+		Config:             tinyConfig(),
+		DisableDistill:     true,
+		DisableSuppression: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Construction.BudgetsMet {
+		t.Fatal("ablation run must still meet budgets")
+	}
+}
+
+func TestRankedUnitsOrdering(t *testing.T) {
+	cfg := tinyConfig()
+	m, _, _ := buildTiny(t, cfg, 1.0)
+	m.Net.EnableImportance(cfg.Subnets)
+	// Manually poke importance values: make unit 0 of layer 0 most
+	// important, unit 1 least.
+	imp := m.Movable[0].Importance()
+	for k := range imp {
+		imp[k][0] = 100
+		imp[k][1] = 0.001
+	}
+	refs := rankedUnits(m.Movable, 1, cfg.Subnets, 1.5)
+	if len(refs) == 0 {
+		t.Fatal("no units ranked")
+	}
+	// Unit (0,1) must come before (0,0).
+	pos := map[unitRef]int{}
+	for i, r := range refs {
+		pos[r] = i
+	}
+	if pos[unitRef{0, 1}] > pos[unitRef{0, 0}] {
+		t.Fatal("least-important unit must rank first")
+	}
+}
+
+func TestCombinedImportanceAlphaGrowth(t *testing.T) {
+	cfg := tinyConfig()
+	m, _, _ := buildTiny(t, cfg, 1.0)
+	m.Net.EnableImportance(3)
+	imp := m.Movable[0].Importance()
+	imp[0][0], imp[1][0], imp[2][0] = 1, 1, 1
+	// From subnet 1 with growth 2: α = 1,2,4 → total 7.
+	got := combinedImportance(m.Movable[0], 0, 1, 3, 2)
+	if got != 7 {
+		t.Fatalf("combined importance %g want 7", got)
+	}
+	// From subnet 2: only k≥2 → 2+4=6.
+	if got := combinedImportance(m.Movable[0], 0, 2, 3, 2); got != 6 {
+		t.Fatalf("from subnet 2: %g want 6", got)
+	}
+}

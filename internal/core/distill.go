@@ -1,0 +1,44 @@
+package core
+
+import (
+	"steppingnet/internal/data"
+	"steppingnet/internal/loss"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/optim"
+	"steppingnet/internal/tensor"
+)
+
+// Distill retrains the constructed subnets with knowledge
+// distillation (§III-B): each epoch trains subnets in ascending order
+// on the modified cost L' = γ·CE + (1−γ)·KL(teacher) of Eq. 4, with
+// the same learning-rate suppression as construction. teacher is the
+// pretrained original network; pass nil to retrain with plain
+// cross-entropy (the Fig. 8 "w/o knowledge distillation" ablation).
+func Distill(student *nn.Network, teacher *nn.Network, train *data.Dataset, cfg Config) {
+	cfg = cfg.WithDefaults()
+	rng := tensor.NewRNG(cfg.Seed ^ 0xD157)
+	opt := optim.NewSGD(cfg.LR*0.5, cfg.Momentum, 1e-4)
+	n := cfg.Subnets
+
+	for e := 0; e < cfg.DistillEpochs; e++ {
+		train.Batches(rng, cfg.BatchSize, func(x *tensor.Tensor, y []int) {
+			var teacherProbs *tensor.Tensor
+			if teacher != nil {
+				logits := teacher.Forward(x, nn.Eval(1))
+				teacherProbs = loss.Softmax(logits)
+			}
+			for s := 1; s <= n; s++ {
+				ctx := &nn.Context{Subnet: s, Mode: s, Train: true, Beta: cfg.Beta}
+				logits := student.Forward(x, ctx)
+				var grad *tensor.Tensor
+				if teacherProbs != nil {
+					_, grad = loss.Distill(logits, y, teacherProbs, cfg.Gamma)
+				} else {
+					_, grad = loss.CrossEntropy(logits, y)
+				}
+				student.Backward(grad, ctx)
+				opt.Step(student.Params())
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"steppingnet/internal/nn"
+)
+
+// unitRef identifies one movable unit: layer index (into the Movable
+// slice) and output-unit index within the layer.
+type unitRef struct {
+	layer int
+	unit  int
+}
+
+// combinedImportance computes the selection criterion of Eq. 3 for
+// unit j of a layer currently assigned to subnet i:
+//
+//	M_i_j = Σ_{k=i..N} α_k · |∂L_k/∂r_j|
+//
+// where the per-subnet |∂L_k/∂r_j| have been accumulated by the
+// layers during the m training batches and α_k = α_1·growth^(k−1)
+// with α_1 = 1 (the paper grows α by 1.5× per larger subnet so units
+// kept in a subnet "also make good contribution to the inference
+// accuracy of the larger subnets").
+func combinedImportance(layer nn.Masked, unit, fromSubnet, nSubnets int, alphaGrowth float64) float64 {
+	imp := layer.Importance()
+	if imp == nil {
+		return 0
+	}
+	total := 0.0
+	alpha := 1.0
+	for k := 1; k <= nSubnets; k++ {
+		if k >= fromSubnet {
+			total += alpha * math.Abs(imp[k-1][unit])
+		}
+		alpha *= alphaGrowth
+	}
+	return total
+}
+
+// rankedUnits lists every unit currently assigned exactly to subnet s
+// across all movable layers, ordered by ascending combined importance
+// (least important first — the movement candidates).
+func rankedUnits(movable []nn.Masked, s, nSubnets int, alphaGrowth float64) []unitRef {
+	type scored struct {
+		ref   unitRef
+		score float64
+	}
+	var all []scored
+	for li, m := range movable {
+		a := m.OutAssignment()
+		for _, u := range a.UnitsAt(s) {
+			all = append(all, scored{
+				ref:   unitRef{layer: li, unit: u},
+				score: combinedImportance(m, u, s, nSubnets, alphaGrowth),
+			})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].score < all[j].score })
+	refs := make([]unitRef, len(all))
+	for i, sc := range all {
+		refs[i] = sc.ref
+	}
+	return refs
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"steppingnet/internal/data"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+// SubnetStat reports one subnet's operating point, matching one
+// column group of Table I.
+type SubnetStat struct {
+	Subnet   int
+	MACs     int64
+	MACFrac  float64 // M_i / M_t
+	Accuracy float64 // A_i on the test set
+}
+
+// Result is the outcome of the full SteppingNet pipeline on one
+// network/dataset pair: one row of Table I plus construction
+// diagnostics.
+type Result struct {
+	Model        string
+	RefMACs      int64   // M_t of the original (un-expanded) network
+	OrigAccuracy float64 // accuracy of the trained original network
+	Expansion    float64
+	Stats        []SubnetStat
+	Construction *ConstructionStats
+	// StudentNet is the constructed, retrained masked model (useful
+	// for incremental-inference demos on top of a pipeline run).
+	StudentNet *models.Model
+}
+
+// PipelineOptions bundles the workload for Run.
+type PipelineOptions struct {
+	Build     models.Builder
+	Data      data.Config
+	Expansion float64
+	Config    Config
+	// DisableDistill skips KD retraining (Fig. 8 ablation).
+	DisableDistill bool
+	// DisableSuppression sets β suppression off during construction
+	// and retraining (Fig. 8 ablation).
+	DisableSuppression bool
+}
+
+// Run executes the end-to-end SteppingNet pipeline:
+//
+//  1. train the original (un-expanded) network — the teacher and the
+//     accuracy upper bound,
+//  2. build the expanded masked network and construct N nested
+//     subnets under the MAC budgets (Fig. 3),
+//  3. retrain the subnets with knowledge distillation (Eq. 4),
+//  4. evaluate every subnet.
+func Run(opt PipelineOptions) (*Result, error) {
+	cfg := opt.Config.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Expansion <= 0 {
+		opt.Expansion = 1.8
+	}
+	if opt.DisableSuppression {
+		cfg.Beta = 1 // β=1 means no suppression (scale factor 1)
+	}
+	train, test, err := data.Generate(opt.Data)
+	if err != nil {
+		return nil, err
+	}
+
+	mo := models.Options{
+		Classes: opt.Data.Classes, InC: opt.Data.C, InH: opt.Data.H, InW: opt.Data.W,
+		Rule: nn.RuleIncremental, Seed: cfg.Seed,
+	}
+
+	// 1. Teacher / original network.
+	teacherModel := opt.Build(withExpansion(mo, 1, 1))
+	refMACs := teacherModel.Net.MACs(1)
+	rng := tensor.NewRNG(cfg.Seed ^ 0x7EAC)
+	TrainPlain(teacherModel.Net, train, cfg.TeacherEpochs, cfg.BatchSize, cfg.LR, cfg.Momentum, rng)
+	origAcc := Evaluate(teacherModel.Net, test, 1, cfg.BatchSize)
+
+	// 2. Expanded student + construction.
+	student := opt.Build(withExpansion(mo, opt.Expansion, cfg.Subnets))
+	cons, err := Construct(student, train, cfg, refMACs)
+	if err != nil {
+		return nil, fmt.Errorf("core: construction failed: %w", err)
+	}
+
+	// 3. KD retraining.
+	teacher := teacherModel.Net
+	if opt.DisableDistill {
+		teacher = nil
+	}
+	Distill(student.Net, teacher, train, cfg)
+
+	// 4. Evaluation.
+	res := &Result{
+		Model:        student.Name,
+		RefMACs:      refMACs,
+		OrigAccuracy: origAcc,
+		Expansion:    opt.Expansion,
+		Construction: cons,
+	}
+	for s := 1; s <= cfg.Subnets; s++ {
+		macs := student.Net.MACs(s)
+		res.Stats = append(res.Stats, SubnetStat{
+			Subnet:   s,
+			MACs:     macs,
+			MACFrac:  float64(macs) / float64(refMACs),
+			Accuracy: Evaluate(student.Net, test, s, cfg.BatchSize),
+		})
+	}
+	res.StudentNet = student
+	return res, nil
+}
+
+func withExpansion(o models.Options, expansion float64, subnets int) models.Options {
+	o.Expansion = expansion
+	o.Subnets = subnets
+	return o
+}

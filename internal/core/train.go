@@ -1,0 +1,65 @@
+package core
+
+import (
+	"steppingnet/internal/data"
+	"steppingnet/internal/loss"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/optim"
+	"steppingnet/internal/tensor"
+)
+
+// TrainPlain trains a network with softmax cross-entropy for the
+// given number of epochs (used for the teacher / original network).
+// It returns the final training loss.
+func TrainPlain(net *nn.Network, ds *data.Dataset, epochs, batchSize int, lr, momentum float64, rng *tensor.RNG) float64 {
+	opt := optim.NewSGD(lr, momentum, 1e-4)
+	ctx := &nn.Context{Subnet: 1, Train: true}
+	last := 0.0
+	for e := 0; e < epochs; e++ {
+		ds.Batches(rng, batchSize, func(x *tensor.Tensor, y []int) {
+			logits := net.Forward(x, ctx)
+			l, grad := loss.CrossEntropy(logits, y)
+			last = l
+			net.Backward(grad, ctx)
+			opt.Step(net.Params())
+		})
+	}
+	return last
+}
+
+// Evaluate returns classification accuracy of the network running
+// subnet s over the dataset.
+func Evaluate(net *nn.Network, ds *data.Dataset, s, batchSize int) float64 {
+	ctx := &nn.Context{Subnet: s, Mode: s}
+	correct, total := 0, 0
+	for start := 0; start < ds.Len(); start += batchSize {
+		end := start + batchSize
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, y := ds.Batch(idx)
+		logits := net.Forward(x, ctx)
+		correct += int(loss.Accuracy(logits, y)*float64(len(y)) + 0.5)
+		total += len(y)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// trainStep runs one forward/backward/update of the student at
+// subnet s on a batch with cross-entropy, optional importance
+// accumulation and β suppression.
+func trainStep(net *nn.Network, opt *optim.SGD, x *tensor.Tensor, y []int, s int, beta float64, accumulate bool) float64 {
+	ctx := &nn.Context{Subnet: s, Mode: s, Train: true, Beta: beta, AccumulateImportance: accumulate}
+	logits := net.Forward(x, ctx)
+	l, grad := loss.CrossEntropy(logits, y)
+	net.Backward(grad, ctx)
+	opt.Step(net.Params())
+	return l
+}

@@ -1,0 +1,182 @@
+package data
+
+import (
+	"testing"
+
+	"steppingnet/internal/tensor"
+)
+
+func smallCfg() Config {
+	return Config{
+		Name: "test", Classes: 4, C: 1, H: 8, W: 8,
+		Train: 64, Test: 32, Seed: 1, LabelNoise: 0.05,
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	tr1, te1, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Len() != 64 || te1.Len() != 32 {
+		t.Fatalf("sizes %d/%d", tr1.Len(), te1.Len())
+	}
+	if tr1.X.Dim(1) != 1 || tr1.X.Dim(2) != 8 || tr1.X.Dim(3) != 8 {
+		t.Fatalf("image shape %v", tr1.X.Shape())
+	}
+	tr2, te2, _ := Generate(smallCfg())
+	if !tensor.Equal(tr1.X, tr2.X, 0) || !tensor.Equal(te1.X, te2.X, 0) {
+		t.Fatal("same seed must reproduce images exactly")
+	}
+	for i := range tr1.Y {
+		if tr1.Y[i] != tr2.Y[i] {
+			t.Fatal("same seed must reproduce labels")
+		}
+	}
+	cfg3 := smallCfg()
+	cfg3.Seed = 2
+	tr3, _, _ := Generate(cfg3)
+	if tensor.Equal(tr1.X, tr3.X, 1e-9) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateLabelRange(t *testing.T) {
+	tr, te, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range append(append([]int(nil), tr.Y...), te.Y...) {
+		if y < 0 || y >= 4 {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+}
+
+func TestGenerateAllClassesAppear(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Train = 512
+	tr, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, cfg.Classes)
+	for _, y := range tr.Y {
+		seen[y] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("class %d never generated; teacher degenerate", c)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Classes: 1, C: 1, H: 8, W: 8, Train: 1, Test: 1},
+		{Classes: 2, C: 0, H: 8, W: 8, Train: 1, Test: 1},
+		{Classes: 2, C: 1, H: 8, W: 8, Train: 0, Test: 1},
+		{Classes: 2, C: 1, H: 8, W: 8, Train: 1, Test: 1, LabelNoise: 1},
+		{Classes: 2, C: 1, H: 7, W: 8, Train: 1, Test: 1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Generate(cfg); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestBatchCopiesData(t *testing.T) {
+	tr, _, _ := Generate(smallCfg())
+	x, y := tr.Batch([]int{0, 3})
+	if x.Dim(0) != 2 || len(y) != 2 {
+		t.Fatal("batch size")
+	}
+	if y[0] != tr.Y[0] || y[1] != tr.Y[3] {
+		t.Fatal("batch labels")
+	}
+	// Mutating the batch must not touch the dataset.
+	x.Data()[0] = 999
+	if tr.X.Data()[0] == 999 {
+		t.Fatal("Batch must copy")
+	}
+}
+
+func TestBatchIndexPanic(t *testing.T) {
+	tr, _, _ := Generate(smallCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	tr.Batch([]int{tr.Len()})
+}
+
+func TestBatchesCoverDatasetOnce(t *testing.T) {
+	tr, _, _ := Generate(smallCfg())
+	count := 0
+	seenSizes := []int{}
+	tr.Batches(tensor.NewRNG(3), 10, func(x *tensor.Tensor, y []int) {
+		count += len(y)
+		seenSizes = append(seenSizes, len(y))
+	})
+	if count != tr.Len() {
+		t.Fatalf("covered %d of %d", count, tr.Len())
+	}
+	if seenSizes[len(seenSizes)-1] != 4 { // 64 = 6*10+4
+		t.Fatalf("tail batch %v", seenSizes)
+	}
+}
+
+func TestImageCopy(t *testing.T) {
+	tr, _, _ := Generate(smallCfg())
+	img := tr.Image(5)
+	if img.Dim(0) != 1 || img.Dim(2) != 8 {
+		t.Fatalf("image shape %v", img.Shape())
+	}
+	img.Data()[0] = 123
+	if tr.X.Data()[5*64] == 123 {
+		t.Fatal("Image must copy")
+	}
+}
+
+func TestImagesAreNormalized(t *testing.T) {
+	tr, _, _ := Generate(smallCfg())
+	// Each channel plane should be ~zero-mean unit-variance.
+	plane := tr.X.Data()[:64]
+	var mean, ss float64
+	for _, v := range plane {
+		mean += v
+	}
+	mean /= 64
+	for _, v := range plane {
+		ss += (v - mean) * (v - mean)
+	}
+	ss /= 64
+	if mean > 1e-9 || mean < -1e-9 {
+		t.Fatalf("plane mean %g", mean)
+	}
+	if ss < 0.5 || ss > 1.5 {
+		t.Fatalf("plane variance %g", ss)
+	}
+}
+
+func TestLabelNoiseChangesLabels(t *testing.T) {
+	clean := smallCfg()
+	clean.LabelNoise = 0
+	clean.Train = 1024
+	noisy := clean
+	noisy.LabelNoise = 0.5
+	trc, _, _ := Generate(clean)
+	trn, _, _ := Generate(noisy)
+	diff := 0
+	for i := range trc.Y {
+		if trc.Y[i] != trn.Y[i] {
+			diff++
+		}
+	}
+	// 50% noise over 4 classes flips ~37.5% of labels.
+	if diff < 200 || diff > 600 {
+		t.Fatalf("noise flipped %d of 1024", diff)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsMatchPaperParameters(t *testing.T) {
+	ws := Workloads(Tiny())
+	if len(ws) != 3 {
+		t.Fatalf("want 3 workloads, got %d", len(ws))
+	}
+	wantBudgets := [][]float64{
+		{0.10, 0.30, 0.50, 0.85},
+		{0.15, 0.30, 0.60, 0.85},
+		{0.20, 0.40, 0.50, 0.70},
+	}
+	wantExp := []float64{1.8, 2.0, 1.8}
+	for i, w := range ws {
+		for j, b := range w.Budgets {
+			if b != wantBudgets[i][j] {
+				t.Fatalf("%s budgets %v", w.Name, w.Budgets)
+			}
+		}
+		if w.Expansion != wantExp[i] {
+			t.Fatalf("%s expansion %g", w.Name, w.Expansion)
+		}
+	}
+}
+
+func TestScalesAreOrdered(t *testing.T) {
+	tiny, quick, full := Tiny(), Quick(), Full()
+	if !(tiny.TrainSamples < quick.TrainSamples && quick.TrainSamples < full.TrainSamples) {
+		t.Fatal("scales must grow")
+	}
+	if tiny.Name == quick.Name || quick.Name == full.Name {
+		t.Fatal("scale names must differ")
+	}
+}
+
+func TestTableITiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline; skipped in -short")
+	}
+	res, err := TableI(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !r.Construction.BudgetsMet {
+			t.Fatalf("%s budgets not met: %v", r.Model, r.Construction.FinalMACs)
+		}
+		for i := 1; i < len(r.Stats); i++ {
+			if r.Stats[i].MACs < r.Stats[i-1].MACs {
+				t.Fatalf("%s MACs not monotone", r.Model)
+			}
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Table I", "LeNet-3C1L", "LeNet-5", "VGG-16", "M4/Mt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7TinySubsetOfWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline; skipped in -short")
+	}
+	sc := Tiny()
+	sc.Expansions = []float64{1.0, 1.5}
+	res, err := Fig7(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nets) != 2 {
+		t.Fatalf("fig7 nets %d", len(res.Nets))
+	}
+	for _, n := range res.Nets {
+		if len(n.Series) != 2 {
+			t.Fatalf("%s series %d", n.Name, len(n.Series))
+		}
+		for _, s := range n.Series {
+			if m := s.MeanAccuracy(); m < 0 || m > 1 {
+				t.Fatalf("mean accuracy %g", m)
+			}
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Fig. 7") || !strings.Contains(out, "×1.0") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestReuseTinyVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline; skipped in -short")
+	}
+	res, err := Reuse(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified() {
+		t.Fatalf("reuse audit failed: %+v", res.Steps)
+	}
+	// Incremental walk must be cheaper than from-scratch sum.
+	if res.TotalMACs >= res.ScratchSum {
+		t.Fatalf("no savings: %d vs %d", res.TotalMACs, res.ScratchSum)
+	}
+	if !strings.Contains(res.Render(), "saved") {
+		t.Fatal("render missing savings line")
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"steppingnet/internal/core"
+)
+
+// Fig7Series is the subnet curve of one expansion ratio.
+type Fig7Series struct {
+	Expansion float64
+	Stats     []core.SubnetStat
+}
+
+// Fig7Net is one subplot: all expansion ratios of one network.
+type Fig7Net struct {
+	Name   string
+	Series []Fig7Series
+}
+
+// Fig7Result reproduces Fig. 7: accuracy vs MACs for expansion
+// ratios 1.0–2.0 on LeNet-3C1L and LeNet-5 (the paper's two
+// subplots).
+type Fig7Result struct {
+	Scale Scale
+	Nets  []Fig7Net
+}
+
+// Fig7 sweeps the expansion ratio over the first two Table-I
+// workloads.
+func Fig7(sc Scale) (*Fig7Result, error) {
+	res := &Fig7Result{Scale: sc}
+	for _, w := range Workloads(sc)[:2] { // LeNet-3C1L, LeNet-5
+		net := Fig7Net{Name: w.Name}
+		for _, exp := range sc.Expansions {
+			wx := w
+			wx.Expansion = exp
+			r, err := runStepping(wx, sc, false, false)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig7 %s ×%.1f: %w", w.Name, exp, err)
+			}
+			net.Series = append(net.Series, Fig7Series{Expansion: exp, Stats: r.Stats})
+		}
+		res.Nets = append(res.Nets, net)
+	}
+	return res, nil
+}
+
+// Render prints one table per network: rows are subnets, columns are
+// expansion ratios.
+func (f *Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7: Accuracy comparison with different expansion ratios (scale=%s)\n", f.Scale.Name)
+	for _, net := range f.Nets {
+		fmt.Fprintf(&b, "\n%s\n", net.Name)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "subnet\t#MAC%")
+		for _, s := range net.Series {
+			fmt.Fprintf(tw, "\t×%.1f Acc", s.Expansion)
+		}
+		fmt.Fprintln(tw)
+		if len(net.Series) == 0 {
+			continue
+		}
+		for i := range net.Series[0].Stats {
+			fmt.Fprintf(tw, "%d\t%.1f%%", i+1, 100*net.Series[0].Stats[i].MACFrac)
+			for _, s := range net.Series {
+				fmt.Fprintf(tw, "\t%.2f%%", 100*s.Stats[i].Accuracy)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	return b.String()
+}
+
+// MeanAccuracy returns the average subnet accuracy of one series,
+// the summary statistic used to compare expansion ratios.
+func (s Fig7Series) MeanAccuracy() float64 {
+	if len(s.Stats) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, st := range s.Stats {
+		total += st.Accuracy
+	}
+	return total / float64(len(s.Stats))
+}

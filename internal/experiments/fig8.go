@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"steppingnet/internal/core"
+)
+
+// Fig8Variant labels one ablation configuration.
+type Fig8Variant string
+
+// The three bars of each Fig. 8 group.
+const (
+	VariantFull          Fig8Variant = "SteppingNet"
+	VariantNoSuppression Fig8Variant = "w/o weight suppression"
+	VariantNoDistill     Fig8Variant = "w/o knowledge distillation"
+)
+
+// Fig8Net is one subplot: per-subnet accuracy for each variant of
+// one network.
+type Fig8Net struct {
+	Name     string
+	Variants map[Fig8Variant][]core.SubnetStat
+}
+
+// Fig8Result reproduces Fig. 8: the ablation of learning-rate
+// suppression and knowledge distillation on LeNet-3C1L and LeNet-5.
+type Fig8Result struct {
+	Scale Scale
+	Nets  []Fig8Net
+}
+
+// Fig8 runs the three variants on the two LeNet workloads.
+func Fig8(sc Scale) (*Fig8Result, error) {
+	res := &Fig8Result{Scale: sc}
+	for _, w := range Workloads(sc)[:2] {
+		net := Fig8Net{Name: w.Name, Variants: map[Fig8Variant][]core.SubnetStat{}}
+		type cfg struct {
+			v                Fig8Variant
+			noKD, noSuppress bool
+		}
+		for _, c := range []cfg{
+			{VariantFull, false, false},
+			{VariantNoSuppression, false, true},
+			{VariantNoDistill, true, false},
+		} {
+			r, err := runStepping(w, sc, c.noKD, c.noSuppress)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig8 %s %s: %w", w.Name, c.v, err)
+			}
+			net.Variants[c.v] = r.Stats
+		}
+		res.Nets = append(res.Nets, net)
+	}
+	return res, nil
+}
+
+// Render prints one table per network: rows are subnets, columns the
+// three variants — the textual form of the paper's bar groups.
+func (f *Fig8Result) Render() string {
+	order := []Fig8Variant{VariantNoSuppression, VariantNoDistill, VariantFull}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8: Accuracy with and without suppression of weight update and knowledge distillation (scale=%s)\n", f.Scale.Name)
+	for _, net := range f.Nets {
+		fmt.Fprintf(&b, "\n%s\n", net.Name)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "subnet")
+		for _, v := range order {
+			fmt.Fprintf(tw, "\t%s", v)
+		}
+		fmt.Fprintln(tw)
+		n := len(net.Variants[VariantFull])
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(tw, "%d", i+1)
+			for _, v := range order {
+				stats := net.Variants[v]
+				if i < len(stats) {
+					fmt.Fprintf(tw, "\t%.2f%%", 100*stats[i].Accuracy)
+				} else {
+					fmt.Fprint(tw, "\t")
+				}
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"steppingnet/internal/baselines"
+	"steppingnet/internal/core"
+)
+
+func sampleFig6() *Fig6Result {
+	return &Fig6Result{
+		Scale: Tiny(),
+		Nets: []Fig6Net{{
+			Name: "LeNet-5/Cifar10",
+			Curves: []Fig6Curve{
+				{Method: "SteppingNet", Points: []baselines.OperatingPoint{
+					{Subnet: 1, MACs: 100, MACFrac: 0.10, Accuracy: 0.50},
+					{Subnet: 2, MACs: 300, MACFrac: 0.30, Accuracy: 0.65},
+				}},
+				{Method: "Slimmable Net.", Points: []baselines.OperatingPoint{
+					{Subnet: 1, MACs: 100, MACFrac: 0.10, Accuracy: 0.45},
+					{Subnet: 2, MACs: 300, MACFrac: 0.30, Accuracy: 0.60},
+				}},
+				{Method: "Any-width Net.", Points: []baselines.OperatingPoint{
+					{Subnet: 1, MACs: 100, MACFrac: 0.10, Accuracy: 0.55},
+				}},
+			},
+		}},
+	}
+}
+
+func TestFig6RenderLayout(t *testing.T) {
+	out := sampleFig6().Render()
+	for _, want := range []string{"Fig. 6", "LeNet-5/Cifar10", "SteppingNet", "Slimmable Net.", "Any-width Net.", "65.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWinsAtMatchedMACs(t *testing.T) {
+	wins, comparisons := sampleFig6().WinsAtMatchedMACs()
+	// Stepping beats slimmable at both points (2 wins of 2) and
+	// loses to anywidth's single point (0 of 1).
+	if comparisons != 3 || wins != 2 {
+		t.Fatalf("wins=%d comparisons=%d", wins, comparisons)
+	}
+}
+
+func TestFig8RenderLayout(t *testing.T) {
+	r := &Fig8Result{
+		Scale: Tiny(),
+		Nets: []Fig8Net{{
+			Name: "LeNet-3C1L/Cifar10",
+			Variants: map[Fig8Variant][]core.SubnetStat{
+				VariantFull:          {{Subnet: 1, Accuracy: 0.6}, {Subnet: 2, Accuracy: 0.7}},
+				VariantNoSuppression: {{Subnet: 1, Accuracy: 0.5}, {Subnet: 2, Accuracy: 0.65}},
+				VariantNoDistill:     {{Subnet: 1, Accuracy: 0.55}, {Subnet: 2, Accuracy: 0.66}},
+			},
+		}},
+	}
+	out := r.Render()
+	for _, want := range []string{"Fig. 8", "w/o weight suppression", "w/o knowledge distillation", "SteppingNet", "70.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReuseRenderAndVerified(t *testing.T) {
+	r := &ReuseResult{
+		Scale: Tiny(), Model: "LeNet-3C1L",
+		Steps: []ReuseStep{
+			{Subnet: 1, StepMACs: 10, SubnetMACs: 10, OutputMatch: true},
+			{Subnet: 2, StepMACs: 5, SubnetMACs: 15, OutputMatch: true},
+		},
+		TotalMACs: 15, ScratchSum: 25,
+	}
+	if !r.Verified() {
+		t.Fatal("should verify")
+	}
+	if !strings.Contains(r.Render(), "40.0% saved") {
+		t.Fatalf("render:\n%s", r.Render())
+	}
+	r.Steps[1].OutputMatch = false
+	if r.Verified() {
+		t.Fatal("must fail when a step mismatches")
+	}
+	if (&ReuseResult{}).Verified() {
+		t.Fatal("empty result must not verify")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"steppingnet/internal/infer"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+// ReuseStep records one incremental expansion of the anytime engine.
+type ReuseStep struct {
+	Subnet      int
+	StepMACs    int64 // MACs the engine actually executed
+	SubnetMACs  int64 // MACs of running this subnet from scratch
+	OutputMatch bool  // incremental output equals full forward
+}
+
+// ReuseResult audits the paper's central systems claim (§II, §III):
+// expanding from subnet s−1 to s costs only the MAC delta, never a
+// recomputation, and produces bit-identical outputs.
+type ReuseResult struct {
+	Scale      Scale
+	Model      string
+	Steps      []ReuseStep
+	TotalMACs  int64 // incremental total over all steps
+	ScratchSum int64 // what recomputing every subnet from scratch would cost
+}
+
+// Reuse constructs a SteppingNet on the first workload and walks the
+// anytime engine up through every subnet, recording MAC accounting
+// and output equality.
+func Reuse(sc Scale) (*ReuseResult, error) {
+	w := Workloads(sc)[0]
+	r, err := runStepping(w, sc, false, false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reuse: %w", err)
+	}
+	model := r.StudentNet
+	n := len(w.Budgets)
+
+	x := tensor.New(1, w.Data.C, w.Data.H, w.Data.W)
+	x.FillNormal(tensor.NewRNG(sc.Seed^0x5E0), 0, 1)
+	e := infer.NewEngine(model.Net)
+	e.Reset(x)
+
+	res := &ReuseResult{Scale: sc, Model: r.Model}
+	for s := 1; s <= n; s++ {
+		out, macs, err := e.Step(s)
+		if err != nil {
+			return nil, err
+		}
+		full := model.Net.Forward(x, nn.Eval(s))
+		res.Steps = append(res.Steps, ReuseStep{
+			Subnet:      s,
+			StepMACs:    macs,
+			SubnetMACs:  model.Net.MACs(s),
+			OutputMatch: tensor.Equal(out, full, 1e-9),
+		})
+		res.ScratchSum += model.Net.MACs(s)
+	}
+	res.TotalMACs = e.TotalMACs()
+	return res, nil
+}
+
+// Render prints the audit table and the headline savings figure.
+func (r *ReuseResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Computational-reuse audit (%s, scale=%s)\n", r.Model, r.Scale.Name)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "step\tsubnet\tincremental MACs\tfrom-scratch MACs\toutputs equal")
+	for _, s := range r.Steps {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\n", s.Subnet, s.Subnet, s.StepMACs, s.SubnetMACs, s.OutputMatch)
+	}
+	tw.Flush()
+	if r.ScratchSum > 0 {
+		fmt.Fprintf(&b, "anytime walk 1→%d: %d MACs incremental vs %d recomputing every subnet (%.1f%% saved)\n",
+			len(r.Steps), r.TotalMACs, r.ScratchSum,
+			100*(1-float64(r.TotalMACs)/float64(r.ScratchSum)))
+	}
+	return b.String()
+}
+
+// Verified reports whether every step matched the full forward — the
+// pass/fail of the audit.
+func (r *ReuseResult) Verified() bool {
+	for _, s := range r.Steps {
+		if !s.OutputMatch {
+			return false
+		}
+	}
+	return len(r.Steps) > 0
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"steppingnet/internal/core"
+)
+
+// TableIResult holds one reproduction of Table I: per network, the
+// original accuracy and the (A_i, M_i/M_t) pairs of the four subnets.
+type TableIResult struct {
+	Scale Scale
+	Rows  []*core.Result
+}
+
+// TableI runs the full SteppingNet pipeline on every Table-I
+// workload.
+func TableI(sc Scale) (*TableIResult, error) {
+	res := &TableIResult{Scale: sc}
+	for _, w := range Workloads(sc) {
+		r, err := runStepping(w, sc, false, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", w.Name, err)
+		}
+		res.Rows = append(res.Rows, r)
+	}
+	return res, nil
+}
+
+// runStepping executes the pipeline for one workload with the shared
+// scale parameters.
+func runStepping(w Workload, sc Scale, noDistill, noSuppression bool) (*core.Result, error) {
+	return core.Run(core.PipelineOptions{
+		Build:     w.Build,
+		Data:      w.Data,
+		Expansion: w.Expansion,
+		Config: core.Config{
+			Subnets:        len(w.Budgets),
+			Budgets:        w.Budgets,
+			Iterations:     sc.Iterations,
+			BatchesPerIter: sc.BatchesPerIter,
+			BatchSize:      sc.BatchSize,
+			TeacherEpochs:  sc.TeacherEpochs,
+			DistillEpochs:  sc.DistillEpochs,
+			Seed:           sc.Seed,
+		},
+		DisableDistill:     noDistill,
+		DisableSuppression: noSuppression,
+	})
+}
+
+// Render formats the result in the layout of the paper's Table I.
+func (t *TableIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: Results of SteppingNet (scale=%s)\n", t.Scale.Name)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Network\tOrig.Acc\tA1\tM1/Mt\tA2\tM2/Mt\tA3\tM3/Mt\tA4\tM4/Mt")
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%s\t%.2f%%", r.Model, 100*r.OrigAccuracy)
+		for _, s := range r.Stats {
+			fmt.Fprintf(tw, "\t%.2f%%\t%.2f%%", 100*s.Accuracy, 100*s.MACFrac)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,215 @@
+// Package governor models the resource-varying platform of the
+// paper's introduction (mobile phones switching power modes,
+// autonomous vehicles sharing compute with concurrent tasks) and the
+// policy that picks which subnet to run as the available MAC budget
+// fluctuates. Combined with infer.Engine it turns SteppingNet's
+// incremental property into a deployable control loop: expand while
+// budget allows, shrink for free when it does not.
+package governor
+
+import (
+	"fmt"
+
+	"steppingnet/internal/infer"
+	"steppingnet/internal/models"
+	"steppingnet/internal/tensor"
+)
+
+// Budgeter supplies the MAC budget available at each tick. A tick is
+// whatever cadence the platform re-evaluates resources at (a DVFS
+// interval, a frame, a scheduler quantum).
+type Budgeter interface {
+	// Budget returns the MACs the inference task may spend at tick t.
+	Budget(t int) int64
+}
+
+// TraceBudget replays a fixed budget trace, repeating it cyclically.
+type TraceBudget []int64
+
+// Budget implements Budgeter.
+func (tb TraceBudget) Budget(t int) int64 {
+	if len(tb) == 0 {
+		return 0
+	}
+	return tb[t%len(tb)]
+}
+
+// ModeBudget maps platform modes (power-save / balanced / normal …)
+// to budgets and replays a mode trace.
+type ModeBudget struct {
+	Modes map[string]int64
+	Trace []string
+}
+
+// Budget implements Budgeter.
+func (mb ModeBudget) Budget(t int) int64 {
+	if len(mb.Trace) == 0 {
+		return 0
+	}
+	return mb.Modes[mb.Trace[t%len(mb.Trace)]]
+}
+
+// RandomWalkBudget draws budgets uniformly between Lo and Hi with a
+// deterministic generator — a crude model of background-task
+// pressure.
+type RandomWalkBudget struct {
+	Lo, Hi int64
+	RNG    *tensor.RNG
+}
+
+// Budget implements Budgeter.
+func (rw *RandomWalkBudget) Budget(int) int64 {
+	if rw.Hi <= rw.Lo {
+		return rw.Lo
+	}
+	return rw.Lo + int64(rw.RNG.Uint64()%uint64(rw.Hi-rw.Lo))
+}
+
+// Decision records what the governor did at one tick.
+type Decision struct {
+	Tick      int
+	Budget    int64
+	Subnet    int   // subnet selected (0 = even subnet 1 did not fit)
+	SpentMACs int64 // MACs actually executed (incremental)
+	Reused    bool  // true when a cache from a previous tick was reused
+}
+
+// Governor drives an anytime engine under a budget policy for a
+// fixed input (e.g. tracking one camera frame across resource
+// changes) or per-tick inputs.
+type Governor struct {
+	model  *models.Model
+	engine *infer.Engine
+	n      int
+	// stepCost[s-1] caches the worst-case incremental cost of
+	// stepping from s-1 to s (backbone delta + head at s).
+	stepCost []int64
+	// Hysteresis keeps the governor from downgrading until the
+	// budget has been below the current subnet's retention cost for
+	// this many consecutive ticks. Zero disables.
+	Hysteresis int
+
+	lowTicks int
+}
+
+// New builds a governor over a constructed model with n subnets.
+func New(model *models.Model, n int) *Governor {
+	if n < 1 {
+		panic(fmt.Sprintf("governor: need ≥1 subnets, got %d", n))
+	}
+	g := &Governor{model: model, engine: infer.NewEngine(model.Net), n: n}
+	var prevBackbone int64
+	for s := 1; s <= n; s++ {
+		var backbone int64
+		for _, m := range model.Movable {
+			backbone += m.MACs(s)
+		}
+		g.stepCost = append(g.stepCost, backbone-prevBackbone+model.Head.MACs(s))
+		prevBackbone = backbone
+	}
+	return g
+}
+
+// Engine exposes the underlying anytime engine (for Reset).
+func (g *Governor) Engine() *infer.Engine { return g.engine }
+
+// Reset installs a new input.
+func (g *Governor) Reset(x *tensor.Tensor) {
+	g.engine.Reset(x)
+	g.lowTicks = 0
+}
+
+// Tick evaluates the budget at tick t and moves the engine to the
+// largest subnet whose incremental cost fits. The returned Decision
+// records what was paid. The engine's caches make expansion
+// incremental: only steps actually taken cost MACs.
+func (g *Governor) Tick(t int, b Budgeter) (Decision, error) {
+	budget := b.Budget(t)
+	cur := g.engine.Current()
+	target := g.selectSubnet(cur, budget)
+	d := Decision{Tick: t, Budget: budget, Subnet: target}
+	if target == 0 {
+		return d, nil // cannot afford anything; skip inference this tick
+	}
+	if target < cur && g.Hysteresis > 0 {
+		g.lowTicks++
+		if g.lowTicks < g.Hysteresis {
+			target = cur // hold the larger subnet a little longer
+			d.Subnet = target
+		}
+	} else {
+		g.lowTicks = 0
+	}
+	_, macs, err := g.engine.Step(target)
+	if err != nil {
+		return d, err
+	}
+	d.SpentMACs = macs
+	d.Reused = cur > 0
+	return d, nil
+}
+
+// selectSubnet returns the largest subnet reachable within budget
+// from the current one: the sum of remaining step costs up to s must
+// fit (stepping down is free on the backbone but still pays the
+// head, which stepCost of the target covers conservatively).
+func (g *Governor) selectSubnet(cur int, budget int64) int {
+	best := 0
+	// Cost to stand still or shrink ≈ head recompute of the target.
+	for s := 1; s <= g.n; s++ {
+		var cost int64
+		if s <= cur {
+			cost = g.model.Head.MACs(s)
+		} else {
+			for k := cur + 1; k <= s; k++ {
+				cost += g.stepCost[k-1]
+			}
+			// Intermediate heads are skipped when jumping multiple
+			// subnets in one tick; subtract them, keeping only the
+			// final head.
+			for k := cur + 1; k < s; k++ {
+				cost -= g.model.Head.MACs(k)
+			}
+		}
+		if cost <= budget {
+			best = s
+		}
+	}
+	return best
+}
+
+// Run drives ticks 0..n-1 against the budgeter and returns the
+// decision log.
+func (g *Governor) Run(ticks int, b Budgeter) ([]Decision, error) {
+	log := make([]Decision, 0, ticks)
+	for t := 0; t < ticks; t++ {
+		d, err := g.Tick(t, b)
+		if err != nil {
+			return log, err
+		}
+		log = append(log, d)
+	}
+	return log, nil
+}
+
+// TotalSpent sums the MACs of a decision log.
+func TotalSpent(log []Decision) int64 {
+	var total int64
+	for _, d := range log {
+		total += d.SpentMACs
+	}
+	return total
+}
+
+// RecomputeCost returns what the same subnet sequence would cost a
+// network without computational reuse (recompute from scratch each
+// tick), the comparison the resourcesim example prints.
+func (g *Governor) RecomputeCost(log []Decision) int64 {
+	var total int64
+	for _, d := range log {
+		if d.Subnet > 0 {
+			total += g.model.Net.MACs(d.Subnet)
+		}
+	}
+	return total
+}

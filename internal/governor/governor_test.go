@@ -1,0 +1,198 @@
+package governor
+
+import (
+	"testing"
+
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+func buildModel(seed uint64) *models.Model {
+	m := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 1.5,
+		Subnets: 3, Rule: nn.RuleIncremental, Seed: seed,
+	})
+	r := tensor.NewRNG(seed ^ 0xFEED)
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for u := 1; u < a.Units(); u++ {
+			a.SetID(u, 1+r.Intn(3))
+		}
+	}
+	return m
+}
+
+func input(seed uint64) *tensor.Tensor {
+	x := tensor.New(1, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(seed), 0, 1)
+	return x
+}
+
+// stepUpCost returns the governor's cached cost of going cur→s.
+func stepUpCost(g *Governor, cur, s int) int64 {
+	var cost int64
+	for k := cur + 1; k <= s; k++ {
+		cost += g.stepCost[k-1]
+	}
+	for k := cur + 1; k < s; k++ {
+		cost -= g.model.Head.MACs(k)
+	}
+	return cost
+}
+
+func TestTraceBudgetCycles(t *testing.T) {
+	tb := TraceBudget{10, 20}
+	if tb.Budget(0) != 10 || tb.Budget(1) != 20 || tb.Budget(2) != 10 {
+		t.Fatal("trace must cycle")
+	}
+	if (TraceBudget{}).Budget(5) != 0 {
+		t.Fatal("empty trace → 0")
+	}
+}
+
+func TestModeBudget(t *testing.T) {
+	mb := ModeBudget{
+		Modes: map[string]int64{"low": 5, "high": 50},
+		Trace: []string{"low", "high"},
+	}
+	if mb.Budget(0) != 5 || mb.Budget(3) != 50 {
+		t.Fatal("mode budget lookup")
+	}
+}
+
+func TestGovernorPicksLargestAffordable(t *testing.T) {
+	m := buildModel(1)
+	g := New(m, 3)
+	g.Reset(input(2))
+	// Huge budget: should jump straight to subnet 3.
+	d, err := g.Tick(0, TraceBudget{1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Subnet != 3 {
+		t.Fatalf("want subnet 3, got %d", d.Subnet)
+	}
+	// Jump cost = backbone(3) + head(3) on a cold cache.
+	want := stepUpCost(g, 0, 3)
+	if d.SpentMACs != want {
+		t.Fatalf("cold jump cost %d want %d", d.SpentMACs, want)
+	}
+}
+
+func TestGovernorSkipsWhenBudgetTooSmall(t *testing.T) {
+	m := buildModel(3)
+	g := New(m, 3)
+	g.Reset(input(4))
+	d, err := g.Tick(0, TraceBudget{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Subnet != 0 || d.SpentMACs != 0 {
+		t.Fatalf("tiny budget must skip: %+v", d)
+	}
+}
+
+func TestGovernorExpandsIncrementally(t *testing.T) {
+	m := buildModel(5)
+	g := New(m, 3)
+	g.Reset(input(6))
+	c1 := stepUpCost(g, 0, 1)
+	c12 := stepUpCost(g, 1, 2)
+	d1, _ := g.Tick(0, TraceBudget{c1})
+	if d1.Subnet != 1 || d1.SpentMACs != c1 {
+		t.Fatalf("tick0: %+v want subnet 1 cost %d", d1, c1)
+	}
+	d2, _ := g.Tick(1, TraceBudget{c12})
+	if d2.Subnet != 2 || d2.SpentMACs != c12 {
+		t.Fatalf("tick1: %+v want subnet 2 cost %d", d2, c12)
+	}
+	if !d2.Reused {
+		t.Fatal("second tick must reuse the cache")
+	}
+}
+
+func TestGovernorShrinkCostsHeadOnly(t *testing.T) {
+	m := buildModel(7)
+	g := New(m, 3)
+	g.Reset(input(8))
+	if _, err := g.Tick(0, TraceBudget{1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	head1 := m.Head.MACs(1)
+	d, err := g.Tick(1, TraceBudget{head1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Subnet != 1 || d.SpentMACs != head1 {
+		t.Fatalf("shrink: %+v want subnet 1 cost %d", d, head1)
+	}
+}
+
+func TestHysteresisDelaysDowngrade(t *testing.T) {
+	m := buildModel(9)
+	g := New(m, 3)
+	g.Hysteresis = 2
+	g.Reset(input(10))
+	if _, err := g.Tick(0, TraceBudget{1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	// Budget shrinks so that only subnet 1 is affordable: the first
+	// low tick still holds subnet 3 (hysteresis), the second drops.
+	low := m.Head.MACs(1)
+	d, _ := g.Tick(1, TraceBudget{low})
+	if d.Subnet != 3 {
+		t.Fatalf("hysteresis should hold subnet 3, got %d", d.Subnet)
+	}
+	// Second consecutive low tick downgrades.
+	d, _ = g.Tick(2, TraceBudget{low})
+	if d.Subnet == 3 {
+		t.Fatal("hysteresis expired; should downgrade")
+	}
+}
+
+func TestRunAndTotals(t *testing.T) {
+	m := buildModel(11)
+	g := New(m, 3)
+	g.Reset(input(12))
+	trace := TraceBudget{1 << 40, 1 << 40, 1 << 40}
+	log, err := g.Run(3, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 {
+		t.Fatalf("log %v", log)
+	}
+	spent := TotalSpent(log)
+	scratch := g.RecomputeCost(log)
+	if spent >= scratch {
+		t.Fatalf("reuse must beat recompute: %d vs %d", spent, scratch)
+	}
+}
+
+func TestRandomWalkBudgetBounds(t *testing.T) {
+	rw := &RandomWalkBudget{Lo: 10, Hi: 20, RNG: tensor.NewRNG(1)}
+	for i := 0; i < 100; i++ {
+		b := rw.Budget(i)
+		if b < 10 || b >= 20 {
+			t.Fatalf("budget %d out of bounds", b)
+		}
+	}
+	fixed := &RandomWalkBudget{Lo: 5, Hi: 5, RNG: tensor.NewRNG(2)}
+	if fixed.Budget(0) != 5 {
+		t.Fatal("degenerate range must return Lo")
+	}
+}
+
+func TestGovernorOutputsStayCorrect(t *testing.T) {
+	// Whatever the governor does, engine outputs must match full
+	// forwards — run with audit on.
+	m := buildModel(13)
+	g := New(m, 3)
+	g.Engine().Audit = true
+	g.Reset(input(14))
+	rw := &RandomWalkBudget{Lo: 0, Hi: 1 << 21, RNG: tensor.NewRNG(15)}
+	if _, err := g.Run(12, rw); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package infer provides the anytime-inference engine that realizes
+// the paper's deployment story: run a small subnet for a fast
+// preliminary decision, then — whenever resources become available —
+// "enhance the inference accuracy by executing further MAC
+// operations" without recomputing what smaller subnets already
+// produced (§I, §II). Conversely, when resources shrink, switching
+// down to a smaller subnet costs (almost) nothing because the small
+// subnet's activations are a subset of the cached ones.
+package infer
+
+import (
+	"fmt"
+
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+// Engine executes one input batch through a masked network
+// incrementally, caching per-layer activations between subnet
+// switches.
+type Engine struct {
+	net   *nn.Network
+	input *tensor.Tensor
+	cache []*tensor.Tensor // output of each layer at the current subnet
+	cur   int              // current subnet (0 = nothing computed yet)
+
+	// Audit, when true, cross-checks every Step against a
+	// from-scratch forward pass and panics on divergence — the
+	// runtime enforcement of the incremental property. Intended for
+	// tests and demos, not hot paths.
+	Audit bool
+
+	totalMACs int64
+}
+
+// NewEngine wraps a network. The network's layers must implement
+// nn.Incremental or be masked RuleShared layers (which are recomputed
+// per step) or parameter-free layers.
+func NewEngine(net *nn.Network) *Engine {
+	return &Engine{net: net, cache: make([]*tensor.Tensor, len(net.Layers()))}
+}
+
+// Reset installs a new input batch and clears all cached activations.
+func (e *Engine) Reset(x *tensor.Tensor) {
+	e.input = x
+	for i := range e.cache {
+		e.cache[i] = nil
+	}
+	e.cur = 0
+	e.totalMACs = 0
+}
+
+// Current returns the subnet the cache currently represents (0
+// before the first Step).
+func (e *Engine) Current() int { return e.cur }
+
+// TotalMACs returns the MACs executed since the last Reset.
+func (e *Engine) TotalMACs() int64 { return e.totalMACs }
+
+// Step moves the engine to subnet s and returns the network output
+// for subnet s plus the MACs this transition actually executed.
+// Stepping up computes only newly activated units; stepping down
+// executes zero backbone MACs (the head, being recomputed per
+// subnet, is charged on every step).
+func (e *Engine) Step(s int) (*tensor.Tensor, int64, error) {
+	if e.input == nil {
+		return nil, 0, fmt.Errorf("infer: Step before Reset")
+	}
+	if s < 1 {
+		return nil, 0, fmt.Errorf("infer: subnet %d out of range", s)
+	}
+	sPrev := e.cur
+	if s < sPrev {
+		sPrev = s // stepping down: reuse only units active in s
+	}
+	var stepMACs int64
+	x := e.input
+	for i, l := range e.net.Layers() {
+		var out *tensor.Tensor
+		var macs int64
+		if m, ok := l.(nn.Masked); ok && m.Rule() == nn.RuleShared {
+			// Recompute-per-subnet layer (classifier head or
+			// slimmable backbone): no reuse is possible.
+			out = l.Forward(x, nn.Eval(s))
+			macs = m.MACs(s)
+		} else if inc, ok := l.(nn.Incremental); ok {
+			out, macs = inc.ForwardIncremental(x, e.cache[i], sPrev, s)
+		} else {
+			out = l.Forward(x, nn.Eval(s))
+		}
+		e.cache[i] = out
+		x = out
+		stepMACs += macs
+	}
+	e.cur = s
+	e.totalMACs += stepMACs
+
+	if e.Audit {
+		want := e.net.Forward(e.input, nn.Eval(s))
+		if !tensor.Equal(x, want, 1e-9) {
+			panic(fmt.Sprintf("infer: incremental output diverged from full forward at subnet %d", s))
+		}
+	}
+	return x, stepMACs, nil
+}
+
+// MustStep is Step for code paths where the engine is known to be
+// initialized (examples, benchmarks).
+func (e *Engine) MustStep(s int) (*tensor.Tensor, int64) {
+	out, macs, err := e.Step(s)
+	if err != nil {
+		panic(err)
+	}
+	return out, macs
+}

@@ -1,0 +1,173 @@
+package infer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+// buildModel returns a LeNet-3C1L with a random legal assignment
+// across 3 subnets.
+func buildModel(seed uint64) *models.Model {
+	m := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 1.5,
+		Subnets: 3, Rule: nn.RuleIncremental, Seed: seed,
+	})
+	r := tensor.NewRNG(seed ^ 0xFACE)
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for i := 0; i < a.Units(); i++ {
+			a.SetID(i, 1+r.Intn(3))
+		}
+		// Guard: keep unit 0 in subnet 1 so every subnet has signal.
+		a.SetID(0, 1)
+	}
+	return m
+}
+
+func input(seed uint64) *tensor.Tensor {
+	x := tensor.New(2, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(seed), 0, 1)
+	return x
+}
+
+func TestStepEqualsFullForwardAscending(t *testing.T) {
+	m := buildModel(1)
+	e := NewEngine(m.Net)
+	e.Audit = true
+	e.Reset(input(2))
+	for s := 1; s <= 3; s++ {
+		out, _, err := e.Step(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.Net.Forward(input(2), nn.Eval(s))
+		if !tensor.Equal(out, want, 1e-9) {
+			t.Fatalf("subnet %d mismatch", s)
+		}
+	}
+}
+
+func TestStepDownIsFreeOnBackbone(t *testing.T) {
+	m := buildModel(3)
+	e := NewEngine(m.Net)
+	e.Reset(input(4))
+	e.MustStep(3)
+	headMACs := m.Head.MACs(1)
+	_, macs := e.MustStep(1)
+	if macs != headMACs {
+		t.Fatalf("step down cost %d MACs, want head-only %d", macs, headMACs)
+	}
+}
+
+func TestStepUpCostsExactlyTheDelta(t *testing.T) {
+	m := buildModel(5)
+	e := NewEngine(m.Net)
+	e.Reset(input(6))
+	backbone := func(s int) int64 {
+		var total int64
+		for _, mv := range m.Movable {
+			total += mv.MACs(s)
+		}
+		return total
+	}
+	_, m1 := e.MustStep(1)
+	if want := backbone(1) + m.Head.MACs(1); m1 != want {
+		t.Fatalf("first step %d want %d", m1, want)
+	}
+	_, m2 := e.MustStep(2)
+	if want := backbone(2) - backbone(1) + m.Head.MACs(2); m2 != want {
+		t.Fatalf("step 1→2 cost %d want %d", m2, want)
+	}
+	_, m3 := e.MustStep(3)
+	if want := backbone(3) - backbone(2) + m.Head.MACs(3); m3 != want {
+		t.Fatalf("step 2→3 cost %d want %d", m3, want)
+	}
+}
+
+// Property: any random walk over subnets produces outputs identical
+// to from-scratch forwards (the audit invariant).
+func TestRandomSubnetWalkMatchesFullForward(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := buildModel(seed)
+		x := input(seed ^ 0xBEEF)
+		e := NewEngine(m.Net)
+		e.Reset(x)
+		r := tensor.NewRNG(seed ^ 0x1234)
+		for step := 0; step < 8; step++ {
+			s := 1 + r.Intn(3)
+			out, _, err := e.Step(s)
+			if err != nil {
+				return false
+			}
+			want := m.Net.Forward(x, nn.Eval(s))
+			if !tensor.Equal(out, want, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalMACsNeverExceedsFullRecompute(t *testing.T) {
+	// Stepping 1→2→3 must not cost more than running subnet 3 from
+	// scratch plus the two extra head recomputes.
+	m := buildModel(7)
+	e := NewEngine(m.Net)
+	e.Reset(input(8))
+	e.MustStep(1)
+	e.MustStep(2)
+	e.MustStep(3)
+	full := m.Net.MACs(3)
+	extraHeads := m.Head.MACs(1) + m.Head.MACs(2)
+	if e.TotalMACs() > full+extraHeads {
+		t.Fatalf("incremental total %d exceeds full %d + heads %d", e.TotalMACs(), full, extraHeads)
+	}
+}
+
+func TestStepBeforeResetFails(t *testing.T) {
+	e := NewEngine(buildModel(9).Net)
+	if _, _, err := e.Step(1); err == nil {
+		t.Fatal("want error before Reset")
+	}
+	e.Reset(input(10))
+	if _, _, err := e.Step(0); err == nil {
+		t.Fatal("want error for subnet 0")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	m := buildModel(11)
+	e := NewEngine(m.Net)
+	e.Reset(input(12))
+	e.MustStep(2)
+	if e.Current() != 2 || e.TotalMACs() == 0 {
+		t.Fatal("state not tracked")
+	}
+	e.Reset(input(13))
+	if e.Current() != 0 || e.TotalMACs() != 0 {
+		t.Fatal("Reset must clear state")
+	}
+	out, _ := e.MustStep(1)
+	want := m.Net.Forward(input(13), nn.Eval(1))
+	if !tensor.Equal(out, want, 1e-9) {
+		t.Fatal("post-reset output wrong")
+	}
+}
+
+func TestRepeatedStepSameSubnetChargesHeadOnly(t *testing.T) {
+	m := buildModel(14)
+	e := NewEngine(m.Net)
+	e.Reset(input(15))
+	e.MustStep(2)
+	_, macs := e.MustStep(2)
+	if macs != m.Head.MACs(2) {
+		t.Fatalf("re-step cost %d, want head-only %d", macs, m.Head.MACs(2))
+	}
+}

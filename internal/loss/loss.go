@@ -1,0 +1,150 @@
+// Package loss implements the objectives used by SteppingNet:
+// softmax cross-entropy for plain training, Kullback–Leibler
+// divergence against a teacher's soft predictions, and the combined
+// distillation objective of Eq. 4, L' = γ·L_CE + (1−γ)·KL.
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"steppingnet/internal/tensor"
+)
+
+// Softmax converts logits [B, C] into probabilities row by row, with
+// the usual max-subtraction for numerical stability.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("loss: Softmax wants [B C], got %v", logits.Shape()))
+	}
+	b, c := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(b, c)
+	ld, od := logits.Data(), out.Data()
+	for i := 0; i < b; i++ {
+		row := ld[i*c : (i+1)*c]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		orow := od[i*c : (i+1)*c]
+		for j, v := range row {
+			e := math.Exp(v - m)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// CrossEntropy returns the mean softmax cross-entropy of logits
+// against integer labels and the gradient with respect to the
+// logits, (p − y)/B.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	b, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != b {
+		panic(fmt.Sprintf("loss: %d labels for batch %d", len(labels), b))
+	}
+	probs := Softmax(logits)
+	grad := probs.Clone()
+	gd := grad.Data()
+	total := 0.0
+	for i := 0; i < b; i++ {
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("loss: label %d outside [0,%d)", y, c))
+		}
+		p := probs.At(i, y)
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		total += -math.Log(p)
+		gd[i*c+y] -= 1
+	}
+	grad.Scale(1 / float64(b))
+	return total / float64(b), grad
+}
+
+// KLDivergence returns the mean KL(teacher‖student) over the batch
+// and its gradient with respect to the student logits, which is
+// (p_student − p_teacher)/B — the same convenient form as
+// cross-entropy with soft targets. teacherProbs must already be a
+// probability distribution per row (e.g. from Softmax).
+//
+// Note on the paper: Eq. 4 writes Σ Y_k log(Y_pre_k / Y_k) with Y the
+// subnet output and Y_pre the teacher; taken literally that is
+// −KL(student‖teacher) and would be maximized, so we follow the
+// standard knowledge-distillation reading (Hinton et al.; reference
+// [15] of the paper) of matching the student to the teacher's soft
+// distribution, which is what "the smaller the difference between
+// Y_pre and Y, the more similar results the subnets generate"
+// describes.
+func KLDivergence(studentLogits, teacherProbs *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !studentLogits.SameShape(teacherProbs) {
+		panic(fmt.Sprintf("loss: KL shape mismatch %v vs %v", studentLogits.Shape(), teacherProbs.Shape()))
+	}
+	b, c := studentLogits.Dim(0), studentLogits.Dim(1)
+	sp := Softmax(studentLogits)
+	grad := sp.Clone()
+	grad.Sub(teacherProbs)
+	grad.Scale(1 / float64(b))
+	total := 0.0
+	for i := 0; i < b; i++ {
+		for j := 0; j < c; j++ {
+			pt := teacherProbs.At(i, j)
+			if pt <= 0 {
+				continue
+			}
+			ps := sp.At(i, j)
+			if ps < 1e-300 {
+				ps = 1e-300
+			}
+			total += pt * math.Log(pt/ps)
+		}
+	}
+	return total / float64(b), grad
+}
+
+// Distill combines hard-label cross-entropy with teacher KL per
+// Eq. 4: L' = γ·CE + (1−γ)·KL. It returns the combined loss and the
+// combined gradient with respect to the student logits.
+func Distill(studentLogits *tensor.Tensor, labels []int, teacherProbs *tensor.Tensor, gamma float64) (float64, *tensor.Tensor) {
+	if gamma < 0 || gamma > 1 {
+		panic(fmt.Sprintf("loss: gamma %g outside [0,1]", gamma))
+	}
+	ce, gce := CrossEntropy(studentLogits, labels)
+	kl, gkl := KLDivergence(studentLogits, teacherProbs)
+	gce.Scale(gamma)
+	gkl.Scale(1 - gamma)
+	gce.Add(gkl)
+	return gamma*ce + (1-gamma)*kl, gce
+}
+
+// Accuracy returns the fraction of rows whose arg-max logit matches
+// the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	b, c := logits.Dim(0), logits.Dim(1)
+	if b == 0 {
+		return 0
+	}
+	correct := 0
+	ld := logits.Data()
+	for i := 0; i < b; i++ {
+		row := ld[i*c : (i+1)*c]
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		if bi == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b)
+}

@@ -1,0 +1,210 @@
+package loss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"steppingnet/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		b, c := 1+r.Intn(5), 2+r.Intn(6)
+		logits := tensor.New(b, c)
+		logits.FillNormal(r, 0, 5)
+		p := Softmax(logits)
+		for i := 0; i < b; i++ {
+			sum := 0.0
+			for j := 0; j < c; j++ {
+				v := p.At(i, j)
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStableWithLargeLogits(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1000, 1001, 999}, 1, 3)
+	p := Softmax(logits)
+	for _, v := range p.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflow: %v", p.Data())
+		}
+	}
+	if p.At(0, 1) < p.At(0, 0) || p.At(0, 0) < p.At(0, 2) {
+		t.Fatal("softmax ordering broken")
+	}
+}
+
+func TestCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over 4 classes: CE = log(4).
+	logits := tensor.New(2, 4)
+	l, _ := CrossEntropy(logits, []int{0, 3})
+	if math.Abs(l-math.Log(4)) > 1e-12 {
+		t.Fatalf("CE=%g want log4=%g", l, math.Log(4))
+	}
+}
+
+func TestCrossEntropyGradientNumeric(t *testing.T) {
+	r := tensor.NewRNG(3)
+	logits := tensor.New(3, 5)
+	logits.FillNormal(r, 0, 1)
+	labels := []int{1, 4, 0}
+	_, grad := CrossEntropy(logits, labels)
+	const h = 1e-6
+	for k := 0; k < 10; k++ {
+		idx := r.Intn(logits.Len())
+		old := logits.Data()[idx]
+		logits.Data()[idx] = old + h
+		up, _ := CrossEntropy(logits, labels)
+		logits.Data()[idx] = old - h
+		down, _ := CrossEntropy(logits, labels)
+		logits.Data()[idx] = old
+		num := (up - down) / (2 * h)
+		if math.Abs(num-grad.Data()[idx]) > 1e-5 {
+			t.Fatalf("CE grad[%d]: analytic %g numeric %g", idx, grad.Data()[idx], num)
+		}
+	}
+}
+
+func TestCrossEntropyLabelRangePanic(t *testing.T) {
+	logits := tensor.New(1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for bad label")
+		}
+	}()
+	CrossEntropy(logits, []int{3})
+}
+
+func TestKLZeroWhenEqual(t *testing.T) {
+	r := tensor.NewRNG(5)
+	logits := tensor.New(4, 6)
+	logits.FillNormal(r, 0, 2)
+	probs := Softmax(logits)
+	kl, grad := KLDivergence(logits, probs)
+	if math.Abs(kl) > 1e-12 {
+		t.Fatalf("KL(p‖p)=%g", kl)
+	}
+	if grad.AbsMax() > 1e-12 {
+		t.Fatalf("grad should vanish, max %g", grad.AbsMax())
+	}
+}
+
+func TestKLNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		s := tensor.New(2, 4)
+		tt := tensor.New(2, 4)
+		s.FillNormal(r, 0, 3)
+		tt.FillNormal(r, 0, 3)
+		kl, _ := KLDivergence(s, Softmax(tt))
+		return kl >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLGradientNumeric(t *testing.T) {
+	r := tensor.NewRNG(6)
+	sl := tensor.New(2, 4)
+	sl.FillNormal(r, 0, 1)
+	tl := tensor.New(2, 4)
+	tl.FillNormal(r, 0, 1)
+	tp := Softmax(tl)
+	_, grad := KLDivergence(sl, tp)
+	const h = 1e-6
+	for k := 0; k < 8; k++ {
+		idx := r.Intn(sl.Len())
+		old := sl.Data()[idx]
+		sl.Data()[idx] = old + h
+		up, _ := KLDivergence(sl, tp)
+		sl.Data()[idx] = old - h
+		down, _ := KLDivergence(sl, tp)
+		sl.Data()[idx] = old
+		num := (up - down) / (2 * h)
+		if math.Abs(num-grad.Data()[idx]) > 1e-5 {
+			t.Fatalf("KL grad[%d]: analytic %g numeric %g", idx, grad.Data()[idx], num)
+		}
+	}
+}
+
+func TestDistillInterpolates(t *testing.T) {
+	r := tensor.NewRNG(7)
+	sl := tensor.New(3, 4)
+	sl.FillNormal(r, 0, 1)
+	tl := tensor.New(3, 4)
+	tl.FillNormal(r, 0, 1)
+	tp := Softmax(tl)
+	labels := []int{0, 1, 2}
+
+	ce, _ := CrossEntropy(sl, labels)
+	kl, _ := KLDivergence(sl, tp)
+	for _, gamma := range []float64{0, 0.4, 1} {
+		got, _ := Distill(sl, labels, tp, gamma)
+		want := gamma*ce + (1-gamma)*kl
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("gamma=%g: %g want %g", gamma, got, want)
+		}
+	}
+}
+
+func TestDistillGradientNumeric(t *testing.T) {
+	r := tensor.NewRNG(8)
+	sl := tensor.New(2, 3)
+	sl.FillNormal(r, 0, 1)
+	tl := tensor.New(2, 3)
+	tl.FillNormal(r, 0, 1)
+	tp := Softmax(tl)
+	labels := []int{2, 0}
+	_, grad := Distill(sl, labels, tp, 0.4)
+	const h = 1e-6
+	for idx := 0; idx < sl.Len(); idx++ {
+		old := sl.Data()[idx]
+		sl.Data()[idx] = old + h
+		up, _ := Distill(sl, labels, tp, 0.4)
+		sl.Data()[idx] = old - h
+		down, _ := Distill(sl, labels, tp, 0.4)
+		sl.Data()[idx] = old
+		num := (up - down) / (2 * h)
+		if math.Abs(num-grad.Data()[idx]) > 1e-5 {
+			t.Fatalf("Distill grad[%d]: analytic %g numeric %g", idx, grad.Data()[idx], num)
+		}
+	}
+}
+
+func TestDistillGammaRangePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for gamma out of range")
+		}
+	}()
+	Distill(tensor.New(1, 2), []int{0}, tensor.New(1, 2), 1.5)
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float64{
+		1, 2, 0, // pred 1
+		5, 0, 0, // pred 0
+		0, 0, 3, // pred 2
+	}, 3, 3)
+	if a := Accuracy(logits, []int{1, 0, 0}); math.Abs(a-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy %g", a)
+	}
+	if Accuracy(tensor.New(0, 3), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}

@@ -1,0 +1,115 @@
+// Package macs profiles multiply-accumulate counts — the resource
+// axis of the whole paper. It breaks a masked network's cost down
+// per layer and per subnet, computes the incremental deltas that
+// anytime execution pays, and renders the tables operators use to
+// pick budgets.
+package macs
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"steppingnet/internal/nn"
+)
+
+// LayerProfile is one layer's per-subnet MAC breakdown.
+type LayerProfile struct {
+	Name string
+	// PerSubnet[s-1] is the layer's MAC count when running subnet s.
+	PerSubnet []int64
+	// Units is the layer's output-unit count; UnitsIn[s-1] how many
+	// participate in subnet s.
+	Units   int
+	UnitsIn []int
+}
+
+// Profile is a full network breakdown over subnets 1..N.
+type Profile struct {
+	Network string
+	Subnets int
+	Layers  []LayerProfile
+}
+
+// New profiles every masked layer of the network for subnets 1..n.
+func New(net *nn.Network, n int) *Profile {
+	if n < 1 {
+		panic(fmt.Sprintf("macs: need at least one subnet, got %d", n))
+	}
+	p := &Profile{Network: net.Name(), Subnets: n}
+	for _, m := range net.MaskedLayers() {
+		lp := LayerProfile{Name: m.Name(), Units: m.OutAssignment().Units()}
+		for s := 1; s <= n; s++ {
+			lp.PerSubnet = append(lp.PerSubnet, m.MACs(s))
+			lp.UnitsIn = append(lp.UnitsIn, m.OutAssignment().CountIn(s))
+		}
+		p.Layers = append(p.Layers, lp)
+	}
+	return p
+}
+
+// Total returns the network MACs of subnet s.
+func (p *Profile) Total(s int) int64 {
+	var t int64
+	for _, l := range p.Layers {
+		t += l.PerSubnet[s-1]
+	}
+	return t
+}
+
+// Delta returns the incremental MACs of expanding subnet s-1 to s
+// (for s=1, the cost of subnet 1 itself). This is what the anytime
+// engine pays on the backbone.
+func (p *Profile) Delta(s int) int64 {
+	if s == 1 {
+		return p.Total(1)
+	}
+	return p.Total(s) - p.Total(s-1)
+}
+
+// Render prints the per-layer table: one row per layer, one column
+// pair (MACs, units) per subnet.
+func (p *Profile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MAC profile of %s (%d subnets)\n", p.Network, p.Subnets)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "layer")
+	for s := 1; s <= p.Subnets; s++ {
+		fmt.Fprintf(tw, "\tS%d MACs\tS%d units", s, s)
+	}
+	fmt.Fprintln(tw)
+	for _, l := range p.Layers {
+		fmt.Fprint(tw, l.Name)
+		for s := 1; s <= p.Subnets; s++ {
+			fmt.Fprintf(tw, "\t%d\t%d/%d", l.PerSubnet[s-1], l.UnitsIn[s-1], l.Units)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "TOTAL")
+	for s := 1; s <= p.Subnets; s++ {
+		fmt.Fprintf(tw, "\t%d\t", p.Total(s))
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "DELTA")
+	for s := 1; s <= p.Subnets; s++ {
+		fmt.Fprintf(tw, "\t+%d\t", p.Delta(s))
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+	return b.String()
+}
+
+// CheckMonotone verifies MACs never shrink as the subnet index grows
+// — an invariant of nested subnets — and names the first violating
+// layer.
+func (p *Profile) CheckMonotone() error {
+	for _, l := range p.Layers {
+		for s := 1; s < p.Subnets; s++ {
+			if l.PerSubnet[s] < l.PerSubnet[s-1] {
+				return fmt.Errorf("macs: layer %s shrinks from subnet %d (%d) to %d (%d)",
+					l.Name, s, l.PerSubnet[s-1], s+1, l.PerSubnet[s])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package macs
+
+import (
+	"strings"
+	"testing"
+
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+func model(t *testing.T) *models.Model {
+	t.Helper()
+	m := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 1.5,
+		Subnets: 3, Rule: nn.RuleIncremental, Seed: 1,
+	})
+	r := tensor.NewRNG(2)
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for u := 1; u < a.Units(); u++ {
+			a.SetID(u, 1+r.Intn(3))
+		}
+	}
+	return m
+}
+
+func TestProfileTotalsMatchNetwork(t *testing.T) {
+	m := model(t)
+	p := New(m.Net, 3)
+	for s := 1; s <= 3; s++ {
+		if p.Total(s) != m.Net.MACs(s) {
+			t.Fatalf("subnet %d: profile %d vs network %d", s, p.Total(s), m.Net.MACs(s))
+		}
+	}
+}
+
+func TestDeltasSumToTotal(t *testing.T) {
+	m := model(t)
+	p := New(m.Net, 3)
+	var sum int64
+	for s := 1; s <= 3; s++ {
+		sum += p.Delta(s)
+	}
+	if sum != p.Total(3) {
+		t.Fatalf("deltas sum %d != total %d", sum, p.Total(3))
+	}
+}
+
+func TestCheckMonotonePasses(t *testing.T) {
+	m := model(t)
+	p := New(m.Net, 3)
+	if err := p.CheckMonotone(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMonotoneDetectsViolation(t *testing.T) {
+	m := model(t)
+	p := New(m.Net, 3)
+	// Corrupt the profile by hand.
+	p.Layers[0].PerSubnet[2] = p.Layers[0].PerSubnet[1] - 1
+	if err := p.CheckMonotone(); err == nil {
+		t.Fatal("want violation")
+	}
+}
+
+func TestRenderContainsLayersAndTotals(t *testing.T) {
+	m := model(t)
+	p := New(m.Net, 3)
+	out := p.Render()
+	for _, want := range []string{"conv1", "conv3", "TOTAL", "DELTA", "S3 MACs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroSubnets(t *testing.T) {
+	m := model(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(m.Net, 0)
+}
+
+func TestUnitsInCounts(t *testing.T) {
+	m := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Subnets: 2, Rule: nn.RuleIncremental, Seed: 3,
+	})
+	// Everything starts in subnet 1.
+	p := New(m.Net, 2)
+	for _, l := range p.Layers {
+		if l.UnitsIn[0] != l.Units || l.UnitsIn[1] != l.Units {
+			t.Fatalf("layer %s: UnitsIn %v of %d", l.Name, l.UnitsIn, l.Units)
+		}
+	}
+}

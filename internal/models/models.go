@@ -1,0 +1,285 @@
+// Package models builds the three network topologies evaluated in
+// the paper — LeNet-3C1L, LeNet-5 and VGG-16 — as masked networks
+// ready for subnet construction. The topologies are depth-faithful;
+// channel counts and input resolution are scaled down so that full
+// construction + retraining runs on CPU in seconds to minutes (see
+// DESIGN.md §2). The expansion-ratio hyperparameter of §IV ("we
+// expanded the number of neurons/filters of each layer ... as in
+// [13]") multiplies every hidden width.
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"steppingnet/internal/nn"
+	"steppingnet/internal/subnet"
+	"steppingnet/internal/tensor"
+)
+
+// Options selects topology-independent build parameters.
+type Options struct {
+	Classes       int
+	InC, InH, InW int
+	// Expansion multiplies every hidden width (≥ 1; the paper sweeps
+	// 1.0–2.0 in Fig. 7). Zero means 1.0.
+	Expansion float64
+	// Subnets is N, the number of nested subnets the assignments
+	// will distinguish. Zero means 1 (a plain network, e.g. the
+	// teacher).
+	Subnets int
+	// Rule selects backbone masking: RuleIncremental for SteppingNet
+	// and the any-width baseline, RuleShared for the slimmable
+	// baseline.
+	Rule nn.MaskRule
+	// BatchNorm inserts switchable per-mode BatchNorm after every
+	// convolution (slimmable baseline only).
+	BatchNorm bool
+	Seed      uint64
+}
+
+func (o *Options) normalize() {
+	if o.Expansion <= 0 {
+		o.Expansion = 1
+	}
+	if o.Subnets <= 0 {
+		o.Subnets = 1
+	}
+	if o.Classes <= 0 {
+		o.Classes = 10
+	}
+	if o.InC <= 0 {
+		o.InC = 3
+	}
+	if o.InH <= 0 {
+		o.InH = 16
+	}
+	if o.InW <= 0 {
+		o.InW = o.InH
+	}
+}
+
+// Model bundles a built network with the structures the construction
+// algorithm manipulates.
+type Model struct {
+	Net *nn.Network
+	// Movable lists the backbone layers whose output units may be
+	// reassigned between subnets. The classifier head is excluded:
+	// every subnet must emit all class logits, so the head is a
+	// small RuleShared layer recomputed per subnet (standard
+	// practice in anytime networks; its MACs are counted).
+	Movable []nn.Masked
+	// Head is the classifier layer.
+	Head nn.Masked
+
+	Name                   string
+	InC, InH, InW, Classes int
+}
+
+// scaled applies the expansion ratio with round-to-nearest, minimum 1.
+func scaled(base int, expansion float64) int {
+	w := int(math.Round(float64(base) * expansion))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// builder accumulates a conv/FC stack with shared assignments.
+type builder struct {
+	o       Options
+	rng     *tensor.RNG
+	net     *nn.Network
+	movable []nn.Masked
+
+	// running feature shape
+	c, h, w int
+	assign  *subnet.Assignment // assignment of the current feature channels
+	flat    bool               // true once flattened
+	flatIn  int                // dense input size after flatten
+	repeat  int                // elements per channel for the first dense layer
+}
+
+func newBuilder(name string, o Options) *builder {
+	o.normalize()
+	return &builder{
+		o:      o,
+		rng:    tensor.NewRNG(o.Seed ^ 0xABCD),
+		net:    nn.NewNetwork(name),
+		c:      o.InC,
+		h:      o.InH,
+		w:      o.InW,
+		assign: subnet.NewAssignment(o.InC, o.Subnets),
+		repeat: 1,
+	}
+}
+
+func (b *builder) conv(name string, baseFilters, k, pad int) {
+	if b.flat {
+		panic(fmt.Sprintf("models: conv %q after flatten", name))
+	}
+	filters := scaled(baseFilters, b.o.Expansion)
+	g := tensor.ConvGeom{InC: b.c, InH: b.h, InW: b.w, OutC: filters, K: k, Stride: 1, Pad: pad}
+	out := subnet.NewAssignment(filters, b.o.Subnets)
+	conv := nn.NewConv2D(nn.Conv2DConfig{
+		Name: name, Geom: g, Rule: b.o.Rule,
+		AssignIn: b.assign, Assign: out, Init: b.rng,
+	})
+	b.net.Append(conv)
+	b.movable = append(b.movable, conv)
+	if b.o.BatchNorm {
+		b.net.Append(nn.NewSwitchableBatchNorm2D(name+".bn", filters, b.o.Subnets))
+	}
+	b.net.Append(nn.NewReLU(name + ".relu"))
+	b.c, b.h, b.w = filters, g.OutH(), g.OutW()
+	b.assign = out
+}
+
+// pool appends k×k max pooling. When the current feature map is not
+// divisible by k (small synthetic inputs under deep topologies), the
+// stage is skipped — pooling is resolution plumbing, not part of the
+// algorithm under study.
+func (b *builder) pool(name string, k int) {
+	if b.h%k != 0 || b.w%k != 0 || b.h < k || b.w < k {
+		return
+	}
+	b.net.Append(nn.NewMaxPool2D(name, b.c, b.h, b.w, k))
+	b.h /= k
+	b.w /= k
+}
+
+func (b *builder) flatten(name string) {
+	b.net.Append(nn.NewFlatten(name))
+	b.flat = true
+	b.flatIn = b.c * b.h * b.w
+	b.repeat = b.h * b.w
+}
+
+func (b *builder) dense(name string, baseUnits int, relu bool) {
+	if !b.flat {
+		b.flatten(name + ".flatten")
+	}
+	units := scaled(baseUnits, b.o.Expansion)
+	out := subnet.NewAssignment(units, b.o.Subnets)
+	fc := nn.NewDense(nn.DenseConfig{
+		Name: name, In: b.flatIn, Out: units, Rule: b.o.Rule,
+		AssignIn: b.assign, InRepeat: b.repeat, Assign: out, Init: b.rng,
+	})
+	b.net.Append(fc)
+	b.movable = append(b.movable, fc)
+	if relu {
+		b.net.Append(nn.NewReLU(name + ".relu"))
+	}
+	b.assign = out
+	b.flatIn = units
+	b.repeat = 1
+}
+
+// head appends the classifier: a RuleShared dense layer with every
+// class unit in subnet 1, so each subnet emits all logits. Being
+// RuleShared, it is recomputed per subnet (its cost is tiny and is
+// counted in the MAC totals).
+func (b *builder) head(name string) nn.Masked {
+	if !b.flat {
+		b.flatten(name + ".flatten")
+	}
+	out := subnet.NewAssignment(b.o.Classes, b.o.Subnets)
+	fc := nn.NewDense(nn.DenseConfig{
+		Name: name, In: b.flatIn, Out: b.o.Classes, Rule: nn.RuleShared,
+		AssignIn: b.assign, InRepeat: b.repeat, Assign: out, Init: b.rng,
+	})
+	b.net.Append(fc)
+	return fc
+}
+
+func (b *builder) finish(name string) *Model {
+	head := b.head(name + ".classifier")
+	return &Model{
+		Net: b.net, Movable: b.movable, Head: head,
+		Name: name, InC: b.o.InC, InH: b.o.InH, InW: b.o.InW, Classes: b.o.Classes,
+	}
+}
+
+// LeNet3C1L builds the three-conv one-linear LeNet variant of
+// Table I: conv–pool ×3 followed by the classifier.
+func LeNet3C1L(o Options) *Model {
+	o.normalize()
+	b := newBuilder("LeNet-3C1L", o)
+	b.conv("conv1", 6, 3, 1)
+	b.pool("pool1", 2)
+	b.conv("conv2", 16, 3, 1)
+	b.pool("pool2", 2)
+	b.conv("conv3", 32, 3, 1)
+	b.pool("pool3", 2)
+	return b.finish("LeNet-3C1L")
+}
+
+// LeNet5 builds the classic LeNet-5 topology: two conv–pool stages
+// and two hidden dense layers before the classifier. Widths are the
+// classic 6/16/120/84 scaled to the synthetic input.
+func LeNet5(o Options) *Model {
+	o.normalize()
+	b := newBuilder("LeNet-5", o)
+	b.conv("conv1", 6, 5, 2)
+	b.pool("pool1", 2)
+	b.conv("conv2", 16, 5, 2)
+	b.pool("pool2", 2)
+	b.dense("fc1", 60, true)
+	b.dense("fc2", 42, true)
+	return b.finish("LeNet-5")
+}
+
+// VGG16 builds a depth-faithful VGG-16: thirteen 3×3 convolutions in
+// the canonical 2-2-3-3-3 blocks with pooling after the first four
+// blocks (the input resolution is 16×16 rather than 224×224, so the
+// fifth pool is dropped to keep a non-empty feature map), then two
+// hidden dense layers and the classifier. Channel counts are the
+// canonical 64/128/256/512/512 divided by 8.
+func VGG16(o Options) *Model {
+	o.normalize()
+	b := newBuilder("VGG-16", o)
+	block := func(prefix string, n, ch int, pool bool) {
+		for i := 1; i <= n; i++ {
+			b.conv(fmt.Sprintf("%s_%d", prefix, i), ch, 3, 1)
+		}
+		if pool {
+			b.pool(prefix+".pool", 2)
+		}
+	}
+	block("conv1", 2, 8, true)
+	block("conv2", 2, 16, true)
+	block("conv3", 3, 32, true)
+	block("conv4", 3, 64, true)
+	block("conv5", 3, 64, false)
+	b.dense("fc1", 64, true)
+	b.dense("fc2", 64, true)
+	return b.finish("VGG-16")
+}
+
+// Builder is a named model constructor.
+type Builder func(Options) *Model
+
+// ByName returns the constructor for the given Table-I network name.
+func ByName(name string) (Builder, error) {
+	switch name {
+	case "lenet3c1l", "LeNet-3C1L":
+		return LeNet3C1L, nil
+	case "lenet5", "LeNet-5":
+		return LeNet5, nil
+	case "vgg16", "VGG-16":
+		return VGG16, nil
+	}
+	return nil, fmt.Errorf("models: unknown model %q (want lenet3c1l, lenet5 or vgg16)", name)
+}
+
+// ReferenceMACs returns M_t: the MAC count of the original,
+// un-expanded network (expansion 1.0, one subnet, everything active).
+// Budgets P_i in the paper are percentages of this number.
+func ReferenceMACs(build Builder, o Options) int64 {
+	o.normalize()
+	o.Expansion = 1
+	o.Subnets = 1
+	o.BatchNorm = false
+	m := build(o)
+	return m.Net.MACs(1)
+}

@@ -1,0 +1,184 @@
+package models
+
+import (
+	"testing"
+
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+func opts() Options {
+	return Options{Classes: 10, InC: 3, InH: 16, InW: 16, Subnets: 4, Rule: nn.RuleIncremental, Seed: 1}
+}
+
+func TestAllModelsForwardShapes(t *testing.T) {
+	for _, build := range []Builder{LeNet3C1L, LeNet5, VGG16} {
+		m := build(opts())
+		x := tensor.New(2, 3, 16, 16)
+		x.FillNormal(tensor.NewRNG(2), 0, 1)
+		out := m.Net.Forward(x, nn.Eval(4))
+		if out.Rank() != 2 || out.Dim(0) != 2 || out.Dim(1) != 10 {
+			t.Fatalf("%s: output shape %v", m.Name, out.Shape())
+		}
+	}
+}
+
+func TestModelsValidateCleanly(t *testing.T) {
+	for _, build := range []Builder{LeNet3C1L, LeNet5, VGG16} {
+		m := build(opts())
+		if err := m.Net.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestExpansionScalesWidthAndMACs(t *testing.T) {
+	o1 := opts()
+	o1.Expansion = 1.0
+	o2 := opts()
+	o2.Expansion = 2.0
+	m1 := LeNet3C1L(o1)
+	m2 := LeNet3C1L(o2)
+	a1 := m1.Movable[0].OutAssignment().Units()
+	a2 := m2.Movable[0].OutAssignment().Units()
+	if a2 != 2*a1 {
+		t.Fatalf("expansion 2.0: %d vs %d filters", a2, a1)
+	}
+	if m2.Net.MACs(4) <= m1.Net.MACs(4) {
+		t.Fatal("expanded net must have more MACs")
+	}
+}
+
+func TestHeadIsSharedAndCoversAllClasses(t *testing.T) {
+	m := LeNet5(opts())
+	if m.Head.Rule() != nn.RuleShared {
+		t.Fatal("head must be RuleShared")
+	}
+	a := m.Head.OutAssignment()
+	if a.Units() != 10 {
+		t.Fatalf("head units %d", a.Units())
+	}
+	for i := 0; i < a.Units(); i++ {
+		if a.ID(i) != 1 {
+			t.Fatal("every class unit must live in subnet 1")
+		}
+	}
+	// Head must not be in Movable.
+	for _, mv := range m.Movable {
+		if mv == m.Head {
+			t.Fatal("head listed as movable")
+		}
+	}
+}
+
+func TestSubnetOneProducesAllLogitsAfterMoves(t *testing.T) {
+	m := LeNet3C1L(opts())
+	// Move half of every backbone layer's units to subnet 3.
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for i := 0; i < a.Units()/2; i++ {
+			a.SetID(i, 3)
+		}
+	}
+	if err := m.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 3, 16, 16)
+	x.FillNormal(tensor.NewRNG(3), 0, 1)
+	out := m.Net.Forward(x, nn.Eval(1))
+	if out.Dim(1) != 10 {
+		t.Fatal("subnet 1 must emit all logits")
+	}
+}
+
+func TestMACsMonotoneInSubnet(t *testing.T) {
+	m := VGG16(opts())
+	r := tensor.NewRNG(5)
+	// Random legal assignment: random ids per unit.
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for i := 0; i < a.Units(); i++ {
+			a.SetID(i, 1+r.Intn(4))
+		}
+	}
+	prev := int64(-1)
+	for s := 1; s <= 4; s++ {
+		macs := m.Net.MACs(s)
+		if macs < prev {
+			t.Fatalf("MACs must be monotone in s: %d then %d", prev, macs)
+		}
+		prev = macs
+	}
+}
+
+func TestReferenceMACsIndependentOfExpansion(t *testing.T) {
+	o := opts()
+	o.Expansion = 1.8
+	ref1 := ReferenceMACs(LeNet5, o)
+	o.Expansion = 1.0
+	ref2 := ReferenceMACs(LeNet5, o)
+	if ref1 != ref2 {
+		t.Fatalf("reference MACs must ignore expansion: %d vs %d", ref1, ref2)
+	}
+	if ref1 <= 0 {
+		t.Fatal("reference MACs must be positive")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"lenet3c1l", "lenet5", "vgg16", "LeNet-5"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("resnet"); err == nil {
+		t.Fatal("want error for unknown model")
+	}
+}
+
+func TestBatchNormVariant(t *testing.T) {
+	o := opts()
+	o.Rule = nn.RuleShared
+	o.BatchNorm = true
+	m := LeNet3C1L(o)
+	hasBN := false
+	for _, l := range m.Net.Layers() {
+		if _, ok := l.(*nn.SwitchableBatchNorm2D); ok {
+			hasBN = true
+		}
+	}
+	if !hasBN {
+		t.Fatal("BatchNorm option must insert BN layers")
+	}
+	x := tensor.New(2, 3, 16, 16)
+	x.FillNormal(tensor.NewRNG(7), 0, 1)
+	out := m.Net.Forward(x, &nn.Context{Subnet: 4, Mode: 2, Train: true})
+	if out.Dim(1) != 10 {
+		t.Fatalf("BN model output %v", out.Shape())
+	}
+}
+
+func TestVGGDepth(t *testing.T) {
+	m := VGG16(opts())
+	convs := 0
+	for _, l := range m.Net.Layers() {
+		if _, ok := l.(*nn.Conv2D); ok {
+			convs++
+		}
+	}
+	if convs != 13 {
+		t.Fatalf("VGG-16 must have 13 convolutions, got %d", convs)
+	}
+	if len(m.Movable) != 15 { // 13 convs + 2 hidden FCs
+		t.Fatalf("movable layers %d", len(m.Movable))
+	}
+}
+
+func TestDefaultOptionsNormalized(t *testing.T) {
+	m := LeNet3C1L(Options{})
+	x := tensor.New(1, 3, 16, 16)
+	out := m.Net.Forward(x, nn.Eval(1))
+	if out.Dim(1) != 10 {
+		t.Fatalf("defaults broken: %v", out.Shape())
+	}
+}

@@ -1,0 +1,64 @@
+package nn
+
+import "steppingnet/internal/tensor"
+
+// ReLU is the rectified linear activation, applied element-wise. It
+// has no parameters and no MACs; the paper's φ in Eq. 1.
+type ReLU struct {
+	name string
+	mask []bool // true where input > 0, cached for backward
+}
+
+// NewReLU constructs the activation.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+func (r *ReLU) Name() string     { return r.name }
+func (r *ReLU) Params() []*Param { return nil }
+
+func (r *ReLU) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	od, xd := out.Data(), x.Data()
+	if ctx.Train {
+		if cap(r.mask) < len(xd) {
+			r.mask = make([]bool, len(xd))
+		}
+		r.mask = r.mask[:len(xd)]
+	}
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			if ctx.Train {
+				r.mask[i] = true
+			}
+		} else if ctx.Train {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+func (r *ReLU) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	od, gd := out.Data(), grad.Data()
+	for i, g := range gd {
+		if r.mask[i] {
+			od[i] = g
+		}
+	}
+	return out
+}
+
+// ForwardIncremental recomputes the activation; it costs no MACs and
+// element-wise ops preserve the reuse property trivially.
+func (r *ReLU) ForwardIncremental(x, _ *tensor.Tensor, _, _ int) (*tensor.Tensor, int64) {
+	out := tensor.New(x.Shape()...)
+	od, xd := out.Data(), x.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+		}
+	}
+	return out, 0
+}
+
+var _ Incremental = (*ReLU)(nil)

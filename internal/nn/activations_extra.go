@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+
+	"steppingnet/internal/tensor"
+)
+
+// Sigmoid is the logistic activation, provided for historically
+// faithful LeNet variants. Note that σ(0) = 0.5 ≠ 0: a network using
+// Sigmoid after masked layers does NOT preserve the exact
+// incremental property for inactive units (their zero pre-activation
+// maps to 0.5), so SteppingNet models default to ReLU; Sigmoid is
+// for teacher networks and experimentation.
+type Sigmoid struct {
+	name string
+	out  *tensor.Tensor // cached output for backward
+}
+
+// NewSigmoid constructs the activation.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+func (s *Sigmoid) Name() string     { return s.name }
+func (s *Sigmoid) Params() []*Param { return nil }
+
+func (s *Sigmoid) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	od, xd := out.Data(), x.Data()
+	for i, v := range xd {
+		od[i] = 1 / (1 + math.Exp(-v))
+	}
+	if ctx.Train {
+		s.out = out
+	}
+	return out
+}
+
+func (s *Sigmoid) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	od, gd, yd := out.Data(), grad.Data(), s.out.Data()
+	for i, g := range gd {
+		od[i] = g * yd[i] * (1 - yd[i])
+	}
+	return out
+}
+
+// Tanh is the hyperbolic-tangent activation. tanh(0) = 0, so unlike
+// Sigmoid it does preserve the incremental property (inactive units
+// stay exactly zero through the nonlinearity).
+type Tanh struct {
+	name string
+	out  *tensor.Tensor
+}
+
+// NewTanh constructs the activation.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+func (t *Tanh) Name() string     { return t.name }
+func (t *Tanh) Params() []*Param { return nil }
+
+func (t *Tanh) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	od, xd := out.Data(), x.Data()
+	for i, v := range xd {
+		od[i] = math.Tanh(v)
+	}
+	if ctx.Train {
+		t.out = out
+	}
+	return out
+}
+
+func (t *Tanh) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	od, gd, yd := out.Data(), grad.Data(), t.out.Data()
+	for i, g := range gd {
+		od[i] = g * (1 - yd[i]*yd[i])
+	}
+	return out
+}
+
+// ForwardIncremental recomputes tanh; zero MACs, zero-preserving.
+func (t *Tanh) ForwardIncremental(x, _ *tensor.Tensor, _, _ int) (*tensor.Tensor, int64) {
+	out := tensor.New(x.Shape()...)
+	od, xd := out.Data(), x.Data()
+	for i, v := range xd {
+		od[i] = math.Tanh(v)
+	}
+	return out, 0
+}
+
+var _ Incremental = (*Tanh)(nil)

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"steppingnet/internal/tensor"
+)
+
+// SwitchableBatchNorm2D is per-channel batch normalization with one
+// independent parameter/statistics set per mode, as required by the
+// slimmable-network baseline: "different batch normalization layers
+// need to be stored for the subnets during the inference phase"
+// (paper §II, citing Yu et al.). SteppingNet and the any-width
+// network deliberately avoid BN so that intermediate results stay
+// reusable; this layer therefore appears only in slimmable models.
+type SwitchableBatchNorm2D struct {
+	name     string
+	c        int
+	modes    int
+	eps      float64
+	momentum float64
+
+	gamma, beta []*Param // per mode
+	runMean     [][]float64
+	runVar      [][]float64
+
+	// caches for backward
+	x      *tensor.Tensor
+	xhat   []float64
+	mean   []float64
+	invStd []float64
+	mode   int
+}
+
+// NewSwitchableBatchNorm2D creates a BN layer over c channels with
+// the given number of modes.
+func NewSwitchableBatchNorm2D(name string, c, modes int) *SwitchableBatchNorm2D {
+	if c <= 0 || modes <= 0 {
+		panic(fmt.Sprintf("nn: BatchNorm %q invalid c=%d modes=%d", name, c, modes))
+	}
+	bn := &SwitchableBatchNorm2D{
+		name: name, c: c, modes: modes, eps: 1e-5, momentum: 0.1,
+	}
+	for m := 0; m < modes; m++ {
+		g := NewParam(fmt.Sprintf("%s.gamma%d", name, m+1), c)
+		g.Value.Fill(1)
+		bn.gamma = append(bn.gamma, g)
+		bn.beta = append(bn.beta, NewParam(fmt.Sprintf("%s.beta%d", name, m+1), c))
+		bn.runMean = append(bn.runMean, make([]float64, c))
+		rv := make([]float64, c)
+		for i := range rv {
+			rv[i] = 1
+		}
+		bn.runVar = append(bn.runVar, rv)
+	}
+	return bn
+}
+
+func (bn *SwitchableBatchNorm2D) Name() string { return bn.name }
+
+func (bn *SwitchableBatchNorm2D) Params() []*Param {
+	var ps []*Param
+	for m := 0; m < bn.modes; m++ {
+		ps = append(ps, bn.gamma[m], bn.beta[m])
+	}
+	return ps
+}
+
+func (bn *SwitchableBatchNorm2D) modeIndex(ctx *Context) int {
+	m := ctx.Mode
+	if m < 1 {
+		m = 1
+	}
+	if m > bn.modes {
+		m = bn.modes
+	}
+	return m - 1
+}
+
+// Forward normalizes each channel with the statistics of the active
+// mode. Channels inactive in the current subnet carry zeros; they
+// are skipped to avoid polluting running statistics.
+func (bn *SwitchableBatchNorm2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != bn.c {
+		panic(fmt.Sprintf("nn: BatchNorm %q input %v, want [B %d H W]", bn.name, x.Shape(), bn.c))
+	}
+	mode := bn.modeIndex(ctx)
+	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	n := batch * h * w
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	gd, bd := bn.gamma[mode].Value.Data(), bn.beta[mode].Value.Data()
+
+	if ctx.Train {
+		bn.x = x
+		bn.mode = mode
+		if cap(bn.xhat) < x.Len() {
+			bn.xhat = make([]float64, x.Len())
+		}
+		bn.xhat = bn.xhat[:x.Len()]
+		bn.mean = make([]float64, bn.c)
+		bn.invStd = make([]float64, bn.c)
+	}
+
+	for ch := 0; ch < bn.c; ch++ {
+		var mean, variance float64
+		if ctx.Train {
+			for b := 0; b < batch; b++ {
+				base := (b*bn.c + ch) * h * w
+				for p := 0; p < h*w; p++ {
+					mean += xd[base+p]
+				}
+			}
+			mean /= float64(n)
+			for b := 0; b < batch; b++ {
+				base := (b*bn.c + ch) * h * w
+				for p := 0; p < h*w; p++ {
+					d := xd[base+p] - mean
+					variance += d * d
+				}
+			}
+			variance /= float64(n)
+			bn.runMean[mode][ch] = (1-bn.momentum)*bn.runMean[mode][ch] + bn.momentum*mean
+			bn.runVar[mode][ch] = (1-bn.momentum)*bn.runVar[mode][ch] + bn.momentum*variance
+			bn.mean[ch] = mean
+			bn.invStd[ch] = 1 / math.Sqrt(variance+bn.eps)
+		} else {
+			mean = bn.runMean[mode][ch]
+			variance = bn.runVar[mode][ch]
+		}
+		invStd := 1 / math.Sqrt(variance+bn.eps)
+		for b := 0; b < batch; b++ {
+			base := (b*bn.c + ch) * h * w
+			for p := 0; p < h*w; p++ {
+				xhat := (xd[base+p] - mean) * invStd
+				if ctx.Train {
+					bn.xhat[base+p] = xhat
+				}
+				od[base+p] = gd[ch]*xhat + bd[ch]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient with respect
+// to input, gamma and beta for the active mode.
+func (bn *SwitchableBatchNorm2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	if bn.x == nil {
+		panic(fmt.Sprintf("nn: BatchNorm %q Backward without cached Forward", bn.name))
+	}
+	mode := bn.mode
+	batch, h, w := grad.Dim(0), grad.Dim(2), grad.Dim(3)
+	n := float64(batch * h * w)
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	gamma := bn.gamma[mode].Value.Data()
+	gGamma := bn.gamma[mode].Grad.Data()
+	gBeta := bn.beta[mode].Grad.Data()
+
+	for ch := 0; ch < bn.c; ch++ {
+		var sumDy, sumDyXhat float64
+		for b := 0; b < batch; b++ {
+			base := (b*bn.c + ch) * h * w
+			for p := 0; p < h*w; p++ {
+				dy := gd[base+p]
+				sumDy += dy
+				sumDyXhat += dy * bn.xhat[base+p]
+			}
+		}
+		gGamma[ch] += sumDyXhat
+		gBeta[ch] += sumDy
+		k := gamma[ch] * bn.invStd[ch]
+		for b := 0; b < batch; b++ {
+			base := (b*bn.c + ch) * h * w
+			for p := 0; p < h*w; p++ {
+				dy := gd[base+p]
+				od[base+p] = k * (dy - sumDy/n - bn.xhat[base+p]*sumDyXhat/n)
+			}
+		}
+	}
+	return out
+}

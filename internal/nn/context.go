@@ -1,0 +1,38 @@
+package nn
+
+import "steppingnet/internal/subnet"
+
+// Context carries per-pass state through Forward/Backward. A fresh
+// Context per training step keeps layers stateless across subnets.
+type Context struct {
+	// Subnet is the active subnet index (1..N). Units with a larger
+	// assignment are inactive: they output zero and receive no
+	// gradient.
+	Subnet int
+	// Train enables training-time behaviour (batch statistics,
+	// activation caching for backward).
+	Train bool
+	// Beta, when in (0,1), enables the paper's learning-rate
+	// suppression (§III-A2): while training subnet j, gradients of a
+	// unit assigned to subnet i<j are scaled by Beta^(j−i), giving
+	// smaller subnets stability.
+	Beta float64
+	// AccumulateImportance asks masked layers to accumulate
+	// |∂L_s/∂r_j| (Eq. 2) for the active subnet during Backward.
+	AccumulateImportance bool
+	// Mode selects the BatchNorm parameter set in switchable
+	// BatchNorm layers (slimmable baseline). Modes are indexed like
+	// subnets, 1..N; 0 means "use set 1".
+	Mode int
+}
+
+// FullContext returns an inference context that activates every unit:
+// subnet N of an assignment-bearing network, or simply a very large
+// subnet index for plain evaluation of the original network.
+func FullContext() *Context { return &Context{Subnet: subnet.MaxSubnets} }
+
+// Eval returns an inference context for subnet s.
+func Eval(s int) *Context { return &Context{Subnet: s} }
+
+// TrainCtx returns a training context for subnet s.
+func TrainCtx(s int) *Context { return &Context{Subnet: s, Train: true} }

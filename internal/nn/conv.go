@@ -1,0 +1,517 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"steppingnet/internal/subnet"
+	"steppingnet/internal/tensor"
+)
+
+// Conv2D is a masked 2-D convolution. Units are filters (output
+// channels), exactly as the paper treats CNNs: "r is assigned to the
+// jth filter of the ith subnet" (§III-A2). Masking is at channel
+// granularity for the structural rule and at weight granularity for
+// unstructured pruning. Input and output are rank-4 [B, C, H, W].
+type Conv2D struct {
+	name     string
+	geom     tensor.ConvGeom
+	w, b     *Param // w: outC × (inC·K·K)
+	rule     MaskRule
+	assignIn *subnet.Assignment // per input channel
+	assign   *subnet.Assignment // per filter
+	pruned   []bool             // outC × inC·K·K
+
+	importance [][]float64
+
+	// training caches
+	x    *tensor.Tensor   // input batch
+	z    *tensor.Tensor   // pre-activation batch [B, outC, outH, outW]
+	cols []*tensor.Tensor // per-image im2col matrices (R×C)
+}
+
+// Conv2DConfig assembles a Conv2D layer.
+type Conv2DConfig struct {
+	Name     string
+	Geom     tensor.ConvGeom
+	Rule     MaskRule
+	AssignIn *subnet.Assignment
+	Assign   *subnet.Assignment
+	Init     *tensor.RNG
+}
+
+// NewConv2D constructs the layer and validates geometry and
+// assignment sizes.
+func NewConv2D(cfg Conv2DConfig) *Conv2D {
+	if err := cfg.Geom.Validate(); err != nil {
+		panic(fmt.Sprintf("nn: Conv2D %q: %v", cfg.Name, err))
+	}
+	if cfg.AssignIn == nil || cfg.Assign == nil {
+		panic(fmt.Sprintf("nn: Conv2D %q needs both assignments", cfg.Name))
+	}
+	if cfg.AssignIn.Units() != cfg.Geom.InC {
+		panic(fmt.Sprintf("nn: Conv2D %q: input assignment has %d channels, geometry %d",
+			cfg.Name, cfg.AssignIn.Units(), cfg.Geom.InC))
+	}
+	if cfg.Assign.Units() != cfg.Geom.OutC {
+		panic(fmt.Sprintf("nn: Conv2D %q: output assignment has %d filters, geometry %d",
+			cfg.Name, cfg.Assign.Units(), cfg.Geom.OutC))
+	}
+	cc := cfg.Geom.ColCols()
+	c := &Conv2D{
+		name:     cfg.Name,
+		geom:     cfg.Geom,
+		w:        NewParam(cfg.Name+".W", cfg.Geom.OutC, cc),
+		b:        NewParam(cfg.Name+".b", cfg.Geom.OutC),
+		rule:     cfg.Rule,
+		assignIn: cfg.AssignIn,
+		assign:   cfg.Assign,
+		pruned:   make([]bool, cfg.Geom.OutC*cc),
+	}
+	if cfg.Init != nil {
+		c.w.Value.FillKaiming(cfg.Init, cc)
+	}
+	return c
+}
+
+func (c *Conv2D) Name() string     { return c.name }
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Geom returns the convolution geometry.
+func (c *Conv2D) Geom() tensor.ConvGeom { return c.geom }
+
+// Weights exposes the filter parameter.
+func (c *Conv2D) Weights() *Param { return c.w }
+
+// Bias exposes the bias parameter.
+func (c *Conv2D) Bias() *Param { return c.b }
+
+// Rule reports the layer's masking rule.
+func (c *Conv2D) Rule() MaskRule { return c.rule }
+
+func (c *Conv2D) OutAssignment() *subnet.Assignment { return c.assign }
+func (c *Conv2D) InAssignment() (*subnet.Assignment, int) {
+	return c.assignIn, 1
+}
+
+// weightChannel maps a flat weight column index to its input channel.
+func (c *Conv2D) weightChannel(col int) int { return col / (c.geom.K * c.geom.K) }
+
+// weightActive applies the mask rule for filter o, weight column col,
+// subnet s.
+func (c *Conv2D) weightActive(o, col, s int) bool {
+	outID := c.assign.ID(o)
+	if outID > s {
+		return false
+	}
+	inID := c.assignIn.ID(c.weightChannel(col))
+	switch c.rule {
+	case RuleIncremental:
+		if inID > outID {
+			return false
+		}
+	case RuleShared:
+		if inID > s {
+			return false
+		}
+	}
+	return !c.pruned[o*c.geom.ColCols()+col]
+}
+
+// effectiveWeights materializes the masked filter matrix for subnet s.
+func (c *Conv2D) effectiveWeights(s int) *tensor.Tensor {
+	cc := c.geom.ColCols()
+	weff := tensor.New(c.geom.OutC, cc)
+	wd, ed := c.w.Value.Data(), weff.Data()
+	for o := 0; o < c.geom.OutC; o++ {
+		if c.assign.ID(o) > s {
+			continue
+		}
+		row := o * cc
+		for col := 0; col < cc; col++ {
+			if c.weightActive(o, col, s) {
+				ed[row+col] = wd[row+col]
+			}
+		}
+	}
+	return weff
+}
+
+// Forward computes the masked convolution.
+func (c *Conv2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	g := c.geom
+	if x.Rank() != 4 || x.Dim(1) != g.InC || x.Dim(2) != g.InH || x.Dim(3) != g.InW {
+		panic(fmt.Sprintf("nn: Conv2D %q forward input %v, want [B %d %d %d]",
+			c.name, x.Shape(), g.InC, g.InH, g.InW))
+	}
+	batch := x.Dim(0)
+	r, cc := g.ColRows(), g.ColCols()
+	outH, outW := g.OutH(), g.OutW()
+	weff := c.effectiveWeights(ctx.Subnet)
+	z := tensor.New(batch, g.OutC, outH, outW)
+	zd := z.Data()
+	imgLen := g.InC * g.InH * g.InW
+
+	var cols []*tensor.Tensor
+	if ctx.Train {
+		cols = make([]*tensor.Tensor, batch)
+	}
+	colBuf := tensor.New(r, cc)
+	for b := 0; b < batch; b++ {
+		col := colBuf
+		if ctx.Train {
+			col = tensor.New(r, cc)
+			cols[b] = col
+		}
+		g.Im2Col(x.Data()[b*imgLen:(b+1)*imgLen], col.Data())
+		// z[b,o,p] = Σ_col weff[o,col]·col[p,col] + bias[o]
+		for o := 0; o < g.OutC; o++ {
+			if c.assign.ID(o) > ctx.Subnet {
+				continue
+			}
+			wrow := weff.Data()[o*cc : (o+1)*cc]
+			bias := c.b.Value.Data()[o]
+			base := b*g.OutC*r + o*r
+			for p := 0; p < r; p++ {
+				crow := col.Data()[p*cc : (p+1)*cc]
+				sum := bias
+				for k, wv := range wrow {
+					if wv != 0 {
+						sum += wv * crow[k]
+					}
+				}
+				zd[base+p] = sum
+			}
+		}
+	}
+	if ctx.Train {
+		c.x, c.z, c.cols = x, z, cols
+	}
+	return z
+}
+
+// Backward propagates gradients through the convolution; see Dense
+// for the masking, suppression and importance conventions.
+func (c *Conv2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	if c.x == nil {
+		panic(fmt.Sprintf("nn: Conv2D %q Backward without cached Forward", c.name))
+	}
+	g := c.geom
+	batch := grad.Dim(0)
+	s := ctx.Subnet
+	r, cc := g.ColRows(), g.ColCols()
+	gd := grad.Data()
+
+	// Zero gradients of inactive filters.
+	for b := 0; b < batch; b++ {
+		for o := 0; o < g.OutC; o++ {
+			if c.assign.ID(o) > s {
+				base := b*g.OutC*r + o*r
+				for p := 0; p < r; p++ {
+					gd[base+p] = 0
+				}
+			}
+		}
+	}
+
+	if ctx.AccumulateImportance && c.importance != nil && s >= 1 && s <= len(c.importance) {
+		c.accumulateImportance(grad, s)
+	}
+
+	weff := c.effectiveWeights(s)
+	imgLen := g.InC * g.InH * g.InW
+	gradX := tensor.New(batch, g.InC, g.InH, g.InW)
+	tmpW := tensor.New(g.OutC, cc) // unscaled, unmasked dW accumulator
+	gb := c.b.Grad.Data()
+	gradColBuf := tensor.New(r, cc)
+
+	for b := 0; b < batch; b++ {
+		col := c.cols[b]
+		// dW += δ_img (outC×R) × col (R×C), accumulated over batch.
+		for o := 0; o < g.OutC; o++ {
+			if c.assign.ID(o) > s {
+				continue
+			}
+			dbase := b*g.OutC*r + o*r
+			trow := tmpW.Data()[o*cc : (o+1)*cc]
+			var gbo float64
+			for p := 0; p < r; p++ {
+				delta := gd[dbase+p]
+				if delta == 0 {
+					continue
+				}
+				gbo += delta
+				crow := col.Data()[p*cc : (p+1)*cc]
+				for k, cv := range crow {
+					trow[k] += delta * cv
+				}
+			}
+			scale := c.suppression(ctx, o, s)
+			gb[o] += scale * gbo
+		}
+		// dCol = δ_imgᵀ (R×outC) × W_eff (outC×C), then Col2Im.
+		gcd := gradColBuf.Data()
+		for i := range gcd {
+			gcd[i] = 0
+		}
+		for o := 0; o < g.OutC; o++ {
+			if c.assign.ID(o) > s {
+				continue
+			}
+			dbase := b*g.OutC*r + o*r
+			wrow := weff.Data()[o*cc : (o+1)*cc]
+			for p := 0; p < r; p++ {
+				delta := gd[dbase+p]
+				if delta == 0 {
+					continue
+				}
+				grow := gcd[p*cc : (p+1)*cc]
+				for k, wv := range wrow {
+					if wv != 0 {
+						grow[k] += delta * wv
+					}
+				}
+			}
+		}
+		g.Col2Im(gcd, gradX.Data()[b*imgLen:(b+1)*imgLen])
+	}
+
+	// Apply mask and suppression to the accumulated weight gradient.
+	gw := c.w.Grad.Data()
+	td := tmpW.Data()
+	for o := 0; o < g.OutC; o++ {
+		if c.assign.ID(o) > s {
+			continue
+		}
+		scale := c.suppression(ctx, o, s)
+		row := o * cc
+		for col := 0; col < cc; col++ {
+			if c.weightActive(o, col, s) {
+				gw[row+col] += scale * td[row+col]
+			}
+		}
+	}
+	return gradX
+}
+
+func (c *Conv2D) suppression(ctx *Context, o, s int) float64 {
+	outID := c.assign.ID(o)
+	if ctx.Beta > 0 && ctx.Beta < 1 && outID < s {
+		return math.Pow(ctx.Beta, float64(s-outID))
+	}
+	return 1
+}
+
+func (c *Conv2D) accumulateImportance(grad *tensor.Tensor, s int) {
+	g := c.geom
+	batch := grad.Dim(0)
+	r := g.ColRows()
+	gd, zd, bd := grad.Data(), c.z.Data(), c.b.Value.Data()
+	acc := c.importance[s-1]
+	for o := 0; o < g.OutC; o++ {
+		if c.assign.ID(o) > s {
+			continue
+		}
+		sum := 0.0
+		for b := 0; b < batch; b++ {
+			base := b*g.OutC*r + o*r
+			for p := 0; p < r; p++ {
+				sum += gd[base+p] * (zd[base+p] - bd[o])
+			}
+		}
+		acc[o] += math.Abs(sum)
+	}
+}
+
+// MACs counts active multiply-accumulates for subnet s: each active
+// weight fires once per output position.
+func (c *Conv2D) MACs(s int) int64 {
+	var active int64
+	cc := c.geom.ColCols()
+	for o := 0; o < c.geom.OutC; o++ {
+		for col := 0; col < cc; col++ {
+			if c.weightActive(o, col, s) {
+				active++
+			}
+		}
+	}
+	return active * int64(c.geom.ColRows())
+}
+
+// UnitMACs counts the incoming MACs of filter o in subnet s.
+func (c *Conv2D) UnitMACs(o, s int) int64 {
+	var active int64
+	cc := c.geom.ColCols()
+	for col := 0; col < cc; col++ {
+		if c.weightActive(o, col, s) {
+			active++
+		}
+	}
+	return active * int64(c.geom.ColRows())
+}
+
+// PruneBelow prunes small-magnitude filter weights.
+func (c *Conv2D) PruneBelow(threshold float64) int {
+	wd := c.w.Value.Data()
+	n := 0
+	for idx, v := range wd {
+		if !c.pruned[idx] && math.Abs(v) < threshold {
+			c.pruned[idx] = true
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveAt reports whether weight column col of filter o is active in
+// subnet s (structural rule ∩ prune mask).
+func (c *Conv2D) ActiveAt(o, col, s int) bool { return c.weightActive(o, col, s) }
+
+// PruneAt marks one filter weight as pruned.
+func (c *Conv2D) PruneAt(o, col int) { c.pruned[o*c.geom.ColCols()+col] = true }
+
+// ReviveUnit clears the prune mask on filter o.
+func (c *Conv2D) ReviveUnit(o int) {
+	cc := c.geom.ColCols()
+	for col := 0; col < cc; col++ {
+		c.pruned[o*cc+col] = false
+	}
+}
+
+// PrunedCount reports the current number of pruned weights.
+func (c *Conv2D) PrunedCount() int {
+	n := 0
+	for _, p := range c.pruned {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// PruneMask returns a copy of the prune mask (outC×(inC·K·K)).
+func (c *Conv2D) PruneMask() []bool { return append([]bool(nil), c.pruned...) }
+
+// SetPruneMask replaces the prune mask.
+func (c *Conv2D) SetPruneMask(mask []bool) error {
+	if len(mask) != len(c.pruned) {
+		return fmt.Errorf("nn: Conv2D %q prune mask length %d, want %d", c.name, len(mask), len(c.pruned))
+	}
+	copy(c.pruned, mask)
+	return nil
+}
+
+func (c *Conv2D) EnableImportance(n int) {
+	c.importance = make([][]float64, n)
+	for i := range c.importance {
+		c.importance[i] = make([]float64, c.geom.OutC)
+	}
+}
+
+func (c *Conv2D) ResetImportance() {
+	for _, row := range c.importance {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+func (c *Conv2D) Importance() [][]float64 { return c.importance }
+
+// Edge exposes channel-level connectivity for validation: input
+// channel i feeds filter o iff at least one of the K·K weights
+// between them is unpruned.
+func (c *Conv2D) Edge() *subnet.Edge {
+	kk := c.geom.K * c.geom.K
+	cc := c.geom.ColCols()
+	mask := make([]bool, c.geom.OutC*c.geom.InC)
+	for o := 0; o < c.geom.OutC; o++ {
+		outID := c.assign.ID(o)
+		for ch := 0; ch < c.geom.InC; ch++ {
+			if c.rule == RuleIncremental && c.assignIn.ID(ch) > outID {
+				continue
+			}
+			any := false
+			for k := 0; k < kk; k++ {
+				if !c.pruned[o*cc+ch*kk+k] {
+					any = true
+					break
+				}
+			}
+			mask[o*c.geom.InC+ch] = any
+		}
+	}
+	return &subnet.Edge{Name: c.name, In: c.assignIn, Out: c.assign, Mask: mask}
+}
+
+// ForwardIncremental implements anytime inference for convolutions:
+// filters with assignment ≤ sPrev are copied from the cached output,
+// only newly activated filters are convolved.
+func (c *Conv2D) ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int) (*tensor.Tensor, int64) {
+	g := c.geom
+	batch := x.Dim(0)
+	r, cc := g.ColRows(), g.ColCols()
+	out := tensor.New(batch, g.OutC, g.OutH(), g.OutW())
+	od := out.Data()
+	imgLen := g.InC * g.InH * g.InW
+	colBuf := tensor.New(r, cc)
+	wd := c.w.Value.Data()
+	var macs int64
+
+	// Per-image MACs are identical across the batch; count once.
+	for o := 0; o < g.OutC; o++ {
+		outID := c.assign.ID(o)
+		if outID > s || (outID <= sPrev && cached != nil) {
+			continue
+		}
+		for col := 0; col < cc; col++ {
+			if c.weightActive(o, col, s) {
+				macs++
+			}
+		}
+	}
+	macs *= int64(r)
+
+	for b := 0; b < batch; b++ {
+		needCol := false
+		for o := 0; o < g.OutC; o++ {
+			outID := c.assign.ID(o)
+			if outID <= s && (outID > sPrev || cached == nil) {
+				needCol = true
+				break
+			}
+		}
+		if needCol {
+			g.Im2Col(x.Data()[b*imgLen:(b+1)*imgLen], colBuf.Data())
+		}
+		for o := 0; o < g.OutC; o++ {
+			outID := c.assign.ID(o)
+			if outID > s {
+				continue
+			}
+			base := b*g.OutC*r + o*r
+			if outID <= sPrev && cached != nil {
+				copy(od[base:base+r], cached.Data()[base:base+r])
+				continue
+			}
+			bias := c.b.Value.Data()[o]
+			wrow := wd[o*cc : (o+1)*cc]
+			for p := 0; p < r; p++ {
+				crow := colBuf.Data()[p*cc : (p+1)*cc]
+				sum := bias
+				for col := 0; col < cc; col++ {
+					if c.weightActive(o, col, s) {
+						sum += wrow[col] * crow[col]
+					}
+				}
+				od[base+p] = sum
+			}
+		}
+	}
+	return out, macs
+}
+
+var (
+	_ Masked      = (*Conv2D)(nil)
+	_ Incremental = (*Conv2D)(nil)
+)

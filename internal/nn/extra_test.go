@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"steppingnet/internal/tensor"
+)
+
+func TestAvgPoolForward(t *testing.T) {
+	p := NewAvgPool2D("ap", 1, 2, 2, 2)
+	x := tensor.FromSlice([]float64{1, 2, 3, 6}, 1, 1, 2, 2)
+	out := p.Forward(x, &Context{})
+	if out.At(0, 0, 0, 0) != 3 {
+		t.Fatalf("avg=%g want 3", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestAvgPoolBackwardDistributesEvenly(t *testing.T) {
+	p := NewAvgPool2D("ap", 1, 2, 2, 2)
+	x := tensor.New(1, 1, 2, 2)
+	p.Forward(x, &Context{Train: true})
+	g := tensor.FromSlice([]float64{4}, 1, 1, 1, 1)
+	gx := p.Backward(g, &Context{})
+	for _, v := range gx.Data() {
+		if v != 1 {
+			t.Fatalf("avg backward %v", gx.Data())
+		}
+	}
+}
+
+func TestAvgPoolGradientNumeric(t *testing.T) {
+	r := tensor.NewRNG(1)
+	p := NewAvgPool2D("ap", 2, 4, 4, 2)
+	net := NewNetwork("t", p)
+	x := tensor.New(2, 2, 4, 4)
+	x.FillNormal(r, 0, 1)
+	ctx := &Context{Subnet: 1}
+	checkInputGrads(t, net, x, ctx, 10, 2)
+}
+
+func TestAvgPoolPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAvgPool2D("a", 0, 2, 2, 2) },
+		func() { NewAvgPool2D("a", 1, 3, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSigmoidForwardValues(t *testing.T) {
+	s := NewSigmoid("s")
+	x := tensor.FromSlice([]float64{0, 100, -100}, 1, 3)
+	out := s.Forward(x, &Context{})
+	if math.Abs(out.At(0, 0)-0.5) > 1e-12 {
+		t.Fatalf("σ(0)=%g", out.At(0, 0))
+	}
+	if out.At(0, 1) < 0.999 || out.At(0, 2) > 0.001 {
+		t.Fatalf("saturation: %v", out.Data())
+	}
+}
+
+func TestSigmoidGradientNumeric(t *testing.T) {
+	r := tensor.NewRNG(3)
+	net := NewNetwork("t", NewSigmoid("s"))
+	x := tensor.New(2, 4)
+	x.FillNormal(r, 0, 1)
+	checkInputGrads(t, net, x, &Context{Subnet: 1}, 8, 4)
+}
+
+func TestTanhGradientNumeric(t *testing.T) {
+	r := tensor.NewRNG(5)
+	net := NewNetwork("t", NewTanh("th"))
+	x := tensor.New(2, 4)
+	x.FillNormal(r, 0, 1)
+	checkInputGrads(t, net, x, &Context{Subnet: 1}, 8, 6)
+}
+
+func TestTanhPreservesZero(t *testing.T) {
+	th := NewTanh("th")
+	x := tensor.New(1, 3)
+	out := th.Forward(x, &Context{})
+	for _, v := range out.Data() {
+		if v != 0 {
+			t.Fatal("tanh(0) must be 0 — required for the incremental property")
+		}
+	}
+	inc, macs := th.ForwardIncremental(x, nil, 0, 1)
+	if macs != 0 || inc.AbsMax() != 0 {
+		t.Fatal("incremental tanh")
+	}
+}
+
+func TestAvgPoolIncrementalMatches(t *testing.T) {
+	r := tensor.NewRNG(7)
+	p := NewAvgPool2D("ap", 2, 4, 4, 2)
+	x := tensor.New(1, 2, 4, 4)
+	x.FillNormal(r, 0, 1)
+	full := p.Forward(x, &Context{})
+	inc, macs := p.ForwardIncremental(x, nil, 0, 1)
+	if macs != 0 || !tensor.Equal(full, inc, 0) {
+		t.Fatal("avg pool incremental mismatch")
+	}
+}

@@ -1,0 +1,303 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"steppingnet/internal/subnet"
+	"steppingnet/internal/tensor"
+)
+
+// numericGrad estimates d(loss)/d(param[idx]) by central differences,
+// where loss = Σ out ⊙ weights for a fixed random weighting (a scalar
+// functional of the network output).
+func numericGrad(f func() float64, v []float64, idx int) float64 {
+	const h = 1e-6
+	old := v[idx]
+	v[idx] = old + h
+	up := f()
+	v[idx] = old - h
+	down := f()
+	v[idx] = old
+	return (up - down) / (2 * h)
+}
+
+// scalarLoss runs net.Forward and contracts the output against lossW.
+func scalarLoss(net *Network, x *tensor.Tensor, ctx *Context, lossW []float64) float64 {
+	out := net.Forward(x, &Context{Subnet: ctx.Subnet, Mode: ctx.Mode})
+	s := 0.0
+	for i, v := range out.Data() {
+		s += v * lossW[i]
+	}
+	return s
+}
+
+// backprop runs a full forward/backward with the same scalar loss and
+// returns the network (with gradients accumulated).
+func backprop(net *Network, x *tensor.Tensor, ctx *Context, lossW []float64) *tensor.Tensor {
+	net.ZeroGrad()
+	tctx := &Context{Subnet: ctx.Subnet, Mode: ctx.Mode, Train: true, Beta: ctx.Beta}
+	out := net.Forward(x, tctx)
+	grad := tensor.New(out.Shape()...)
+	copy(grad.Data(), lossW)
+	return net.Backward(grad, tctx)
+}
+
+func checkParamGrads(t *testing.T, net *Network, x *tensor.Tensor, ctx *Context, samples int, seed uint64) {
+	t.Helper()
+	r := tensor.NewRNG(seed)
+	out := net.Forward(x, &Context{Subnet: ctx.Subnet, Mode: ctx.Mode})
+	lossW := make([]float64, out.Len())
+	for i := range lossW {
+		lossW[i] = r.NormFloat64()
+	}
+	backprop(net, x, ctx, lossW)
+	for _, p := range net.Params() {
+		v := p.Value.Data()
+		g := p.Grad.Data()
+		n := len(v)
+		for k := 0; k < samples && k < n; k++ {
+			idx := r.Intn(n)
+			num := numericGrad(func() float64 { return scalarLoss(net, x, ctx, lossW) }, v, idx)
+			if math.Abs(num-g[idx]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("param %s[%d]: analytic %.8g numeric %.8g", p.Name, idx, g[idx], num)
+			}
+		}
+	}
+}
+
+func checkInputGrads(t *testing.T, net *Network, x *tensor.Tensor, ctx *Context, samples int, seed uint64) {
+	t.Helper()
+	r := tensor.NewRNG(seed)
+	out := net.Forward(x, &Context{Subnet: ctx.Subnet, Mode: ctx.Mode})
+	lossW := make([]float64, out.Len())
+	for i := range lossW {
+		lossW[i] = r.NormFloat64()
+	}
+	gx := backprop(net, x, ctx, lossW)
+	xd := x.Data()
+	for k := 0; k < samples && k < len(xd); k++ {
+		idx := r.Intn(len(xd))
+		num := numericGrad(func() float64 { return scalarLoss(net, x, ctx, lossW) }, xd, idx)
+		if math.Abs(num-gx.Data()[idx]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("input[%d]: analytic %.8g numeric %.8g", idx, gx.Data()[idx], num)
+		}
+	}
+}
+
+func denseNet(rule MaskRule, inIDs, outIDs []int, n int, seed uint64) (*Network, *Dense) {
+	r := tensor.NewRNG(seed)
+	d := NewDense(DenseConfig{
+		Name: "fc", In: len(inIDs), Out: len(outIDs), Rule: rule,
+		AssignIn: subnet.Fixed(inIDs, n), Assign: subnet.Fixed(outIDs, n), Init: r,
+	})
+	d.Bias().Value.FillNormal(r, 0, 0.5)
+	return NewNetwork("t", d), d
+}
+
+func TestDenseGradientsFullSubnet(t *testing.T) {
+	net, _ := denseNet(RuleIncremental, []int{1, 1, 2, 2, 3}, []int{1, 2, 3, 3}, 3, 1)
+	r := tensor.NewRNG(2)
+	x := tensor.New(3, 5)
+	x.FillNormal(r, 0, 1)
+	ctx := &Context{Subnet: 3}
+	checkParamGrads(t, net, x, ctx, 20, 3)
+	checkInputGrads(t, net, x, ctx, 10, 4)
+}
+
+func TestDenseGradientsPartialSubnet(t *testing.T) {
+	net, _ := denseNet(RuleIncremental, []int{1, 1, 2, 2, 3}, []int{1, 2, 3, 3}, 3, 5)
+	r := tensor.NewRNG(6)
+	x := tensor.New(2, 5)
+	x.FillNormal(r, 0, 1)
+	for _, s := range []int{1, 2} {
+		ctx := &Context{Subnet: s}
+		checkParamGrads(t, net, x, ctx, 20, uint64(10+s))
+		checkInputGrads(t, net, x, ctx, 10, uint64(20+s))
+	}
+}
+
+func TestDenseGradientsSharedRule(t *testing.T) {
+	net, _ := denseNet(RuleShared, []int{1, 2, 2}, []int{1, 1, 2}, 2, 7)
+	r := tensor.NewRNG(8)
+	x := tensor.New(2, 3)
+	x.FillNormal(r, 0, 1)
+	for _, s := range []int{1, 2} {
+		checkParamGrads(t, net, x, &Context{Subnet: s}, 9, uint64(30+s))
+	}
+}
+
+func TestDenseGradientsWithPruning(t *testing.T) {
+	net, d := denseNet(RuleIncremental, []int{1, 1, 1}, []int{1, 1}, 1, 9)
+	// Prune one weight by force.
+	d.pruned[0*3+1] = true
+	r := tensor.NewRNG(10)
+	x := tensor.New(2, 3)
+	x.FillNormal(r, 0, 1)
+	checkParamGrads(t, net, x, &Context{Subnet: 1}, 6, 11)
+	// A pruned weight must receive zero gradient.
+	lossW := make([]float64, 4)
+	for i := range lossW {
+		lossW[i] = 1
+	}
+	backprop(net, x, &Context{Subnet: 1}, lossW)
+	if d.Weights().Grad.Data()[1] != 0 {
+		t.Fatal("pruned weight received gradient")
+	}
+}
+
+func convNet(rule MaskRule, inIDs, outIDs []int, n int, h, w, k, pad int, seed uint64) (*Network, *Conv2D) {
+	r := tensor.NewRNG(seed)
+	g := tensor.ConvGeom{InC: len(inIDs), InH: h, InW: w, OutC: len(outIDs), K: k, Stride: 1, Pad: pad}
+	c := NewConv2D(Conv2DConfig{
+		Name: "conv", Geom: g, Rule: rule,
+		AssignIn: subnet.Fixed(inIDs, n), Assign: subnet.Fixed(outIDs, n), Init: r,
+	})
+	c.Bias().Value.FillNormal(r, 0, 0.5)
+	return NewNetwork("t", c), c
+}
+
+func TestConvGradientsFullSubnet(t *testing.T) {
+	net, _ := convNet(RuleIncremental, []int{1, 2}, []int{1, 2, 2}, 2, 5, 5, 3, 1, 20)
+	r := tensor.NewRNG(21)
+	x := tensor.New(2, 2, 5, 5)
+	x.FillNormal(r, 0, 1)
+	ctx := &Context{Subnet: 2}
+	checkParamGrads(t, net, x, ctx, 15, 22)
+	checkInputGrads(t, net, x, ctx, 10, 23)
+}
+
+func TestConvGradientsPartialSubnet(t *testing.T) {
+	net, _ := convNet(RuleIncremental, []int{1, 2}, []int{1, 2, 2}, 2, 4, 4, 3, 1, 24)
+	r := tensor.NewRNG(25)
+	x := tensor.New(2, 2, 4, 4)
+	x.FillNormal(r, 0, 1)
+	ctx := &Context{Subnet: 1}
+	checkParamGrads(t, net, x, ctx, 15, 26)
+	checkInputGrads(t, net, x, ctx, 8, 27)
+}
+
+func TestConvGradientsStride2NoPad(t *testing.T) {
+	net, _ := convNet(RuleIncremental, []int{1}, []int{1, 1}, 1, 5, 5, 3, 0, 28)
+	r := tensor.NewRNG(29)
+	x := tensor.New(1, 1, 5, 5)
+	x.FillNormal(r, 0, 1)
+	ctx := &Context{Subnet: 1}
+	checkParamGrads(t, net, x, ctx, 12, 30)
+	checkInputGrads(t, net, x, ctx, 8, 31)
+}
+
+func TestStackGradientsConvReluPoolDense(t *testing.T) {
+	r := tensor.NewRNG(40)
+	n := 2
+	inA := subnet.Fixed([]int{1}, n)
+	convA := subnet.Fixed([]int{1, 2}, n)
+	outA := subnet.Fixed([]int{1, 2, 2}, n)
+	g := tensor.ConvGeom{InC: 1, InH: 6, InW: 6, OutC: 2, K: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D(Conv2DConfig{Name: "c1", Geom: g, Rule: RuleIncremental, AssignIn: inA, Assign: convA, Init: r})
+	conv.Bias().Value.FillNormal(r, 0, 0.3)
+	pool := NewMaxPool2D("p1", 2, 6, 6, 2)
+	fc := NewDense(DenseConfig{
+		Name: "fc1", In: 2 * 3 * 3, Out: 3, Rule: RuleIncremental,
+		AssignIn: convA, InRepeat: 9, Assign: outA, Init: r,
+	})
+	fc.Bias().Value.FillNormal(r, 0, 0.3)
+	net := NewNetwork("stack", conv, NewReLU("r1"), pool, NewFlatten("fl"), fc)
+
+	x := tensor.New(2, 1, 6, 6)
+	x.FillNormal(r, 0, 1)
+	for _, s := range []int{1, 2} {
+		ctx := &Context{Subnet: s}
+		checkParamGrads(t, net, x, ctx, 10, uint64(41+s))
+		checkInputGrads(t, net, x, ctx, 8, uint64(44+s))
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	r := tensor.NewRNG(50)
+	bn := NewSwitchableBatchNorm2D("bn", 2, 2)
+	bn.gamma[0].Value.FillNormal(r, 1, 0.2)
+	bn.beta[0].Value.FillNormal(r, 0, 0.2)
+	net := NewNetwork("t", bn)
+	x := tensor.New(3, 2, 2, 2)
+	x.FillNormal(r, 0, 1)
+
+	// BatchNorm uses batch statistics in Train mode, so numeric
+	// differentiation must also run in Train mode.
+	lossW := make([]float64, x.Len())
+	for i := range lossW {
+		lossW[i] = r.NormFloat64()
+	}
+	loss := func() float64 {
+		out := net.Forward(x, &Context{Train: true, Mode: 1, Subnet: 1})
+		s := 0.0
+		for i, v := range out.Data() {
+			s += v * lossW[i]
+		}
+		return s
+	}
+	net.ZeroGrad()
+	tctx := &Context{Train: true, Mode: 1, Subnet: 1}
+	out := net.Forward(x, tctx)
+	grad := tensor.New(out.Shape()...)
+	copy(grad.Data(), lossW)
+	gx := net.Backward(grad, tctx)
+
+	for _, p := range []*Param{bn.gamma[0], bn.beta[0]} {
+		for idx := 0; idx < p.Value.Len(); idx++ {
+			num := numericGrad(loss, p.Value.Data(), idx)
+			if math.Abs(num-p.Grad.Data()[idx]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %.8g numeric %.8g", p.Name, idx, p.Grad.Data()[idx], num)
+			}
+		}
+	}
+	for k := 0; k < 10; k++ {
+		idx := tensor.NewRNG(uint64(60 + k)).Intn(x.Len())
+		num := numericGrad(loss, x.Data(), idx)
+		if math.Abs(num-gx.Data()[idx]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("bn input[%d]: analytic %.8g numeric %.8g", idx, gx.Data()[idx], num)
+		}
+	}
+}
+
+// Importance gradient check: ∂L/∂r_o must equal the numeric
+// derivative of the loss when the unit's pre-activation (minus bias)
+// is scaled by r around r=1.
+func TestImportanceMatchesNumericRGradient(t *testing.T) {
+	r := tensor.NewRNG(70)
+	net, d := denseNet(RuleIncremental, []int{1, 1, 1, 1}, []int{1, 1, 1}, 1, 71)
+	d.EnableImportance(1)
+	x := tensor.New(4, 4)
+	x.FillNormal(r, 0, 1)
+	lossW := make([]float64, 12)
+	for i := range lossW {
+		lossW[i] = r.NormFloat64()
+	}
+	net.ZeroGrad()
+	tctx := &Context{Subnet: 1, Train: true, AccumulateImportance: true}
+	out := net.Forward(x, tctx)
+	grad := tensor.New(out.Shape()...)
+	copy(grad.Data(), lossW)
+	net.Backward(grad, tctx)
+
+	// Numeric: scale unit o's weight row by (1±h) — equivalent to
+	// perturbing r in Eq. 1 — and difference the loss.
+	for o := 0; o < 3; o++ {
+		const h = 1e-6
+		scaleRow := func(f float64) {
+			for i := 0; i < 4; i++ {
+				d.Weights().Value.Data()[o*4+i] *= f
+			}
+		}
+		scaleRow(1 + h)
+		up := scalarLoss(net, x, &Context{Subnet: 1}, lossW)
+		scaleRow((1 - h) / (1 + h))
+		down := scalarLoss(net, x, &Context{Subnet: 1}, lossW)
+		scaleRow(1 / (1 - h))
+		num := math.Abs((up - down) / (2 * h))
+		got := d.Importance()[0][o]
+		if math.Abs(num-got) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("unit %d importance: analytic %.8g numeric %.8g", o, got, num)
+		}
+	}
+}

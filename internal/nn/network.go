@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"fmt"
+
+	"steppingnet/internal/subnet"
+	"steppingnet/internal/tensor"
+)
+
+// Network is a sequential container of layers, the unit the paper
+// calls "a given neural network" and from which subnets are carved.
+type Network struct {
+	name   string
+	layers []Layer
+}
+
+// NewNetwork creates a named sequential network.
+func NewNetwork(name string, layers ...Layer) *Network {
+	return &Network{name: name, layers: layers}
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// Layers returns the layer list (read-only by convention).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Append adds layers to the end of the network.
+func (n *Network) Append(layers ...Layer) { n.layers = append(n.layers, layers...) }
+
+// Forward runs the batch through every layer.
+func (n *Network) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	for _, l := range n.layers {
+		x = l.Forward(x, ctx)
+	}
+	return x
+}
+
+// Backward runs the gradient back through every layer, accumulating
+// parameter gradients.
+func (n *Network) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		grad = n.layers[i].Backward(grad, ctx)
+	}
+	return grad
+}
+
+// Params returns every learnable parameter in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every gradient accumulator.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// MaskedLayers returns the width-bearing layers in order.
+func (n *Network) MaskedLayers() []Masked {
+	var ms []Masked
+	for _, l := range n.layers {
+		if m, ok := l.(Masked); ok {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// MACs sums the MAC count of subnet s over all masked layers.
+func (n *Network) MACs(s int) int64 {
+	var total int64
+	for _, m := range n.MaskedLayers() {
+		total += m.MACs(s)
+	}
+	return total
+}
+
+// Validate checks the incremental property across the whole network.
+// RuleShared layers (the slimmable baseline's layers and the small
+// recomputed classifier head) are skipped — they intentionally do not
+// satisfy the property.
+func (n *Network) Validate() error {
+	var edges []*subnet.Edge
+	for _, m := range n.MaskedLayers() {
+		if m.Rule() != RuleIncremental {
+			continue
+		}
+		edges = append(edges, m.Edge())
+	}
+	return subnet.Validate(edges)
+}
+
+// EnableImportance switches on importance accumulation for nSubnets
+// in every masked layer.
+func (n *Network) EnableImportance(nSubnets int) {
+	for _, m := range n.MaskedLayers() {
+		m.EnableImportance(nSubnets)
+	}
+}
+
+// ResetImportance zeroes all importance accumulators.
+func (n *Network) ResetImportance() {
+	for _, m := range n.MaskedLayers() {
+		m.ResetImportance()
+	}
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Value.Len()
+	}
+	return total
+}
+
+// String summarizes the architecture.
+func (n *Network) String() string {
+	s := fmt.Sprintf("Network(%s,", n.name)
+	for _, l := range n.layers {
+		s += " " + l.Name()
+	}
+	return s + ")"
+}
+
+// CopyWeightsTo copies every parameter value from n into dst, which
+// must have an identical parameter structure. Used to initialize
+// subnets from a pretrained teacher.
+func (n *Network) CopyWeightsTo(dst *Network) error {
+	src, dp := n.Params(), dst.Params()
+	if len(src) != len(dp) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(src), len(dp))
+	}
+	for i, p := range src {
+		if p.Value.Len() != dp[i].Value.Len() {
+			return fmt.Errorf("nn: parameter %q size mismatch %d vs %d", p.Name, p.Value.Len(), dp[i].Value.Len())
+		}
+		dp[i].Value.CopyFrom(p.Value)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Package nn implements the neural-network substrate of the
+// SteppingNet reproduction: layers with hand-derived backward passes,
+// a sequential network container, and — central to the paper — masked
+// dense/conv layers whose connectivity is governed by unit→subnet
+// assignments, per-synapse prune masks and the incremental property.
+package nn
+
+import (
+	"fmt"
+
+	"steppingnet/internal/tensor"
+)
+
+// Param is one learnable tensor with its gradient accumulator.
+// Optimizers read Value/Grad; layers accumulate into Grad during
+// Backward.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter and matching zero gradient.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// String describes the parameter for diagnostics.
+func (p *Param) String() string {
+	return fmt.Sprintf("%s%v", p.Name, p.Value.Shape())
+}
+
+// MaskRule selects how subnet assignments translate into active
+// synapses. The rule is the essential structural difference between
+// SteppingNet / any-width networks and the slimmable baseline.
+type MaskRule int
+
+const (
+	// RuleIncremental activates synapse i→o iff assign(i) ≤ assign(o)
+	// ≤ s. Units added by larger subnets never feed smaller-subnet
+	// units, so smaller-subnet results are reusable (SteppingNet and
+	// the any-width network).
+	RuleIncremental MaskRule = iota
+	// RuleShared activates synapse i→o iff assign(i) ≤ s and
+	// assign(o) ≤ s. Larger subnets change the inputs of existing
+	// units, so switching subnets invalidates intermediate results
+	// (the slimmable network, paper Fig. 1a).
+	RuleShared
+)
+
+func (r MaskRule) String() string {
+	switch r {
+	case RuleIncremental:
+		return "incremental"
+	case RuleShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("MaskRule(%d)", int(r))
+	}
+}

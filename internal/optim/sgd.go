@@ -1,0 +1,88 @@
+// Package optim provides the stochastic-gradient-descent machinery
+// for the reproduction: SGD with momentum and weight decay, plus
+// simple learning-rate schedules. The paper's learning-rate
+// suppression β^(j−i) is applied inside the masked layers (it is
+// per-unit, not per-parameter), so the optimizer stays generic.
+package optim
+
+import (
+	"fmt"
+
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+// SGD updates parameters with classical momentum:
+// v ← μ·v − lr·(g + wd·w); w ← w + v.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD constructs the optimizer. lr must be positive; momentum and
+// weight decay must be non-negative.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("optim: non-positive learning rate %g", lr))
+	}
+	if momentum < 0 || momentum >= 1 {
+		panic(fmt.Sprintf("optim: momentum %g outside [0,1)", momentum))
+	}
+	if weightDecay < 0 {
+		panic(fmt.Sprintf("optim: negative weight decay %g", weightDecay))
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*nn.Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter and zeroes the
+// gradients.
+func (o *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		v := o.velocity[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape()...)
+			o.velocity[p] = v
+		}
+		pv, pg, vd := p.Value.Data(), p.Grad.Data(), v.Data()
+		for i := range pv {
+			g := pg[i] + o.WeightDecay*pv[i]
+			vd[i] = o.Momentum*vd[i] - o.LR*g
+			pv[i] += vd[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Schedule maps a 0-based epoch to a learning rate.
+type Schedule interface {
+	LR(epoch int) float64
+}
+
+// ConstSchedule always returns the same rate.
+type ConstSchedule float64
+
+// LR implements Schedule.
+func (c ConstSchedule) LR(int) float64 { return float64(c) }
+
+// StepSchedule decays Base by Gamma every Every epochs.
+type StepSchedule struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// LR implements Schedule.
+func (s StepSchedule) LR(epoch int) float64 {
+	lr := s.Base
+	if s.Every <= 0 {
+		return lr
+	}
+	for e := s.Every; e <= epoch; e += s.Every {
+		lr *= s.Gamma
+	}
+	return lr
+}

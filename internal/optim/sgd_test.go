@@ -1,0 +1,98 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"steppingnet/internal/nn"
+)
+
+func TestSGDPlainStep(t *testing.T) {
+	p := nn.NewParam("w", 2)
+	p.Value.Data()[0] = 1
+	p.Value.Data()[1] = -1
+	p.Grad.Data()[0] = 0.5
+	p.Grad.Data()[1] = -0.5
+	o := NewSGD(0.1, 0, 0)
+	o.Step([]*nn.Param{p})
+	if math.Abs(p.Value.Data()[0]-0.95) > 1e-12 || math.Abs(p.Value.Data()[1]+0.95) > 1e-12 {
+		t.Fatalf("after step: %v", p.Value.Data())
+	}
+	if p.Grad.Data()[0] != 0 {
+		t.Fatal("Step must zero gradients")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := nn.NewParam("w", 1)
+	o := NewSGD(1, 0.9, 0)
+	// Constant gradient 1: velocities -1, -1.9, -2.71, ...
+	wantV := []float64{-1, -1.9, -2.71}
+	x := 0.0
+	for i := 0; i < 3; i++ {
+		p.Grad.Data()[0] = 1
+		o.Step([]*nn.Param{p})
+		x += wantV[i]
+		if math.Abs(p.Value.Data()[0]-x) > 1e-12 {
+			t.Fatalf("step %d: value %g want %g", i, p.Value.Data()[0], x)
+		}
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := nn.NewParam("w", 1)
+	p.Value.Data()[0] = 2
+	o := NewSGD(0.5, 0, 0.1)
+	o.Step([]*nn.Param{p}) // grad 0, decay pulls toward 0
+	want := 2 - 0.5*0.1*2
+	if math.Abs(p.Value.Data()[0]-want) > 1e-12 {
+		t.Fatalf("decay: %g want %g", p.Value.Data()[0], want)
+	}
+}
+
+func TestSGDMinimizesQuadratic(t *testing.T) {
+	// f(w) = (w-3)², grad = 2(w-3); SGD must converge to 3.
+	p := nn.NewParam("w", 1)
+	o := NewSGD(0.1, 0.5, 0)
+	for i := 0; i < 200; i++ {
+		p.Grad.Data()[0] = 2 * (p.Value.Data()[0] - 3)
+		o.Step([]*nn.Param{p})
+	}
+	if math.Abs(p.Value.Data()[0]-3) > 1e-6 {
+		t.Fatalf("converged to %g", p.Value.Data()[0])
+	}
+}
+
+func TestNewSGDValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSGD(0, 0, 0) },
+		func() { NewSGD(0.1, -0.1, 0) },
+		func() { NewSGD(0.1, 1.0, 0) },
+		func() { NewSGD(0.1, 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Base: 1, Gamma: 0.1, Every: 10}
+	cases := map[int]float64{0: 1, 9: 1, 10: 0.1, 19: 0.1, 20: 0.01}
+	for e, want := range cases {
+		if got := s.LR(e); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("epoch %d: %g want %g", e, got, want)
+		}
+	}
+	if ConstSchedule(0.3).LR(99) != 0.3 {
+		t.Fatal("const schedule")
+	}
+	if (StepSchedule{Base: 2, Gamma: 0.5, Every: 0}).LR(100) != 2 {
+		t.Fatal("Every<=0 must not decay")
+	}
+}

@@ -1,0 +1,156 @@
+// Package report exports experiment results as CSV and JSON so that
+// downstream tooling (plotting scripts, dashboards, regression
+// tracking) can consume the reproduction's numbers without parsing
+// rendered text tables.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"steppingnet/internal/baselines"
+	"steppingnet/internal/core"
+	"steppingnet/internal/experiments"
+)
+
+// WriteJSON marshals any experiment result with indentation.
+func WriteJSON(w io.Writer, result any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(result)
+}
+
+// TableICSV writes one row per (network, subnet): network, orig
+// accuracy, subnet index, MACs, MAC fraction, accuracy.
+func TableICSV(w io.Writer, t *experiments.TableIResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "orig_accuracy", "subnet", "macs", "mac_frac", "accuracy"}); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		for _, s := range row.Stats {
+			rec := []string{
+				row.Model,
+				f(row.OrigAccuracy),
+				strconv.Itoa(s.Subnet),
+				strconv.FormatInt(s.MACs, 10),
+				f(s.MACFrac),
+				f(s.Accuracy),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig6CSV writes one row per (network, method, point).
+func Fig6CSV(w io.Writer, r *experiments.Fig6Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "method", "point", "macs", "mac_frac", "accuracy"}); err != nil {
+		return err
+	}
+	for _, net := range r.Nets {
+		for _, c := range net.Curves {
+			for _, p := range c.Points {
+				if err := cw.Write([]string{
+					net.Name, c.Method, strconv.Itoa(p.Subnet),
+					strconv.FormatInt(p.MACs, 10), f(p.MACFrac), f(p.Accuracy),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig7CSV writes one row per (network, expansion, subnet).
+func Fig7CSV(w io.Writer, r *experiments.Fig7Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "expansion", "subnet", "macs", "mac_frac", "accuracy"}); err != nil {
+		return err
+	}
+	for _, net := range r.Nets {
+		for _, series := range net.Series {
+			for _, s := range series.Stats {
+				if err := cw.Write([]string{
+					net.Name, f(series.Expansion), strconv.Itoa(s.Subnet),
+					strconv.FormatInt(s.MACs, 10), f(s.MACFrac), f(s.Accuracy),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig8CSV writes one row per (network, variant, subnet).
+func Fig8CSV(w io.Writer, r *experiments.Fig8Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "variant", "subnet", "accuracy"}); err != nil {
+		return err
+	}
+	order := []experiments.Fig8Variant{
+		experiments.VariantFull,
+		experiments.VariantNoSuppression,
+		experiments.VariantNoDistill,
+	}
+	for _, net := range r.Nets {
+		for _, v := range order {
+			for _, s := range net.Variants[v] {
+				if err := cw.Write([]string{net.Name, string(v), strconv.Itoa(s.Subnet), f(s.Accuracy)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CurveCSV writes a generic baseline operating curve.
+func CurveCSV(w io.Writer, method string, pts []baselines.OperatingPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "point", "macs", "mac_frac", "accuracy"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			method, strconv.Itoa(p.Subnet),
+			strconv.FormatInt(p.MACs, 10), f(p.MACFrac), f(p.Accuracy),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ResultCSV writes one pipeline result (the CLI's output) as CSV.
+func ResultCSV(w io.Writer, r *core.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "orig_accuracy", "ref_macs", "expansion", "subnet", "macs", "mac_frac", "accuracy"}); err != nil {
+		return err
+	}
+	for _, s := range r.Stats {
+		if err := cw.Write([]string{
+			r.Model, f(r.OrigAccuracy), strconv.FormatInt(r.RefMACs, 10), f(r.Expansion),
+			strconv.Itoa(s.Subnet), strconv.FormatInt(s.MACs, 10), f(s.MACFrac), f(s.Accuracy),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6f", v) }

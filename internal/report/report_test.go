@@ -1,0 +1,139 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"steppingnet/internal/baselines"
+	"steppingnet/internal/core"
+	"steppingnet/internal/experiments"
+)
+
+func sampleTableI() *experiments.TableIResult {
+	return &experiments.TableIResult{
+		Scale: experiments.Tiny(),
+		Rows: []*core.Result{
+			{
+				Model: "LeNet-5", OrigAccuracy: 0.75, RefMACs: 1000, Expansion: 2.0,
+				Stats: []core.SubnetStat{
+					{Subnet: 1, MACs: 150, MACFrac: 0.15, Accuracy: 0.52},
+					{Subnet: 2, MACs: 300, MACFrac: 0.30, Accuracy: 0.60},
+				},
+			},
+		},
+	}
+}
+
+func TestTableICSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableICSV(&buf, sampleTableI()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + 2 subnets
+		t.Fatalf("rows %d", len(recs))
+	}
+	if recs[0][0] != "network" || recs[1][0] != "LeNet-5" || recs[2][2] != "2" {
+		t.Fatalf("content %v", recs)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleTableI()); err != nil {
+		t.Fatal(err)
+	}
+	var back experiments.TableIResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 1 || back.Rows[0].Model != "LeNet-5" {
+		t.Fatalf("round trip %+v", back)
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	r := &experiments.Fig6Result{
+		Nets: []experiments.Fig6Net{{
+			Name: "LeNet-5/Cifar10",
+			Curves: []experiments.Fig6Curve{{
+				Method: "SteppingNet",
+				Points: []baselines.OperatingPoint{{Subnet: 1, MACs: 100, MACFrac: 0.1, Accuracy: 0.5}},
+			}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Fig6CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SteppingNet") {
+		t.Fatal(buf.String())
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	r := &experiments.Fig7Result{
+		Nets: []experiments.Fig7Net{{
+			Name: "LeNet-5/Cifar10",
+			Series: []experiments.Fig7Series{{
+				Expansion: 1.4,
+				Stats:     []core.SubnetStat{{Subnet: 1, MACs: 10, MACFrac: 0.1, Accuracy: 0.4}},
+			}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Fig7CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.400000") {
+		t.Fatal(buf.String())
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	r := &experiments.Fig8Result{
+		Nets: []experiments.Fig8Net{{
+			Name: "LeNet-5/Cifar10",
+			Variants: map[experiments.Fig8Variant][]core.SubnetStat{
+				experiments.VariantFull:          {{Subnet: 1, Accuracy: 0.6}},
+				experiments.VariantNoDistill:     {{Subnet: 1, Accuracy: 0.5}},
+				experiments.VariantNoSuppression: {{Subnet: 1, Accuracy: 0.55}},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Fig8CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SteppingNet", "w/o knowledge distillation", "w/o weight suppression"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCurveAndResultCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CurveCSV(&buf, "anywidth", []baselines.OperatingPoint{{Subnet: 2, MACs: 5, MACFrac: 0.05, Accuracy: 0.3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "anywidth,2,5") {
+		t.Fatal(buf.String())
+	}
+	buf.Reset()
+	res := sampleTableI().Rows[0]
+	if err := ResultCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := csv.NewReader(&buf).ReadAll()
+	if len(recs) != 3 {
+		t.Fatalf("rows %d", len(recs))
+	}
+}

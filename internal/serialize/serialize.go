@@ -1,0 +1,137 @@
+// Package serialize persists a constructed SteppingNet — the single
+// shared weight store, the unit→subnet assignments and the prune
+// masks — so a deployed platform keeps exactly one copy of the
+// network for all N subnets (the storage advantage over
+// width-multiplier model zoos that motivates weight sharing in §I).
+// The format is encoding/gob with a magic header and version.
+package serialize
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"steppingnet/internal/models"
+)
+
+const (
+	magic   = "STEPPINGNET"
+	version = 1
+)
+
+// snapshot is the on-disk structure.
+type snapshot struct {
+	Magic   string
+	Version int
+	Model   string
+	Params  [][]float64 // every parameter tensor, in layer order
+	Assigns [][]int     // per movable layer: unit assignments
+	HeadIDs []int       // classifier head assignment
+	Prune   [][]bool    // per masked layer (movable + head): prune masks
+}
+
+// Save writes the model's weights, assignments and prune masks.
+func Save(w io.Writer, m *models.Model) error {
+	snap := snapshot{Magic: magic, Version: version, Model: m.Name}
+	for _, p := range m.Net.Params() {
+		snap.Params = append(snap.Params, append([]float64(nil), p.Value.Data()...))
+	}
+	for _, mv := range m.Movable {
+		snap.Assigns = append(snap.Assigns, append([]int(nil), mv.OutAssignment().IDs()...))
+		snap.Prune = append(snap.Prune, mv.PruneMask())
+	}
+	snap.HeadIDs = append([]int(nil), m.Head.OutAssignment().IDs()...)
+	snap.Prune = append(snap.Prune, m.Head.PruneMask())
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load restores a snapshot into m, which must have been built with
+// the same topology options (name, widths, subnet count) as the
+// saved model.
+func Load(r io.Reader, m *models.Model) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("serialize: decode: %w", err)
+	}
+	if snap.Magic != magic {
+		return fmt.Errorf("serialize: not a SteppingNet snapshot (magic %q)", snap.Magic)
+	}
+	if snap.Version != version {
+		return fmt.Errorf("serialize: unsupported version %d (want %d)", snap.Version, version)
+	}
+	if snap.Model != m.Name {
+		return fmt.Errorf("serialize: snapshot is for model %q, target is %q", snap.Model, m.Name)
+	}
+	params := m.Net.Params()
+	if len(snap.Params) != len(params) {
+		return fmt.Errorf("serialize: snapshot has %d parameter tensors, model has %d", len(snap.Params), len(params))
+	}
+	for i, p := range params {
+		if len(snap.Params[i]) != p.Value.Len() {
+			return fmt.Errorf("serialize: parameter %q has %d values in snapshot, %d in model",
+				p.Name, len(snap.Params[i]), p.Value.Len())
+		}
+	}
+	if len(snap.Assigns) != len(m.Movable) {
+		return fmt.Errorf("serialize: snapshot has %d movable layers, model has %d", len(snap.Assigns), len(m.Movable))
+	}
+	if len(snap.Prune) != len(m.Movable)+1 {
+		return fmt.Errorf("serialize: snapshot has %d prune masks, want %d", len(snap.Prune), len(m.Movable)+1)
+	}
+	// Validate sizes fully before mutating anything.
+	for i, mv := range m.Movable {
+		if len(snap.Assigns[i]) != mv.OutAssignment().Units() {
+			return fmt.Errorf("serialize: layer %q has %d units in snapshot, %d in model",
+				mv.Name(), len(snap.Assigns[i]), mv.OutAssignment().Units())
+		}
+	}
+	if len(snap.HeadIDs) != m.Head.OutAssignment().Units() {
+		return fmt.Errorf("serialize: head has %d units in snapshot, %d in model",
+			len(snap.HeadIDs), m.Head.OutAssignment().Units())
+	}
+
+	for i, p := range params {
+		copy(p.Value.Data(), snap.Params[i])
+	}
+	for i, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for u, id := range snap.Assigns[i] {
+			a.SetID(u, id)
+		}
+		if err := mv.SetPruneMask(snap.Prune[i]); err != nil {
+			return err
+		}
+	}
+	ha := m.Head.OutAssignment()
+	for u, id := range snap.HeadIDs {
+		ha.SetID(u, id)
+	}
+	if err := m.Head.SetPruneMask(snap.Prune[len(m.Movable)]); err != nil {
+		return err
+	}
+	return m.Net.Validate()
+}
+
+// SaveFile writes the snapshot to path.
+func SaveFile(path string, m *models.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a snapshot from path.
+func LoadFile(path string, m *models.Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Load(f, m)
+}

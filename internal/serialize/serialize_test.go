@@ -1,0 +1,130 @@
+package serialize
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+func buildModel(seed uint64) *models.Model {
+	m := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 1.5,
+		Subnets: 3, Rule: nn.RuleIncremental, Seed: seed,
+	})
+	r := tensor.NewRNG(seed ^ 0xC0DE)
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for u := 1; u < a.Units(); u++ {
+			a.SetID(u, 1+r.Intn(3))
+		}
+		mv.PruneBelow(0.02) // create a non-trivial prune mask
+	}
+	return m
+}
+
+func TestRoundTripPreservesOutputs(t *testing.T) {
+	src := buildModel(1)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 1.5,
+		Subnets: 3, Rule: nn.RuleIncremental, Seed: 99, // different init
+	})
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(7), 0, 1)
+	for s := 1; s <= 3; s++ {
+		a := src.Net.Forward(x, nn.Eval(s))
+		b := dst.Net.Forward(x, nn.Eval(s))
+		if !tensor.Equal(a, b, 1e-12) {
+			t.Fatalf("subnet %d outputs differ after round trip", s)
+		}
+		if src.Net.MACs(s) != dst.Net.MACs(s) {
+			t.Fatalf("subnet %d MACs differ: %d vs %d", s, src.Net.MACs(s), dst.Net.MACs(s))
+		}
+	}
+}
+
+func TestLoadRejectsWrongModel(t *testing.T) {
+	src := buildModel(1)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := models.LeNet5(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 1.5, Subnets: 3, Seed: 2,
+	})
+	if err := Load(&buf, dst); err == nil {
+		t.Fatal("want model-name mismatch error")
+	}
+}
+
+func TestLoadRejectsWrongWidths(t *testing.T) {
+	src := buildModel(1)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 2.0, // different widths
+		Subnets: 3, Seed: 2,
+	})
+	if err := Load(&buf, dst); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dst := buildModel(2)
+	if err := Load(bytes.NewReader([]byte("not a snapshot")), dst); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.snet")
+	src := buildModel(3)
+	if err := SaveFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 1.5,
+		Subnets: 3, Rule: nn.RuleIncremental, Seed: 55,
+	})
+	if err := LoadFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(4), 0, 1)
+	a := src.Net.Forward(x, nn.Eval(3))
+	b := dst.Net.Forward(x, nn.Eval(3))
+	if !tensor.Equal(a, b, 1e-12) {
+		t.Fatal("file round trip broke outputs")
+	}
+}
+
+func TestLoadedModelStillValidates(t *testing.T) {
+	src := buildModel(5)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 1.5,
+		Subnets: 3, Rule: nn.RuleIncremental, Seed: 6,
+	})
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

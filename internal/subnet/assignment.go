@@ -1,0 +1,167 @@
+// Package subnet maintains the unit→subnet assignment bookkeeping at
+// the heart of SteppingNet. Every width-bearing layer output (a neuron
+// in a fully-connected layer, a filter in a convolutional layer — the
+// paper calls both "neurons") is assigned to exactly one subnet index
+// in 1..N, meaning "the smallest subnet that contains this unit".
+// Subnet s then consists of every unit with assignment ≤ s, and a
+// synapse u→v may exist only if assign(u) ≤ assign(v): units added by
+// a larger subnet never feed units of a smaller subnet, which is the
+// incremental property that makes results of smaller subnets reusable
+// by larger ones (paper §II, §III-A).
+package subnet
+
+import "fmt"
+
+// MaxSubnets is a subnet index larger than any real assignment; using
+// it as the active subnet in an inference context activates every
+// unit (i.e. runs the full network).
+const MaxSubnets = 1 << 30
+
+// Assignment maps each unit of one layer-output group to the index
+// (1-based) of the smallest subnet containing it. N is the total
+// number of subnets.
+type Assignment struct {
+	ids []int
+	n   int
+}
+
+// NewAssignment creates an assignment for units unit count, all
+// initially in subnet 1 (the paper initializes the smallest subnet
+// with the whole original network, Fig. 5a). n is the number of
+// subnets and must be ≥ 1.
+func NewAssignment(units, n int) *Assignment {
+	if units < 0 {
+		panic(fmt.Sprintf("subnet: negative unit count %d", units))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("subnet: need at least one subnet, got %d", n))
+	}
+	ids := make([]int, units)
+	for i := range ids {
+		ids[i] = 1
+	}
+	return &Assignment{ids: ids, n: n}
+}
+
+// Fixed creates an assignment with explicit per-unit ids; used by the
+// any-width baseline and by tests. It panics if any id is outside
+// 1..n.
+func Fixed(ids []int, n int) *Assignment {
+	a := &Assignment{ids: append([]int(nil), ids...), n: n}
+	for i, id := range a.ids {
+		if id < 1 || id > n {
+			panic(fmt.Sprintf("subnet: unit %d has id %d outside 1..%d", i, id, n))
+		}
+	}
+	return a
+}
+
+// Units returns the number of units in the group.
+func (a *Assignment) Units() int { return len(a.ids) }
+
+// Subnets returns N, the number of subnets.
+func (a *Assignment) Subnets() int { return a.n }
+
+// ID returns the subnet id of unit i.
+func (a *Assignment) ID(i int) int { return a.ids[i] }
+
+// SetID reassigns unit i to subnet id. It panics when id is outside
+// 1..N. Moving a unit to a larger subnet is how neurons "flow" during
+// construction.
+func (a *Assignment) SetID(i, id int) {
+	if id < 1 || id > a.n {
+		panic(fmt.Sprintf("subnet: id %d outside 1..%d", id, a.n))
+	}
+	a.ids[i] = id
+}
+
+// IDs returns the underlying id slice. Callers must treat it as
+// read-only; use SetID to mutate.
+func (a *Assignment) IDs() []int { return a.ids }
+
+// Clone returns a deep copy.
+func (a *Assignment) Clone() *Assignment {
+	return &Assignment{ids: append([]int(nil), a.ids...), n: a.n}
+}
+
+// CountIn returns how many units belong to subnet s (assignment ≤ s).
+func (a *Assignment) CountIn(s int) int {
+	c := 0
+	for _, id := range a.ids {
+		if id <= s {
+			c++
+		}
+	}
+	return c
+}
+
+// CountAt returns how many units have assignment exactly s.
+func (a *Assignment) CountAt(s int) int {
+	c := 0
+	for _, id := range a.ids {
+		if id == s {
+			c++
+		}
+	}
+	return c
+}
+
+// ActiveIn reports whether unit i participates in subnet s.
+func (a *Assignment) ActiveIn(i, s int) bool { return a.ids[i] <= s }
+
+// UnitsAt returns the indices of units assigned exactly to subnet s.
+func (a *Assignment) UnitsAt(s int) []int {
+	var out []int
+	for i, id := range a.ids {
+		if id == s {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Expand replicates each unit's id `repeat` times, producing the
+// per-element assignment of a flattened feature map: a conv layer
+// assigns ids per filter (channel), and the dense layer that follows a
+// Flatten sees H*W input elements per channel.
+func (a *Assignment) Expand(repeat int) *Assignment {
+	if repeat <= 0 {
+		panic(fmt.Sprintf("subnet: Expand repeat must be positive, got %d", repeat))
+	}
+	ids := make([]int, 0, len(a.ids)*repeat)
+	for _, id := range a.ids {
+		for k := 0; k < repeat; k++ {
+			ids = append(ids, id)
+		}
+	}
+	return &Assignment{ids: ids, n: a.n}
+}
+
+// SynapseAllowed reports whether a synapse from an input unit with id
+// inID to an output unit with id outID respects the incremental
+// property (paper §III-A: "the extra neurons in the larger subnet
+// should not have synapses to the neurons in the smaller subnet").
+func SynapseAllowed(inID, outID int) bool { return inID <= outID }
+
+// Prefix builds the regular, any-width-style assignment: the first
+// counts[0] units belong to subnet 1, the next counts[1] to subnet 2,
+// and so on. The sum of counts may be less than units; leftover units
+// are assigned to subnet N (they exist only in the largest subnet).
+func Prefix(units int, counts []int) *Assignment {
+	n := len(counts)
+	if n < 1 {
+		panic("subnet: Prefix needs at least one count")
+	}
+	a := NewAssignment(units, n)
+	idx := 0
+	for s, c := range counts {
+		for k := 0; k < c && idx < units; k++ {
+			a.ids[idx] = s + 1
+			idx++
+		}
+	}
+	for ; idx < units; idx++ {
+		a.ids[idx] = n
+	}
+	return a
+}

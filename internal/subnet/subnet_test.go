@@ -1,0 +1,256 @@
+package subnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"steppingnet/internal/tensor"
+)
+
+func TestNewAssignmentDefaults(t *testing.T) {
+	a := NewAssignment(5, 3)
+	if a.Units() != 5 || a.Subnets() != 3 {
+		t.Fatalf("units=%d subnets=%d", a.Units(), a.Subnets())
+	}
+	for i := 0; i < 5; i++ {
+		if a.ID(i) != 1 {
+			t.Fatal("all units must start in subnet 1")
+		}
+	}
+	if a.CountIn(1) != 5 || a.CountIn(3) != 5 {
+		t.Fatal("CountIn with all-1 assignment")
+	}
+}
+
+func TestNewAssignmentPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAssignment(-1, 2) },
+		func() { NewAssignment(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSetIDAndCounts(t *testing.T) {
+	a := NewAssignment(4, 3)
+	a.SetID(0, 2)
+	a.SetID(1, 3)
+	if a.CountIn(1) != 2 || a.CountIn(2) != 3 || a.CountIn(3) != 4 {
+		t.Fatalf("CountIn: %d %d %d", a.CountIn(1), a.CountIn(2), a.CountIn(3))
+	}
+	if a.CountAt(2) != 1 || a.CountAt(3) != 1 || a.CountAt(1) != 2 {
+		t.Fatal("CountAt")
+	}
+	if !a.ActiveIn(0, 2) || a.ActiveIn(1, 2) {
+		t.Fatal("ActiveIn")
+	}
+	got := a.UnitsAt(1)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("UnitsAt(1)=%v", got)
+	}
+}
+
+func TestSetIDRangePanic(t *testing.T) {
+	a := NewAssignment(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for id out of range")
+		}
+	}()
+	a.SetID(0, 3)
+}
+
+func TestFixedValidation(t *testing.T) {
+	a := Fixed([]int{1, 2, 2}, 2)
+	if a.ID(1) != 2 {
+		t.Fatal("Fixed ids")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range id")
+		}
+	}()
+	Fixed([]int{0}, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewAssignment(3, 2)
+	b := a.Clone()
+	b.SetID(0, 2)
+	if a.ID(0) != 1 {
+		t.Fatal("Clone must not share ids")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	a := Fixed([]int{1, 3, 2}, 3)
+	e := a.Expand(2)
+	want := []int{1, 1, 3, 3, 2, 2}
+	if e.Units() != 6 {
+		t.Fatalf("expanded units %d", e.Units())
+	}
+	for i, w := range want {
+		if e.ID(i) != w {
+			t.Fatalf("Expand ids %v", e.IDs())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for repeat<=0")
+		}
+	}()
+	a.Expand(0)
+}
+
+func TestPrefix(t *testing.T) {
+	a := Prefix(6, []int{2, 2, 1})
+	want := []int{1, 1, 2, 2, 3, 3} // leftover unit goes to subnet N
+	for i, w := range want {
+		if a.ID(i) != w {
+			t.Fatalf("Prefix ids %v, want %v", a.IDs(), want)
+		}
+	}
+	if a.Subnets() != 3 {
+		t.Fatal("Prefix subnet count")
+	}
+}
+
+func TestSynapseAllowed(t *testing.T) {
+	if !SynapseAllowed(1, 1) || !SynapseAllowed(1, 3) {
+		t.Fatal("small→large must be allowed")
+	}
+	if SynapseAllowed(3, 1) {
+		t.Fatal("large→small must be forbidden")
+	}
+}
+
+func TestStructuralMask(t *testing.T) {
+	in := Fixed([]int{1, 2}, 2)
+	out := Fixed([]int{1, 2}, 2)
+	m := StructuralMask(in, out)
+	// out 0 (subnet1): in0 allowed, in1 (subnet2) forbidden.
+	// out 1 (subnet2): both allowed.
+	want := []bool{true, false, true, true}
+	for i, w := range want {
+		if m[i] != w {
+			t.Fatalf("mask %v want %v", m, want)
+		}
+	}
+}
+
+func TestValidateAcceptsLegalChain(t *testing.T) {
+	a := Fixed([]int{1, 2}, 2)
+	b := Fixed([]int{1, 2, 2}, 2)
+	e := &Edge{Name: "fc1", In: a, Out: b, Mask: StructuralMask(a, b)}
+	if err := Validate([]*Edge{e}); err != nil {
+		t.Fatal(err)
+	}
+	// nil mask with an all-ones assignment is also legal.
+	c := Fixed([]int{2, 2}, 2)
+	e2 := &Edge{Name: "fc2", In: b, Out: c}
+	if err := Validate([]*Edge{e, e2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsViolation(t *testing.T) {
+	in := Fixed([]int{2}, 2)
+	out := Fixed([]int{1}, 2)
+	e := &Edge{Name: "bad", In: in, Out: out} // nil mask = fully connected
+	if err := Validate([]*Edge{e}); err == nil {
+		t.Fatal("want violation error")
+	}
+	// Masking out the illegal synapse makes it legal.
+	e.Mask = []bool{false}
+	if err := Validate([]*Edge{e}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadMaskLength(t *testing.T) {
+	in := Fixed([]int{1}, 2)
+	out := Fixed([]int{1, 1}, 2)
+	e := &Edge{Name: "fc", In: in, Out: out, Mask: make([]bool, 3)}
+	if err := Validate([]*Edge{e}); err == nil {
+		t.Fatal("want mask-length error")
+	}
+}
+
+func TestValidateRejectsSubnetCountMismatch(t *testing.T) {
+	in := Fixed([]int{1}, 2)
+	out := Fixed([]int{1}, 3)
+	if err := Validate([]*Edge{{Name: "fc", In: in, Out: out}}); err == nil {
+		t.Fatal("want subnet-count error")
+	}
+}
+
+// Property: StructuralMask always passes Validate, for random
+// assignments — legality masks are legal by construction.
+func TestStructuralMaskAlwaysLegal(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 1 + r.Intn(4)
+		ni, no := 1+r.Intn(8), 1+r.Intn(8)
+		in := NewAssignment(ni, n)
+		out := NewAssignment(no, n)
+		for i := 0; i < ni; i++ {
+			in.SetID(i, 1+r.Intn(n))
+		}
+		for o := 0; o < no; o++ {
+			out.SetID(o, 1+r.Intn(n))
+		}
+		e := &Edge{Name: "rand", In: in, Out: out, Mask: StructuralMask(in, out)}
+		return Validate([]*Edge{e}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: moving a unit to a LARGER subnet can never create a
+// violation on its incoming edge (its inputs' ids stay ≤ its new id
+// whenever they were ≤ the old one is not guaranteed — but the
+// structural mask recomputed after the move must always be legal and
+// must only ever REMOVE outgoing synapses).
+func TestMoveMonotonicity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 2 + r.Intn(3)
+		units := 2 + r.Intn(6)
+		in := NewAssignment(units, n)
+		out := NewAssignment(units, n)
+		for i := 0; i < units; i++ {
+			in.SetID(i, 1+r.Intn(n))
+			out.SetID(i, 1+r.Intn(n))
+		}
+		before := StructuralMask(in, out)
+		// Move one input unit up.
+		u := r.Intn(units)
+		id := in.ID(u)
+		if id < n {
+			in.SetID(u, id+1)
+		}
+		after := StructuralMask(in, out)
+		for o := 0; o < units; o++ {
+			for i := 0; i < units; i++ {
+				if i == u && after[o*units+i] && !before[o*units+i] {
+					return false // moving up must not ADD outgoing synapses
+				}
+				if i != u && after[o*units+i] != before[o*units+i] {
+					return false // other units unaffected
+				}
+			}
+		}
+		return Validate([]*Edge{{Name: "m", In: in, Out: out, Mask: after}}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

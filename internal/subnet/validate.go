@@ -1,0 +1,67 @@
+package subnet
+
+import "fmt"
+
+// Edge describes one weight-bearing connection group between two unit
+// groups: a dense layer or a conv layer. Mask[o*In+i] reports whether
+// the synapse from input unit i to output unit o is present (not
+// pruned). A nil Mask means fully connected.
+type Edge struct {
+	Name    string
+	In, Out *Assignment
+	Mask    []bool
+}
+
+// Validate checks the incremental property over a chain of edges:
+// every present synapse must satisfy assign(in) ≤ assign(out), and
+// consecutive edges must agree on group sizes. It returns a
+// descriptive error naming the first violation, or nil.
+//
+// This is the library's core structural invariant; the construction
+// loop re-validates after every neuron move, and property-based tests
+// drive random construction schedules through it.
+func Validate(edges []*Edge) error {
+	for ei, e := range edges {
+		if e.In == nil || e.Out == nil {
+			return fmt.Errorf("subnet: edge %d (%s) has nil assignment", ei, e.Name)
+		}
+		in, out := e.In.Units(), e.Out.Units()
+		if e.Mask != nil && len(e.Mask) != in*out {
+			return fmt.Errorf("subnet: edge %d (%s) mask length %d, want %d×%d=%d",
+				ei, e.Name, len(e.Mask), out, in, in*out)
+		}
+		if e.In.Subnets() != e.Out.Subnets() {
+			return fmt.Errorf("subnet: edge %d (%s) subnet count mismatch %d vs %d",
+				ei, e.Name, e.In.Subnets(), e.Out.Subnets())
+		}
+		for o := 0; o < out; o++ {
+			outID := e.Out.ID(o)
+			for i := 0; i < in; i++ {
+				if e.Mask != nil && !e.Mask[o*in+i] {
+					continue
+				}
+				if !SynapseAllowed(e.In.ID(i), outID) {
+					return fmt.Errorf("subnet: edge %d (%s) synapse %d→%d violates incremental property (in subnet %d > out subnet %d)",
+						ei, e.Name, i, o, e.In.ID(i), outID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StructuralMask returns the subnet-legality mask for a pair of
+// assignments: element o*in+i is true iff a synapse i→o is allowed.
+// Layers intersect this with their prune masks to obtain the effective
+// connectivity.
+func StructuralMask(in, out *Assignment) []bool {
+	ni, no := in.Units(), out.Units()
+	m := make([]bool, ni*no)
+	for o := 0; o < no; o++ {
+		outID := out.ID(o)
+		for i := 0; i < ni; i++ {
+			m[o*ni+i] = in.ID(i) <= outID
+		}
+	}
+	return m
+}

@@ -1,0 +1,102 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n),
+// returning a fresh m×n tensor. The kernel is a cache-friendly ikj
+// loop; with the small models used in this reproduction it is within a
+// small factor of a tuned BLAS on the same data.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := matDims(a, b)
+	c := New(m, n)
+	matMulInto(c.data, a.data, b.data, m, k, n, false)
+	return c
+}
+
+// MatMulInto computes C = A·B (or C += A·B when accumulate is true)
+// into a preallocated C, avoiding allocation in hot training loops.
+func MatMulInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := matDims(a, b)
+	if c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.shape, m, n))
+	}
+	matMulInto(c.data, a.data, b.data, m, k, n, accumulate)
+}
+
+func matDims(a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape))
+	}
+	if a.Dim(1) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	return a.Dim(0), a.Dim(1), b.Dim(1)
+}
+
+func matMulInto(c, a, b []float64, m, k, n int, accumulate bool) {
+	if !accumulate {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue // sparsity from masked weights is common
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is k×m and B is k×n,
+// producing m×n. Used for weight-gradient accumulation.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(0) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v × %v", a.shape, b.shape))
+	}
+	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k,
+// producing m×n. Used for input-gradient propagation.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v × %v", a.shape, b.shape))
+	}
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := c.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}

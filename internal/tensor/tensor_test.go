@@ -1,0 +1,452 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Rank() != 3 || x.Len() != 24 {
+		t.Fatalf("rank=%d len=%d, want 3/24", x.Rank(), x.Len())
+	}
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("dims %v", x.Shape())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestScalarTensor(t *testing.T) {
+	x := New()
+	if x.Len() != 1 || x.Rank() != 0 {
+		t.Fatalf("scalar tensor len=%d rank=%d", x.Len(), x.Rank())
+	}
+	x.Set(3.5)
+	if x.At() != 3.5 {
+		t.Fatal("scalar At/Set")
+	}
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if x.At(0, 0) != 1 || x.At(0, 2) != 3 || x.At(1, 0) != 4 || x.At(1, 2) != 6 {
+		t.Fatalf("row-major layout broken: %v", x.Data())
+	}
+	x.Set(9, 1, 1)
+	if x.At(1, 1) != 9 {
+		t.Fatal("Set did not store")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestOffsetBounds(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on out-of-range index")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Set(10, 0)
+	if x.At(0, 0) != 10 {
+		t.Fatal("Reshape must be a view")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on volume mismatch")
+		}
+	}()
+	x.Reshape(3)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	a.Add(b)
+	want := []float64{5, 7, 9}
+	for i, v := range a.Data() {
+		if v != want[i] {
+			t.Fatalf("Add: got %v", a.Data())
+		}
+	}
+	a.Sub(b)
+	for i, v := range a.Data() {
+		if v != []float64{1, 2, 3}[i] {
+			t.Fatalf("Sub: got %v", a.Data())
+		}
+	}
+	a.Mul(b)
+	for i, v := range a.Data() {
+		if v != []float64{4, 10, 18}[i] {
+			t.Fatalf("Mul: got %v", a.Data())
+		}
+	}
+	a.Scale(0.5)
+	if a.At(0) != 2 {
+		t.Fatalf("Scale: got %v", a.Data())
+	}
+	a.AXPY(2, b)
+	if a.At(2) != 9+12 {
+		t.Fatalf("AXPY: got %v", a.Data())
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{-3, 1, 2}, 3)
+	if x.Sum() != 0 {
+		t.Fatalf("Sum=%g", x.Sum())
+	}
+	if x.Max() != 2 {
+		t.Fatalf("Max=%g", x.Max())
+	}
+	if x.AbsMax() != 3 {
+		t.Fatalf("AbsMax=%g", x.AbsMax())
+	}
+	if x.ArgMax() != 2 {
+		t.Fatalf("ArgMax=%d", x.ArgMax())
+	}
+	if math.Abs(x.Norm2()-math.Sqrt(14)) > 1e-12 {
+		t.Fatalf("Norm2=%g", x.Norm2())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1, 2.0000001}, 2)
+	if !Equal(a, b, 1e-3) {
+		t.Fatal("want equal within tol")
+	}
+	if Equal(a, b, 1e-12) {
+		t.Fatal("want unequal at tight tol")
+	}
+	c := FromSlice([]float64{1, 2}, 1, 2)
+	if Equal(a, c, 1) {
+		t.Fatal("different shapes must not be equal")
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("MatMul got %v want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestMatMulIntoAccumulate(t *testing.T) {
+	a := FromSlice([]float64{1, 0, 0, 1}, 2, 2)
+	b := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	c := Ones(2, 2)
+	MatMulInto(c, a, b, true)
+	want := []float64{2, 3, 4, 5}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("accumulate got %v", c.Data())
+		}
+	}
+	MatMulInto(c, a, b, false)
+	for i, v := range c.Data() {
+		if v != b.Data()[i] {
+			t.Fatalf("overwrite got %v", c.Data())
+		}
+	}
+}
+
+// Property: MatMulTransA(A,B) equals MatMul(Aᵀ,B) computed naively.
+func TestMatMulTransposedVariantsAgree(t *testing.T) {
+	r := NewRNG(7)
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := New(k, m)
+		b := New(k, n)
+		a.FillNormal(r, 0, 1)
+		b.FillNormal(r, 0, 1)
+		got := MatMulTransA(a, b)
+		at := New(m, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < m; j++ {
+				at.Set(a.At(i, j), j, i)
+			}
+		}
+		want := MatMul(at, b)
+		if !Equal(got, want, 1e-9) {
+			t.Fatalf("TransA mismatch at trial %d", trial)
+		}
+
+		a2 := New(m, k)
+		b2 := New(n, k)
+		a2.FillNormal(r, 0, 1)
+		b2.FillNormal(r, 0, 1)
+		got2 := MatMulTransB(a2, b2)
+		bt := New(k, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				bt.Set(b2.At(i, j), j, i)
+			}
+		}
+		want2 := MatMul(a2, bt)
+		if !Equal(got2, want2, 1e-9) {
+			t.Fatalf("TransB mismatch at trial %d", trial)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on inner-dim mismatch")
+		}
+	}()
+	MatMul(a, b)
+}
+
+// quick-check property: matmul distributes over addition,
+// A·(B+C) == A·B + A·C.
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a, b, c := New(m, k), New(k, n), New(k, n)
+		a.FillNormal(r, 0, 1)
+		b.FillNormal(r, 0, 1)
+		c.FillNormal(r, 0, 1)
+		bc := b.Clone()
+		bc.Add(c)
+		left := MatMul(a, bc)
+		right := MatMul(a, b)
+		right.Add(MatMul(a, c))
+		return Equal(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvGeomDims(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 8, InW: 8, OutC: 4, K: 3, Stride: 1, Pad: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.OutH() != 8 || g.OutW() != 8 {
+		t.Fatalf("same-pad conv dims %dx%d", g.OutH(), g.OutW())
+	}
+	g2 := ConvGeom{InC: 1, InH: 5, InW: 5, OutC: 1, K: 3, Stride: 2, Pad: 0}
+	if g2.OutH() != 2 || g2.OutW() != 2 {
+		t.Fatalf("strided dims %dx%d", g2.OutH(), g2.OutW())
+	}
+}
+
+func TestConvGeomValidateErrors(t *testing.T) {
+	bad := []ConvGeom{
+		{InC: 0, InH: 4, InW: 4, OutC: 1, K: 3, Stride: 1},
+		{InC: 1, InH: 4, InW: 4, OutC: 0, K: 3, Stride: 1},
+		{InC: 1, InH: 4, InW: 4, OutC: 1, K: 0, Stride: 1},
+		{InC: 1, InH: 4, InW: 4, OutC: 1, K: 3, Stride: 0},
+		{InC: 1, InH: 4, InW: 4, OutC: 1, K: 3, Stride: 1, Pad: -1},
+		{InC: 1, InH: 2, InW: 2, OutC: 1, K: 5, Stride: 1},
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Fatalf("case %d: want error for %+v", i, g)
+		}
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1×1 kernel, stride 1, no pad: im2col is the identity layout.
+	g := ConvGeom{InC: 2, InH: 3, InW: 3, OutC: 1, K: 1, Stride: 1}
+	img := make([]float64, 18)
+	for i := range img {
+		img[i] = float64(i)
+	}
+	col := make([]float64, g.ColRows()*g.ColCols())
+	g.Im2Col(img, col)
+	// Row p of col holds pixel p of each channel.
+	for p := 0; p < 9; p++ {
+		if col[p*2] != float64(p) || col[p*2+1] != float64(9+p) {
+			t.Fatalf("pixel %d: got (%g,%g)", p, col[p*2], col[p*2+1])
+		}
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, OutC: 1, K: 3, Stride: 1, Pad: 1}
+	img := []float64{1, 2, 3, 4}
+	col := make([]float64, g.ColRows()*g.ColCols())
+	g.Im2Col(img, col)
+	// Output position (0,0): the 3×3 patch centred at (0,0) has the
+	// image occupying the bottom-right 2×2.
+	row := col[:9]
+	want := []float64{0, 0, 0, 0, 1, 2, 0, 3, 4}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("padded patch got %v want %v", row, want)
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col — for all x,y:
+// <Im2Col(x), y> == <x, Col2Im(y)>. This is exactly the condition for
+// the conv backward pass to produce correct input gradients.
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	r := NewRNG(42)
+	for trial := 0; trial < 30; trial++ {
+		g := ConvGeom{
+			InC:    1 + r.Intn(3),
+			InH:    3 + r.Intn(5),
+			InW:    3 + r.Intn(5),
+			OutC:   1,
+			K:      1 + r.Intn(3),
+			Stride: 1 + r.Intn(2),
+			Pad:    r.Intn(2),
+		}
+		if g.Validate() != nil {
+			continue
+		}
+		x := make([]float64, g.InC*g.InH*g.InW)
+		y := make([]float64, g.ColRows()*g.ColCols())
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		cx := make([]float64, len(y))
+		g.Im2Col(x, cx)
+		lhs := 0.0
+		for i := range y {
+			lhs += cx[i] * y[i]
+		}
+		xy := make([]float64, len(x))
+		g.Col2Im(y, xy)
+		rhs := 0.0
+		for i := range x {
+			rhs += x[i] * xy[i]
+		}
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+			t.Fatalf("trial %d geom %+v: <Ax,y>=%g <x,Aᵀy>=%g", trial, g, lhs, rhs)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	n := 20000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 || math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal moments off: mean=%g var=%g", mean, variance)
+	}
+}
+
+func TestKaimingInitScale(t *testing.T) {
+	r := NewRNG(3)
+	w := New(200, 50)
+	w.FillKaiming(r, 50)
+	variance := 0.0
+	for _, v := range w.Data() {
+		variance += v * v
+	}
+	variance /= float64(w.Len())
+	if math.Abs(variance-2.0/50) > 0.01 {
+		t.Fatalf("Kaiming variance %g, want ~%g", variance, 2.0/50)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(77)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("splits should differ")
+	}
+}
