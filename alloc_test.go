@@ -1,0 +1,49 @@
+package steppingnet
+
+import (
+	"testing"
+
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+// TestPooledForwardSteadyStateAllocs pins the tentpole perf property:
+// with a warm scratch pool, the full eval forward of the benchmark
+// LeNet allocates nothing at all. If a layer starts allocating again
+// (a dropped Put, an escaping shape slice) this fails before the
+// benchmarks drift.
+func TestPooledForwardSteadyStateAllocs(t *testing.T) {
+	net, x := benchNet()
+	ctx := nn.Eval(4)
+	ctx.Scratch = tensor.NewPool()
+	for i := 0; i < 3; i++ { // warm the pool
+		ctx.Scratch.Put(net.Forward(x, ctx))
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		ctx.Scratch.Put(net.Forward(x, ctx))
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pooled forward allocates %v times per op, want 0", allocs)
+	}
+	hitRate := float64(ctx.Scratch.Hits) / float64(ctx.Scratch.Gets)
+	if hitRate < 0.9 {
+		t.Fatalf("pool hit rate %.2f, want ≥0.90 in steady state", hitRate)
+	}
+}
+
+// TestKernelEquivalenceThroughLayers cross-checks the whole rebuilt
+// forward path (compact transposed gather + ikj kernel + pooling)
+// against the same network run without any pool: identical outputs at
+// every subnet.
+func TestKernelEquivalenceThroughLayers(t *testing.T) {
+	net, x := benchNet()
+	for s := 1; s <= 4; s++ {
+		plain := net.Forward(x, nn.Eval(s))
+		ctx := nn.Eval(s)
+		ctx.Scratch = tensor.NewPool()
+		pooled := net.Forward(x, ctx)
+		if !tensor.Equal(plain, pooled, 1e-12) {
+			t.Fatalf("pooled forward diverges from plain forward at subnet %d", s)
+		}
+	}
+}

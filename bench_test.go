@@ -158,6 +158,21 @@ func BenchmarkMatMul64(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMul64Into is the allocation-free kernel on its own,
+// without the output-tensor allocation MatMul performs.
+func BenchmarkMatMul64Into(b *testing.B) {
+	r := tensor.NewRNG(1)
+	x := tensor.New(64, 64)
+	y := tensor.New(64, 64)
+	c := tensor.New(64, 64)
+	x.FillNormal(r, 0, 1)
+	y.FillNormal(r, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(c, x, y, false)
+	}
+}
+
 func BenchmarkIm2Col(b *testing.B) {
 	g := tensor.ConvGeom{InC: 16, InH: 16, InW: 16, OutC: 16, K: 3, Stride: 1, Pad: 1}
 	img := make([]float64, g.InC*g.InH*g.InW)
@@ -168,7 +183,7 @@ func BenchmarkIm2Col(b *testing.B) {
 	}
 }
 
-func benchConvNet(bn *testing.B) (*nn.Network, *tensor.Tensor) {
+func benchNet() (*nn.Network, *tensor.Tensor) {
 	r := tensor.NewRNG(2)
 	m := models.LeNet3C1L(models.Options{
 		Classes: 10, InC: 3, InH: 16, InW: 16, Expansion: 1.8,
@@ -180,7 +195,23 @@ func benchConvNet(bn *testing.B) (*nn.Network, *tensor.Tensor) {
 }
 
 func BenchmarkForwardLeNet3C1L(b *testing.B) {
-	net, x := benchConvNet(b)
+	net, x := benchNet()
+	// Steady-state inference: a per-goroutine scratch pool recycles
+	// every activation, so after warm-up the forward path allocates
+	// nothing (asserted by TestPooledForwardSteadyStateAllocs).
+	ctx := nn.Eval(4)
+	ctx.Scratch = tensor.NewPool()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := net.Forward(x, ctx)
+		ctx.Scratch.Put(out)
+	}
+}
+
+// BenchmarkForwardLeNet3C1LNoPool is the same forward without a
+// scratch pool — the allocation overhead the pool removes.
+func BenchmarkForwardLeNet3C1LNoPool(b *testing.B) {
+	net, x := benchNet()
 	ctx := nn.Eval(4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -189,14 +220,15 @@ func BenchmarkForwardLeNet3C1L(b *testing.B) {
 }
 
 func BenchmarkForwardBackwardLeNet3C1L(b *testing.B) {
-	net, x := benchConvNet(b)
-	ctx := &nn.Context{Subnet: 4, Train: true}
+	net, x := benchNet()
+	ctx := &nn.Context{Subnet: 4, Train: true, Scratch: tensor.NewPool()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := net.Forward(x, ctx)
-		grad := tensor.New(out.Shape()...)
+		grad := ctx.Scratch.GetUninit(out.Shape()...)
 		grad.Fill(0.01)
-		net.Backward(grad, ctx)
+		ctx.Scratch.Put(net.Backward(grad, ctx))
+		ctx.Scratch.Put(grad)
 		net.ZeroGrad()
 	}
 }
@@ -204,7 +236,7 @@ func BenchmarkForwardBackwardLeNet3C1L(b *testing.B) {
 // BenchmarkIncrementalStep measures the anytime engine's per-step
 // cost relative to the full forward above.
 func BenchmarkIncrementalStep(b *testing.B) {
-	net, x := benchConvNet(b)
+	net, x := benchNet()
 	// Spread units over 4 subnets.
 	r := tensor.NewRNG(9)
 	for _, l := range net.Layers() {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's verification gate. Run before every merge:
+#
+#   ./ci.sh            # vet + build + race tests + perf baseline
+#   ./ci.sh --quick    # skip the race detector (slow on 1-CPU boxes)
+#
+# The perf step regenerates BENCH_baseline.json via cmd/stepbench so a
+# reviewer can `git diff BENCH_baseline.json` and see exactly how a PR
+# moved the substrate numbers (ns/op, allocs/op) on the kernels the
+# ROADMAP's Performance section tracks. Noise on shared machines is
+# real: treat <15% ns/op movement as neutral, but any allocs/op
+# increase on a zero-alloc path as a regression.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "== go test (no race) =="
+    go test ./...
+else
+    echo "== go test -race =="
+    go test -race ./...
+fi
+
+echo "== perf baseline =="
+go run ./cmd/stepbench -bench BENCH_baseline.json

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"steppingnet/internal/infer"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/tensor"
+)
+
+// benchResult is one line of the perf baseline: enough to diff ns/op
+// and allocation behaviour across PRs without the full testing output.
+type benchResult struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	MFlops      float64 `json:"mflops,omitempty"`
+}
+
+type benchBaseline struct {
+	GoVersion string                 `json:"go_version"`
+	GOARCH    string                 `json:"goarch"`
+	NumCPU    int                    `json:"num_cpu"`
+	Results   map[string]benchResult `json:"results"`
+}
+
+// writeBenchBaseline runs the substrate benchmarks the repo's perf
+// targets are stated against (the blocked matmul kernel and the
+// zero-allocation forward/step paths) via testing.Benchmark and
+// writes them as JSON, so ci.sh can record a BENCH_baseline.json that
+// future PRs diff.
+func writeBenchBaseline(path string) error {
+	record := func(m map[string]benchResult, name string, flops int64, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		res := benchResult{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		if flops > 0 && r.NsPerOp() > 0 {
+			res.MFlops = float64(flops) / float64(r.NsPerOp()) * 1e3
+		}
+		m[name] = res
+		fmt.Printf("%-28s %10d ns/op %8d B/op %5d allocs/op\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	newMats := func(n int) (a, b, c *tensor.Tensor) {
+		r := tensor.NewRNG(1)
+		a, b, c = tensor.New(n, n), tensor.New(n, n), tensor.New(n, n)
+		a.FillNormal(r, 0, 1)
+		b.FillNormal(r, 0, 1)
+		return
+	}
+	newNet := func() (*nn.Network, *tensor.Tensor) {
+		r := tensor.NewRNG(2)
+		m := models.LeNet3C1L(models.Options{
+			Classes: 10, InC: 3, InH: 16, InW: 16, Expansion: 1.8,
+			Subnets: 4, Rule: nn.RuleIncremental, Seed: 3,
+		})
+		x := tensor.New(8, 3, 16, 16)
+		x.FillNormal(r, 0, 1)
+		return m.Net, x
+	}
+
+	results := make(map[string]benchResult)
+
+	record(results, "matmul64", 2*64*64*64, func(b *testing.B) {
+		x, y, _ := newMats(64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(x, y)
+		}
+	})
+	record(results, "matmul64_into", 2*64*64*64, func(b *testing.B) {
+		x, y, c := newMats(64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(c, x, y, false)
+		}
+	})
+	record(results, "matmul128_into", 2*128*128*128, func(b *testing.B) {
+		x, y, c := newMats(128)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(c, x, y, false)
+		}
+	})
+	record(results, "forward_lenet3c1l", 0, func(b *testing.B) {
+		net, x := newNet()
+		ctx := nn.Eval(4)
+		ctx.Scratch = tensor.NewPool()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Scratch.Put(net.Forward(x, ctx))
+		}
+	})
+	record(results, "anytime_walk_lenet3c1l", 0, func(b *testing.B) {
+		net, x := newNet()
+		e := infer.NewEngine(net)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Reset(x)
+			for s := 1; s <= 4; s++ {
+				e.MustStep(s)
+			}
+		}
+	})
+
+	out := benchBaseline{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -28,7 +28,16 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,fig7,fig8,reuse or all")
 	scale := flag.String("scale", "quick", "problem scale: tiny, quick or full")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	benchOut := flag.String("bench", "", "run the substrate perf benchmarks, write the JSON baseline to this file and exit")
 	flag.Parse()
+
+	if *benchOut != "" {
+		if err := writeBenchBaseline(*benchOut); err != nil {
+			log.Fatalf("bench baseline: %v", err)
+		}
+		log.Printf("wrote %s", *benchOut)
+		return
+	}
 
 	var sc experiments.Scale
 	switch *scale {

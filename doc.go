@@ -15,6 +15,26 @@
 // (internal/experiments). Entry points are cmd/steppingnet,
 // cmd/stepbench and the programs under examples/.
 //
+// # Compute substrate
+//
+// All MACs funnel through three raw-slice kernels in internal/tensor
+// (Gemm, GemmTransA, GemmTransB): register-tiled 2×4 micro-kernels
+// that skip all-zero panels of masked weight matrices, with a
+// work-stealing row scheduler that fans large products out across
+// GOMAXPROCS goroutines (small shapes stay on the serial path; see
+// gemmMinParFlops). Convolution is im2col plus one compact matmul per
+// image over a transposed gather of the subnet's active filters, so a
+// small subnet pays only for its own width.
+//
+// Hot paths are allocation-free in the steady state: a tensor.Pool
+// (per goroutine, nil-safe) recycles every activation and temporary.
+// nn.Context.Scratch threads the pool through Forward/Backward — see
+// its comment for the ownership rules — and infer.Engine keeps one
+// pool per batch-parallel worker while sharding a batch across
+// goroutines without breaking the incremental-reuse audit.
+// BENCH_baseline.json records the substrate's reference numbers
+// (regenerate with ./ci.sh or `go run ./cmd/stepbench -bench`).
+//
 // The benchmarks in bench_test.go regenerate each table/figure:
 //
 //	go test -bench=. -benchmem

@@ -1,0 +1,3 @@
+module steppingnet
+
+go 1.24

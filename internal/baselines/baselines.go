@@ -186,16 +186,18 @@ func TrainJoint(net *nn.Network, train *data.Dataset, cfg Config, useModes bool)
 	cfg = cfg.WithDefaults()
 	rng := tensor.NewRNG(cfg.Seed ^ 0xB45E)
 	opt := optim.NewSGD(cfg.LR, cfg.Momentum, 1e-4)
+	pool := tensor.NewPool()
 	for e := 0; e < cfg.Epochs; e++ {
 		train.Batches(rng, cfg.BatchSize, func(x *tensor.Tensor, y []int) {
 			for s := 1; s <= cfg.Subnets; s++ {
-				ctx := &nn.Context{Subnet: s, Train: true}
+				ctx := &nn.Context{Subnet: s, Train: true, Scratch: pool}
 				if useModes {
 					ctx.Mode = s
 				}
 				logits := net.Forward(x, ctx)
 				_, grad := loss.CrossEntropy(logits, y)
-				net.Backward(grad, ctx)
+				pool.Put(net.Backward(grad, ctx))
+				pool.Put(grad)
 				opt.Step(net.Params())
 			}
 		})
@@ -222,7 +224,8 @@ func Curve(net *nn.Network, test *data.Dataset, cfg Config, refMACs int64) []Ope
 // switchable BatchNorm; duplicated here to avoid a dependency cycle
 // if core ever grows baseline hooks.
 func evaluateMode(net *nn.Network, ds *data.Dataset, s, batchSize int) float64 {
-	ctx := &nn.Context{Subnet: s, Mode: s}
+	pool := tensor.NewPool()
+	ctx := &nn.Context{Subnet: s, Mode: s, Scratch: pool}
 	correct, total := 0, 0
 	for start := 0; start < ds.Len(); start += batchSize {
 		end := start + batchSize
@@ -237,6 +240,7 @@ func evaluateMode(net *nn.Network, ds *data.Dataset, s, batchSize int) float64 {
 		logits := net.Forward(x, ctx)
 		correct += int(loss.Accuracy(logits, y)*float64(len(y)) + 0.5)
 		total += len(y)
+		pool.Put(logits)
 	}
 	if total == 0 {
 		return 0

@@ -40,6 +40,7 @@ func Construct(model *models.Model, train *data.Dataset, cfg Config, refMACs int
 	net := model.Net
 	net.EnableImportance(n)
 	opt := optim.NewSGD(cfg.LR, cfg.Momentum, 1e-4)
+	pool := tensor.NewPool()
 
 	// Absolute budgets P_i and the per-iteration movement quota
 	// (P_t − P_1)/N_t, where P_t is the full expanded network's MACs
@@ -67,7 +68,7 @@ func Construct(model *models.Model, train *data.Dataset, cfg Config, refMACs int
 					return
 				}
 				for s := 1; s <= n; s++ {
-					trainStep(net, opt, x, y, s, cfg.Beta, true)
+					trainStep(net, opt, x, y, s, cfg.Beta, true, pool)
 				}
 				trained++
 			})

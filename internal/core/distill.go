@@ -19,16 +19,19 @@ func Distill(student *nn.Network, teacher *nn.Network, train *data.Dataset, cfg 
 	rng := tensor.NewRNG(cfg.Seed ^ 0xD157)
 	opt := optim.NewSGD(cfg.LR*0.5, cfg.Momentum, 1e-4)
 	n := cfg.Subnets
+	pool := tensor.NewPool()
 
 	for e := 0; e < cfg.DistillEpochs; e++ {
 		train.Batches(rng, cfg.BatchSize, func(x *tensor.Tensor, y []int) {
 			var teacherProbs *tensor.Tensor
 			if teacher != nil {
-				logits := teacher.Forward(x, nn.Eval(1))
+				tctx := &nn.Context{Subnet: 1, Scratch: pool}
+				logits := teacher.Forward(x, tctx)
 				teacherProbs = loss.Softmax(logits)
+				pool.Put(logits)
 			}
 			for s := 1; s <= n; s++ {
-				ctx := &nn.Context{Subnet: s, Mode: s, Train: true, Beta: cfg.Beta}
+				ctx := &nn.Context{Subnet: s, Mode: s, Train: true, Beta: cfg.Beta, Scratch: pool}
 				logits := student.Forward(x, ctx)
 				var grad *tensor.Tensor
 				if teacherProbs != nil {
@@ -36,9 +39,11 @@ func Distill(student *nn.Network, teacher *nn.Network, train *data.Dataset, cfg 
 				} else {
 					_, grad = loss.CrossEntropy(logits, y)
 				}
-				student.Backward(grad, ctx)
+				pool.Put(student.Backward(grad, ctx))
+				pool.Put(grad)
 				opt.Step(student.Params())
 			}
+			pool.Put(teacherProbs)
 		})
 	}
 }

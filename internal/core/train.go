@@ -13,14 +13,16 @@ import (
 // It returns the final training loss.
 func TrainPlain(net *nn.Network, ds *data.Dataset, epochs, batchSize int, lr, momentum float64, rng *tensor.RNG) float64 {
 	opt := optim.NewSGD(lr, momentum, 1e-4)
-	ctx := &nn.Context{Subnet: 1, Train: true}
+	pool := tensor.NewPool()
+	ctx := &nn.Context{Subnet: 1, Train: true, Scratch: pool}
 	last := 0.0
 	for e := 0; e < epochs; e++ {
 		ds.Batches(rng, batchSize, func(x *tensor.Tensor, y []int) {
 			logits := net.Forward(x, ctx)
 			l, grad := loss.CrossEntropy(logits, y)
 			last = l
-			net.Backward(grad, ctx)
+			pool.Put(net.Backward(grad, ctx))
+			pool.Put(grad)
 			opt.Step(net.Params())
 		})
 	}
@@ -30,7 +32,8 @@ func TrainPlain(net *nn.Network, ds *data.Dataset, epochs, batchSize int, lr, mo
 // Evaluate returns classification accuracy of the network running
 // subnet s over the dataset.
 func Evaluate(net *nn.Network, ds *data.Dataset, s, batchSize int) float64 {
-	ctx := &nn.Context{Subnet: s, Mode: s}
+	pool := tensor.NewPool()
+	ctx := &nn.Context{Subnet: s, Mode: s, Scratch: pool}
 	correct, total := 0, 0
 	for start := 0; start < ds.Len(); start += batchSize {
 		end := start + batchSize
@@ -45,6 +48,7 @@ func Evaluate(net *nn.Network, ds *data.Dataset, s, batchSize int) float64 {
 		logits := net.Forward(x, ctx)
 		correct += int(loss.Accuracy(logits, y)*float64(len(y)) + 0.5)
 		total += len(y)
+		pool.Put(logits)
 	}
 	if total == 0 {
 		return 0
@@ -54,12 +58,14 @@ func Evaluate(net *nn.Network, ds *data.Dataset, s, batchSize int) float64 {
 
 // trainStep runs one forward/backward/update of the student at
 // subnet s on a batch with cross-entropy, optional importance
-// accumulation and β suppression.
-func trainStep(net *nn.Network, opt *optim.SGD, x *tensor.Tensor, y []int, s int, beta float64, accumulate bool) float64 {
-	ctx := &nn.Context{Subnet: s, Mode: s, Train: true, Beta: beta, AccumulateImportance: accumulate}
+// accumulation and β suppression. pool supplies (and receives back)
+// the step's scratch buffers; nil is allowed.
+func trainStep(net *nn.Network, opt *optim.SGD, x *tensor.Tensor, y []int, s int, beta float64, accumulate bool, pool *tensor.Pool) float64 {
+	ctx := &nn.Context{Subnet: s, Mode: s, Train: true, Beta: beta, AccumulateImportance: accumulate, Scratch: pool}
 	logits := net.Forward(x, ctx)
 	l, grad := loss.CrossEntropy(logits, y)
-	net.Backward(grad, ctx)
+	pool.Put(net.Backward(grad, ctx))
+	pool.Put(grad)
 	opt.Step(net.Params())
 	return l
 }

@@ -10,6 +10,8 @@ package infer
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"steppingnet/internal/nn"
 	"steppingnet/internal/tensor"
@@ -17,7 +19,12 @@ import (
 
 // Engine executes one input batch through a masked network
 // incrementally, caching per-layer activations between subnet
-// switches.
+// switches. Activations and temporaries are drawn from internal
+// buffer pools, so steady-state stepping allocates (almost) nothing;
+// batches large enough to shard are fanned out across GOMAXPROCS
+// worker goroutines, each with its own pool (every layer treats the
+// batch dimension independently, so sharding preserves the
+// incremental-reuse semantics exactly).
 type Engine struct {
 	net   *nn.Network
 	input *tensor.Tensor
@@ -30,6 +37,13 @@ type Engine struct {
 	// tests and demos, not hot paths.
 	Audit bool
 
+	// Workers caps the batch-parallel fan-out; 0 means GOMAXPROCS.
+	// Set 1 to force the serial path.
+	Workers int
+
+	pool   *tensor.Pool   // owner-goroutine scratch; backs the cache tensors
+	wpools []*tensor.Pool // per-worker scratch for the sharded path
+
 	totalMACs int64
 }
 
@@ -37,13 +51,19 @@ type Engine struct {
 // nn.Incremental or be masked RuleShared layers (which are recomputed
 // per step) or parameter-free layers.
 func NewEngine(net *nn.Network) *Engine {
-	return &Engine{net: net, cache: make([]*tensor.Tensor, len(net.Layers()))}
+	return &Engine{
+		net:   net,
+		cache: make([]*tensor.Tensor, len(net.Layers())),
+		pool:  tensor.NewPool(),
+	}
 }
 
-// Reset installs a new input batch and clears all cached activations.
+// Reset installs a new input batch and clears all cached activations
+// (recycling their buffers for the next walk).
 func (e *Engine) Reset(x *tensor.Tensor) {
 	e.input = x
 	for i := range e.cache {
+		e.pool.Put(e.cache[i])
 		e.cache[i] = nil
 	}
 	e.cur = 0
@@ -58,10 +78,12 @@ func (e *Engine) Current() int { return e.cur }
 func (e *Engine) TotalMACs() int64 { return e.totalMACs }
 
 // Step moves the engine to subnet s and returns the network output
-// for subnet s plus the MACs this transition actually executed.
-// Stepping up computes only newly activated units; stepping down
-// executes zero backbone MACs (the head, being recomputed per
-// subnet, is charged on every step).
+// for subnet s plus the MACs this transition actually executed (per
+// image, as everywhere in this reproduction). Stepping up computes
+// only newly activated units; stepping down executes zero backbone
+// MACs (the head, being recomputed per subnet, is charged on every
+// step). The returned tensor is owned by the engine and valid until
+// the next Step or Reset.
 func (e *Engine) Step(s int) (*tensor.Tensor, int64, error) {
 	if e.input == nil {
 		return nil, 0, fmt.Errorf("infer: Step before Reset")
@@ -73,35 +95,140 @@ func (e *Engine) Step(s int) (*tensor.Tensor, int64, error) {
 	if s < sPrev {
 		sPrev = s // stepping down: reuse only units active in s
 	}
+
+	var stepMACs int64
+	batch := e.input.Dim(0)
+	if w := e.workers(batch); w > 1 {
+		stepMACs = e.stepParallel(s, sPrev, w)
+	} else {
+		stepMACs = e.stepSerial(s, sPrev)
+	}
+	e.cur = s
+	e.totalMACs += stepMACs
+	out := e.cache[len(e.cache)-1]
+
+	if e.Audit {
+		ctx := &nn.Context{Subnet: s, Scratch: e.pool}
+		want := e.net.Forward(e.input, ctx)
+		ok := tensor.Equal(out, want, 1e-9)
+		e.pool.Put(want)
+		if !ok {
+			panic(fmt.Sprintf("infer: incremental output diverged from full forward at subnet %d", s))
+		}
+	}
+	return out, stepMACs, nil
+}
+
+// workers decides the fan-out for this batch.
+func (e *Engine) workers(batch int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > batch {
+		w = batch
+	}
+	return w
+}
+
+// stepLayer advances one layer of one (sub-)batch, mirroring the
+// paper's per-layer dispatch: RuleShared layers recompute from
+// scratch, Incremental layers reuse the cache, parameter-free layers
+// just run.
+func stepLayer(l nn.Layer, x, cached *tensor.Tensor, sPrev, s int, pool *tensor.Pool) (*tensor.Tensor, int64) {
+	if m, ok := l.(nn.Masked); ok && m.Rule() == nn.RuleShared {
+		// Recompute-per-subnet layer (classifier head or slimmable
+		// backbone): no reuse is possible.
+		return l.Forward(x, &nn.Context{Subnet: s, Scratch: pool}), m.MACs(s)
+	}
+	if inc, ok := l.(nn.Incremental); ok {
+		return inc.ForwardIncremental(x, cached, sPrev, s, pool)
+	}
+	return l.Forward(x, &nn.Context{Subnet: s, Scratch: pool}), 0
+}
+
+// stepSerial walks the whole batch through the layer stack on the
+// calling goroutine, recycling each superseded cache tensor.
+func (e *Engine) stepSerial(s, sPrev int) int64 {
 	var stepMACs int64
 	x := e.input
 	for i, l := range e.net.Layers() {
-		var out *tensor.Tensor
-		var macs int64
-		if m, ok := l.(nn.Masked); ok && m.Rule() == nn.RuleShared {
-			// Recompute-per-subnet layer (classifier head or
-			// slimmable backbone): no reuse is possible.
-			out = l.Forward(x, nn.Eval(s))
-			macs = m.MACs(s)
-		} else if inc, ok := l.(nn.Incremental); ok {
-			out, macs = inc.ForwardIncremental(x, e.cache[i], sPrev, s)
-		} else {
-			out = l.Forward(x, nn.Eval(s))
-		}
+		out, macs := stepLayer(l, x, e.cache[i], sPrev, s, e.pool)
+		e.pool.Put(e.cache[i]) // superseded by out; safe to recycle now
 		e.cache[i] = out
 		x = out
 		stepMACs += macs
 	}
-	e.cur = s
-	e.totalMACs += stepMACs
+	return stepMACs
+}
 
-	if e.Audit {
-		want := e.net.Forward(e.input, nn.Eval(s))
-		if !tensor.Equal(x, want, 1e-9) {
-			panic(fmt.Sprintf("infer: incremental output diverged from full forward at subnet %d", s))
-		}
+// stepParallel shards the batch into w contiguous row ranges, walks
+// each shard through the full layer stack on its own goroutine (with
+// its own pool — layers' incremental paths touch no shared state),
+// then assembles full-batch cache tensors from the shard outputs.
+// MAC accounting is per image and identical across shards, so the
+// first shard's counts are authoritative.
+func (e *Engine) stepParallel(s, sPrev, w int) int64 {
+	layers := e.net.Layers()
+	batch := e.input.Dim(0)
+	for len(e.wpools) < w {
+		e.wpools = append(e.wpools, tensor.NewPool())
 	}
-	return x, stepMACs, nil
+
+	type shardResult struct {
+		outs []*tensor.Tensor
+		macs []int64
+	}
+	results := make([]shardResult, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wi := 0; wi < w; wi++ {
+		b0 := wi * batch / w
+		b1 := (wi + 1) * batch / w
+		go func(wi, b0, b1 int) {
+			defer wg.Done()
+			pool := e.wpools[wi]
+			outs := make([]*tensor.Tensor, len(layers))
+			macs := make([]int64, len(layers))
+			x := viewRows(e.input, b0, b1)
+			for i, l := range layers {
+				var cached *tensor.Tensor
+				if e.cache[i] != nil {
+					cached = viewRows(e.cache[i], b0, b1)
+				}
+				outs[i], macs[i] = stepLayer(l, x, cached, sPrev, s, pool)
+				x = outs[i]
+			}
+			results[wi] = shardResult{outs, macs}
+		}(wi, b0, b1)
+	}
+	wg.Wait()
+
+	var stepMACs int64
+	for i := range layers {
+		shape := append([]int{batch}, results[0].outs[i].Shape()[1:]...)
+		full := e.pool.GetUninit(shape...) // shard copies cover every row
+		fd := full.Data()
+		rowLen := full.Len() / batch
+		for wi := 0; wi < w; wi++ {
+			b0 := wi * batch / w
+			shard := results[wi].outs[i]
+			copy(fd[b0*rowLen:b0*rowLen+shard.Len()], shard.Data())
+			e.wpools[wi].Put(shard)
+		}
+		e.pool.Put(e.cache[i])
+		e.cache[i] = full
+		stepMACs += results[0].macs[i]
+	}
+	return stepMACs
+}
+
+// viewRows returns a no-copy view of rows [b0,b1) of a batch-major
+// tensor.
+func viewRows(t *tensor.Tensor, b0, b1 int) *tensor.Tensor {
+	rowLen := t.Len() / t.Dim(0)
+	shape := append([]int{b1 - b0}, t.Shape()[1:]...)
+	return tensor.FromSlice(t.Data()[b0*rowLen:b1*rowLen], shape...)
 }
 
 // MustStep is Step for code paths where the engine is known to be

@@ -171,3 +171,89 @@ func TestRepeatedStepSameSubnetChargesHeadOnly(t *testing.T) {
 		t.Fatalf("re-step cost %d, want head-only %d", macs, m.Head.MACs(2))
 	}
 }
+
+// TestBatchParallelMatchesSerial walks serial and sharded engines in
+// lockstep over random subnet sequences: outputs and MAC accounting
+// must be identical, and with Audit every step is also cross-checked
+// against a from-scratch forward. Run under -race this exercises the
+// worker fan-out for data races even on a single-CPU machine.
+func TestBatchParallelMatchesSerial(t *testing.T) {
+	m := buildModel(21)
+	x := tensor.New(8, 1, 8, 8) // batch large enough to shard 4 ways
+	x.FillNormal(tensor.NewRNG(22), 0, 1)
+
+	serial := NewEngine(m.Net)
+	serial.Workers = 1
+	serial.Audit = true
+	parallel := NewEngine(m.Net)
+	parallel.Workers = 4
+	parallel.Audit = true
+
+	serial.Reset(x)
+	parallel.Reset(x)
+	r := tensor.NewRNG(23)
+	for step := 0; step < 10; step++ {
+		s := 1 + r.Intn(3)
+		wantOut, wantMACs, err := serial.Step(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOut, gotMACs, err := parallel.Step(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotMACs != wantMACs {
+			t.Fatalf("step %d to subnet %d: parallel %d MACs, serial %d", step, s, gotMACs, wantMACs)
+		}
+		if !tensor.Equal(gotOut, wantOut, 1e-12) {
+			t.Fatalf("step %d to subnet %d: parallel output diverges", step, s)
+		}
+	}
+	if serial.TotalMACs() != parallel.TotalMACs() {
+		t.Fatalf("total MACs diverge: %d vs %d", serial.TotalMACs(), parallel.TotalMACs())
+	}
+}
+
+// TestBatchParallelOddShards covers shard boundaries that do not
+// divide the batch evenly.
+func TestBatchParallelOddShards(t *testing.T) {
+	m := buildModel(31)
+	x := tensor.New(7, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(32), 0, 1)
+	e := NewEngine(m.Net)
+	e.Workers = 3
+	e.Audit = true // every step checked against the full forward
+	e.Reset(x)
+	for _, s := range []int{2, 3, 1, 3} {
+		if _, _, err := e.Step(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStepSteadyStateAllocs pins the zero-allocation claim for the
+// serial engine: once the pools are warm, stepping allocates almost
+// nothing (a handful of small slice headers for the per-step
+// bookkeeping, no activation buffers).
+func TestStepSteadyStateAllocs(t *testing.T) {
+	m := buildModel(41)
+	x := input(42)
+	e := NewEngine(m.Net)
+	e.Workers = 1
+	e.Reset(x)
+	for s := 1; s <= 3; s++ {
+		e.MustStep(s) // warm the pools
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		e.Reset(x)
+		for s := 1; s <= 3; s++ {
+			e.MustStep(s)
+		}
+	})
+	// The engine itself is allocation-free in steady state; the dense
+	// head's incremental path builds one small index slice per layer
+	// step. Anything above this budget is a pooling regression.
+	if allocs > 16 {
+		t.Fatalf("steady-state walk allocates %v times per run", allocs)
+	}
+}

@@ -6,7 +6,8 @@ import "steppingnet/internal/tensor"
 // has no parameters and no MACs; the paper's φ in Eq. 1.
 type ReLU struct {
 	name string
-	mask []bool // true where input > 0, cached for backward
+	mask []bool         // true where input > 0, cached for backward
+	out  *tensor.Tensor // previous train-mode output, self-recycled
 }
 
 // NewReLU constructs the activation.
@@ -16,29 +17,43 @@ func (r *ReLU) Name() string     { return r.name }
 func (r *ReLU) Params() []*Param { return nil }
 
 func (r *ReLU) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
-	od, xd := out.Data(), x.Data()
 	if ctx.Train {
-		if cap(r.mask) < len(xd) {
-			r.mask = make([]bool, len(xd))
-		}
-		r.mask = r.mask[:len(xd)]
+		// The previous step's output (held downstream only as a stale
+		// cache by now) is dead; recycle it.
+		ctx.Scratch.Put(r.out)
+		r.out = nil
 	}
+	out := ctx.Scratch.GetUninit(x.Shape()...)
+	od, xd := out.Data(), x.Data()
+	if !ctx.Train {
+		for i, v := range xd {
+			if v > 0 {
+				od[i] = v
+			} else {
+				od[i] = 0
+			}
+		}
+		return out
+	}
+	if cap(r.mask) < len(xd) {
+		r.mask = make([]bool, len(xd))
+	}
+	r.mask = r.mask[:len(xd)]
 	for i, v := range xd {
 		if v > 0 {
 			od[i] = v
-			if ctx.Train {
-				r.mask[i] = true
-			}
-		} else if ctx.Train {
+			r.mask[i] = true
+		} else {
+			od[i] = 0
 			r.mask[i] = false
 		}
 	}
+	r.out = out
 	return out
 }
 
 func (r *ReLU) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := ctx.Scratch.Get(grad.Shape()...)
 	od, gd := out.Data(), grad.Data()
 	for i, g := range gd {
 		if r.mask[i] {
@@ -50,12 +65,14 @@ func (r *ReLU) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 
 // ForwardIncremental recomputes the activation; it costs no MACs and
 // element-wise ops preserve the reuse property trivially.
-func (r *ReLU) ForwardIncremental(x, _ *tensor.Tensor, _, _ int) (*tensor.Tensor, int64) {
-	out := tensor.New(x.Shape()...)
+func (r *ReLU) ForwardIncremental(x, _ *tensor.Tensor, _, _ int, pool *tensor.Pool) (*tensor.Tensor, int64) {
+	out := pool.GetUninit(x.Shape()...)
 	od, xd := out.Data(), x.Data()
 	for i, v := range xd {
 		if v > 0 {
 			od[i] = v
+		} else {
+			od[i] = 0
 		}
 	}
 	return out, 0

@@ -24,7 +24,11 @@ func (s *Sigmoid) Name() string     { return s.name }
 func (s *Sigmoid) Params() []*Param { return nil }
 
 func (s *Sigmoid) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	if ctx.Train {
+		ctx.Scratch.Put(s.out) // previous step's cache is dead
+		s.out = nil
+	}
+	out := ctx.Scratch.GetUninit(x.Shape()...)
 	od, xd := out.Data(), x.Data()
 	for i, v := range xd {
 		od[i] = 1 / (1 + math.Exp(-v))
@@ -36,7 +40,7 @@ func (s *Sigmoid) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 }
 
 func (s *Sigmoid) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := ctx.Scratch.GetUninit(grad.Shape()...)
 	od, gd, yd := out.Data(), grad.Data(), s.out.Data()
 	for i, g := range gd {
 		od[i] = g * yd[i] * (1 - yd[i])
@@ -59,7 +63,11 @@ func (t *Tanh) Name() string     { return t.name }
 func (t *Tanh) Params() []*Param { return nil }
 
 func (t *Tanh) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	if ctx.Train {
+		ctx.Scratch.Put(t.out) // previous step's cache is dead
+		t.out = nil
+	}
+	out := ctx.Scratch.GetUninit(x.Shape()...)
 	od, xd := out.Data(), x.Data()
 	for i, v := range xd {
 		od[i] = math.Tanh(v)
@@ -71,7 +79,7 @@ func (t *Tanh) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 }
 
 func (t *Tanh) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := ctx.Scratch.GetUninit(grad.Shape()...)
 	od, gd, yd := out.Data(), grad.Data(), t.out.Data()
 	for i, g := range gd {
 		od[i] = g * (1 - yd[i]*yd[i])
@@ -80,8 +88,8 @@ func (t *Tanh) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 }
 
 // ForwardIncremental recomputes tanh; zero MACs, zero-preserving.
-func (t *Tanh) ForwardIncremental(x, _ *tensor.Tensor, _, _ int) (*tensor.Tensor, int64) {
-	out := tensor.New(x.Shape()...)
+func (t *Tanh) ForwardIncremental(x, _ *tensor.Tensor, _, _ int, pool *tensor.Pool) (*tensor.Tensor, int64) {
+	out := pool.GetUninit(x.Shape()...)
 	od, xd := out.Data(), x.Data()
 	for i, v := range xd {
 		od[i] = math.Tanh(v)

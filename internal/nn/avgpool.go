@@ -12,6 +12,7 @@ import (
 type AvgPool2D struct {
 	name       string
 	c, h, w, k int
+	out        *tensor.Tensor // previous train-mode output, self-recycled
 }
 
 // NewAvgPool2D constructs the layer for inputs of shape [B, c, h, w].
@@ -41,7 +42,14 @@ func (m *AvgPool2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	}
 	batch := x.Dim(0)
 	oh, ow := m.OutH(), m.OutW()
-	out := tensor.New(batch, m.c, oh, ow)
+	if ctx.Train {
+		ctx.Scratch.Put(m.out) // previous step's output is dead
+		m.out = nil
+	}
+	out := ctx.Scratch.GetUninit(batch, m.c, oh, ow)
+	if ctx.Train {
+		m.out = out
+	}
 	xd, od := x.Data(), out.Data()
 	inv := 1 / float64(m.k*m.k)
 	for b := 0; b < batch; b++ {
@@ -67,7 +75,7 @@ func (m *AvgPool2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 func (m *AvgPool2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	batch := grad.Dim(0)
 	oh, ow := m.OutH(), m.OutW()
-	out := tensor.New(batch, m.c, m.h, m.w)
+	out := ctx.Scratch.Get(batch, m.c, m.h, m.w)
 	od, gd := out.Data(), grad.Data()
 	inv := 1 / float64(m.k*m.k)
 	for b := 0; b < batch; b++ {
@@ -91,8 +99,8 @@ func (m *AvgPool2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 
 // ForwardIncremental recomputes pooling (zero MACs; per-channel, so
 // reuse-safe).
-func (m *AvgPool2D) ForwardIncremental(x, _ *tensor.Tensor, _, _ int) (*tensor.Tensor, int64) {
-	return m.Forward(x, &Context{Subnet: 1 << 30}), 0
+func (m *AvgPool2D) ForwardIncremental(x, _ *tensor.Tensor, _, _ int, pool *tensor.Pool) (*tensor.Tensor, int64) {
+	return m.Forward(x, &Context{Subnet: 1 << 30, Scratch: pool}), 0
 }
 
 var _ Incremental = (*AvgPool2D)(nil)

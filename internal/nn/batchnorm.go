@@ -27,6 +27,7 @@ type SwitchableBatchNorm2D struct {
 
 	// caches for backward
 	x      *tensor.Tensor
+	out    *tensor.Tensor // previous train-mode output, self-recycled
 	xhat   []float64
 	mean   []float64
 	invStd []float64
@@ -88,19 +89,28 @@ func (bn *SwitchableBatchNorm2D) Forward(x *tensor.Tensor, ctx *Context) *tensor
 	mode := bn.modeIndex(ctx)
 	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	n := batch * h * w
-	out := tensor.New(x.Shape()...)
+	if ctx.Train {
+		ctx.Scratch.Put(bn.out) // previous step's output is dead
+		bn.out = nil
+	}
+	out := ctx.Scratch.GetUninit(x.Shape()...)
 	xd, od := x.Data(), out.Data()
 	gd, bd := bn.gamma[mode].Value.Data(), bn.beta[mode].Value.Data()
 
 	if ctx.Train {
 		bn.x = x
+		bn.out = out
 		bn.mode = mode
 		if cap(bn.xhat) < x.Len() {
 			bn.xhat = make([]float64, x.Len())
 		}
 		bn.xhat = bn.xhat[:x.Len()]
-		bn.mean = make([]float64, bn.c)
-		bn.invStd = make([]float64, bn.c)
+		if cap(bn.mean) < bn.c {
+			bn.mean = make([]float64, bn.c)
+			bn.invStd = make([]float64, bn.c)
+		}
+		bn.mean = bn.mean[:bn.c]
+		bn.invStd = bn.invStd[:bn.c]
 	}
 
 	for ch := 0; ch < bn.c; ch++ {
@@ -153,7 +163,7 @@ func (bn *SwitchableBatchNorm2D) Backward(grad *tensor.Tensor, ctx *Context) *te
 	mode := bn.mode
 	batch, h, w := grad.Dim(0), grad.Dim(2), grad.Dim(3)
 	n := float64(batch * h * w)
-	out := tensor.New(grad.Shape()...)
+	out := ctx.Scratch.GetUninit(grad.Shape()...)
 	gd, od := grad.Data(), out.Data()
 	gamma := bn.gamma[mode].Value.Data()
 	gGamma := bn.gamma[mode].Grad.Data()

@@ -1,6 +1,9 @@
 package nn
 
-import "steppingnet/internal/subnet"
+import (
+	"steppingnet/internal/subnet"
+	"steppingnet/internal/tensor"
+)
 
 // Context carries per-pass state through Forward/Backward. A fresh
 // Context per training step keeps layers stateless across subnets.
@@ -24,6 +27,20 @@ type Context struct {
 	// BatchNorm layers (slimmable baseline). Modes are indexed like
 	// subnets, 1..N; 0 means "use set 1".
 	Mode int
+	// Scratch, when non-nil, is a per-goroutine buffer arena the
+	// layers draw their outputs and temporaries from, making the
+	// steady-state forward/backward path allocation-free. All Pool
+	// methods are nil-safe, so layers use ctx.Scratch unconditionally
+	// and a nil pool degrades to plain allocation.
+	//
+	// Ownership: in eval mode Network.Forward recycles every
+	// intermediate activation and the CALLER owns the final output
+	// (Put it back when done). In train mode layers keep their cached
+	// activations (x, z, im2col matrices) alive until their next
+	// Train forward, where they self-recycle; the caller owns the
+	// loss gradient it feeds Backward and the input gradient Backward
+	// returns. Never share one Pool between goroutines.
+	Scratch *tensor.Pool
 }
 
 // FullContext returns an inference context that activates every unit:

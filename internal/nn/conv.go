@@ -118,26 +118,110 @@ func (c *Conv2D) weightActive(o, col, s int) bool {
 	return !c.pruned[o*c.geom.ColCols()+col]
 }
 
-// effectiveWeights materializes the masked filter matrix for subnet s.
-func (c *Conv2D) effectiveWeights(s int) *tensor.Tensor {
-	cc := c.geom.ColCols()
-	weff := tensor.New(c.geom.OutC, cc)
+// effectiveWeightsInto materializes the masked filter matrix for
+// subnet s into weff, which must be outC×ColCols and is fully
+// overwritten (inactive entries become zero). The structural rule is
+// resolved once per input channel, not per weight.
+func (c *Conv2D) effectiveWeightsInto(weff *tensor.Tensor, s int) {
+	g := c.geom
+	cc, kk := g.ColCols(), g.K*g.K
 	wd, ed := c.w.Value.Data(), weff.Data()
-	for o := 0; o < c.geom.OutC; o++ {
-		if c.assign.ID(o) > s {
+	for o := 0; o < g.OutC; o++ {
+		row := o * cc
+		outID := c.assign.ID(o)
+		if outID > s {
+			clear(ed[row : row+cc])
 			continue
 		}
-		row := o * cc
-		for col := 0; col < cc; col++ {
-			if c.weightActive(o, col, s) {
-				ed[row+col] = wd[row+col]
+		erow := ed[row : row+cc]
+		wrow := wd[row : row+cc]
+		prow := c.pruned[row : row+cc]
+		for ch := 0; ch < g.InC; ch++ {
+			base := ch * kk
+			if !c.channelActive(ch, outID, s) {
+				clear(erow[base : base+kk])
+				continue
+			}
+			for k := base; k < base+kk; k++ {
+				if prow[k] {
+					erow[k] = 0
+				} else {
+					erow[k] = wrow[k]
+				}
 			}
 		}
 	}
-	return weff
 }
 
-// Forward computes the masked convolution.
+// channelActive resolves the structural mask rule for one input
+// channel feeding a filter with the given assignment.
+func (c *Conv2D) channelActive(ch, outID, s int) bool {
+	inID := c.assignIn.ID(ch)
+	switch c.rule {
+	case RuleIncremental:
+		return inID <= outID
+	case RuleShared:
+		return inID <= s
+	}
+	return true
+}
+
+// countFilters reports how many filters have lo < assignment ≤ s —
+// the column count of the matrix gatherFiltersT(lo, s) fills.
+func (c *Conv2D) countFilters(lo, s int) int {
+	n := 0
+	for o := 0; o < c.geom.OutC; o++ {
+		if id := c.assign.ID(o); id > lo && id <= s {
+			n++
+		}
+	}
+	return n
+}
+
+// gatherFiltersT writes the masked weight rows of the filters with
+// lo < assignment ≤ s (in ascending filter order) into wt in
+// transposed ColCols×countFilters(lo, s) layout — the right operand
+// shape for the ikj Gemm kernel — and reports the number of active
+// weights gathered. wt is fully overwritten.
+func (c *Conv2D) gatherFiltersT(wt *tensor.Tensor, lo, s int) int64 {
+	g := c.geom
+	cc, kk := g.ColCols(), g.K*g.K
+	n := wt.Dim(1)
+	wd, ed := c.w.Value.Data(), wt.Data()
+	var active int64
+	j := 0
+	for o := 0; o < g.OutC; o++ {
+		outID := c.assign.ID(o)
+		if outID <= lo || outID > s {
+			continue
+		}
+		wrow := wd[o*cc : (o+1)*cc]
+		prow := c.pruned[o*cc : (o+1)*cc]
+		for ch := 0; ch < g.InC; ch++ {
+			base := ch * kk
+			if !c.channelActive(ch, outID, s) {
+				for k := base; k < base+kk; k++ {
+					ed[k*n+j] = 0
+				}
+				continue
+			}
+			for k := base; k < base+kk; k++ {
+				if prow[k] {
+					ed[k*n+j] = 0
+				} else {
+					ed[k*n+j] = wrow[k]
+					active++
+				}
+			}
+		}
+		j++
+	}
+	return active
+}
+
+// Forward computes the masked convolution as an im2col expansion
+// followed by one weff·colᵀ matmul per image; rows of weff belonging
+// to inactive filters are zero and skipped inside the kernel.
 func (c *Conv2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	g := c.geom
 	if x.Rank() != 4 || x.Dim(1) != g.InC || x.Dim(2) != g.InH || x.Dim(3) != g.InW {
@@ -147,46 +231,68 @@ func (c *Conv2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	batch := x.Dim(0)
 	r, cc := g.ColRows(), g.ColCols()
 	outH, outW := g.OutH(), g.OutW()
-	weff := c.effectiveWeights(ctx.Subnet)
-	z := tensor.New(batch, g.OutC, outH, outW)
+	if ctx.Train {
+		// The previous step's caches are dead once a new training
+		// forward begins; recycle them before drawing new buffers.
+		ctx.Scratch.Put(c.z)
+		for _, col := range c.cols {
+			ctx.Scratch.Put(col)
+		}
+		c.x, c.z, c.cols = nil, nil, c.cols[:0]
+	}
+	// Gather the active filters' masked weights into a compact
+	// transposed matrix: the per-image product becomes the fast ikj
+	// kernel, and inactive filters cost nothing at small subnets.
+	nAct := c.countFilters(0, ctx.Subnet)
+	wt := ctx.Scratch.GetUninit(cc, nAct)
+	c.gatherFiltersT(wt, 0, ctx.Subnet)
+	z := ctx.Scratch.GetUninit(batch, g.OutC, outH, outW)
 	zd := z.Data()
+	bd := c.b.Value.Data()
 	imgLen := g.InC * g.InH * g.InW
 
-	var cols []*tensor.Tensor
-	if ctx.Train {
-		cols = make([]*tensor.Tensor, batch)
+	var colBuf *tensor.Tensor
+	if !ctx.Train {
+		colBuf = ctx.Scratch.GetUninit(r, cc)
 	}
-	colBuf := tensor.New(r, cc)
+	zT := ctx.Scratch.GetUninit(r, nAct)
+	ztd := zT.Data()
 	for b := 0; b < batch; b++ {
 		col := colBuf
 		if ctx.Train {
-			col = tensor.New(r, cc)
-			cols[b] = col
+			col = ctx.Scratch.GetUninit(r, cc)
+			c.cols = append(c.cols, col)
 		}
-		g.Im2Col(x.Data()[b*imgLen:(b+1)*imgLen], col.Data())
-		// z[b,o,p] = Σ_col weff[o,col]·col[p,col] + bias[o]
+		if ctx.Train || nAct > 0 {
+			g.Im2Col(x.Data()[b*imgLen:(b+1)*imgLen], col.Data())
+		}
+		// zT (r×nAct) = col (r×cc) · wt (cc×nAct), then scatter back
+		// channel-major with bias; inactive filter rows stay zero.
+		if nAct > 0 {
+			tensor.Gemm(ztd, col.Data(), wt.Data(), r, cc, nAct, false)
+		}
+		zimg := zd[b*g.OutC*r : (b+1)*g.OutC*r]
+		j := 0
 		for o := 0; o < g.OutC; o++ {
-			if c.assign.ID(o) > ctx.Subnet {
-				continue
-			}
-			wrow := weff.Data()[o*cc : (o+1)*cc]
-			bias := c.b.Value.Data()[o]
-			base := b*g.OutC*r + o*r
-			for p := 0; p < r; p++ {
-				crow := col.Data()[p*cc : (p+1)*cc]
-				sum := bias
-				for k, wv := range wrow {
-					if wv != 0 {
-						sum += wv * crow[k]
-					}
+			zrow := zimg[o*r : (o+1)*r]
+			if c.assign.ID(o) <= ctx.Subnet {
+				bias := bd[o]
+				for p := range zrow {
+					zrow[p] = ztd[p*nAct+j] + bias
 				}
-				zd[base+p] = sum
+				j++
+			} else {
+				clear(zrow)
 			}
 		}
 	}
 	if ctx.Train {
-		c.x, c.z, c.cols = x, z, cols
+		c.x, c.z = x, z
+	} else {
+		ctx.Scratch.Put(colBuf)
 	}
+	ctx.Scratch.Put(zT)
+	ctx.Scratch.Put(wt)
 	return z
 }
 
@@ -218,62 +324,33 @@ func (c *Conv2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 		c.accumulateImportance(grad, s)
 	}
 
-	weff := c.effectiveWeights(s)
+	weff := ctx.Scratch.GetUninit(g.OutC, cc)
+	c.effectiveWeightsInto(weff, s)
 	imgLen := g.InC * g.InH * g.InW
-	gradX := tensor.New(batch, g.InC, g.InH, g.InW)
-	tmpW := tensor.New(g.OutC, cc) // unscaled, unmasked dW accumulator
+	gradX := ctx.Scratch.Get(batch, g.InC, g.InH, g.InW)
+	tmpW := ctx.Scratch.Get(g.OutC, cc) // unscaled, unmasked dW accumulator
 	gb := c.b.Grad.Data()
-	gradColBuf := tensor.New(r, cc)
+	gradColBuf := ctx.Scratch.GetUninit(r, cc)
 
 	for b := 0; b < batch; b++ {
 		col := c.cols[b]
-		// dW += δ_img (outC×R) × col (R×C), accumulated over batch.
+		dimg := gd[b*g.OutC*r : (b+1)*g.OutC*r]
+		// dW += δ_img (outC×R) × col (R×C), accumulated over batch;
+		// inactive filters have zeroed δ rows, which the kernel skips.
+		tensor.Gemm(tmpW.Data(), dimg, col.Data(), g.OutC, r, cc, true)
 		for o := 0; o < g.OutC; o++ {
 			if c.assign.ID(o) > s {
 				continue
 			}
-			dbase := b*g.OutC*r + o*r
-			trow := tmpW.Data()[o*cc : (o+1)*cc]
 			var gbo float64
-			for p := 0; p < r; p++ {
-				delta := gd[dbase+p]
-				if delta == 0 {
-					continue
-				}
+			for _, delta := range dimg[o*r : (o+1)*r] {
 				gbo += delta
-				crow := col.Data()[p*cc : (p+1)*cc]
-				for k, cv := range crow {
-					trow[k] += delta * cv
-				}
 			}
-			scale := c.suppression(ctx, o, s)
-			gb[o] += scale * gbo
+			gb[o] += c.suppression(ctx, o, s) * gbo
 		}
 		// dCol = δ_imgᵀ (R×outC) × W_eff (outC×C), then Col2Im.
-		gcd := gradColBuf.Data()
-		for i := range gcd {
-			gcd[i] = 0
-		}
-		for o := 0; o < g.OutC; o++ {
-			if c.assign.ID(o) > s {
-				continue
-			}
-			dbase := b*g.OutC*r + o*r
-			wrow := weff.Data()[o*cc : (o+1)*cc]
-			for p := 0; p < r; p++ {
-				delta := gd[dbase+p]
-				if delta == 0 {
-					continue
-				}
-				grow := gcd[p*cc : (p+1)*cc]
-				for k, wv := range wrow {
-					if wv != 0 {
-						grow[k] += delta * wv
-					}
-				}
-			}
-		}
-		g.Col2Im(gcd, gradX.Data()[b*imgLen:(b+1)*imgLen])
+		tensor.GemmTransA(gradColBuf.Data(), dimg, weff.Data(), g.OutC, r, cc, false)
+		g.Col2Im(gradColBuf.Data(), gradX.Data()[b*imgLen:(b+1)*imgLen])
 	}
 
 	// Apply mask and suppression to the accumulated weight gradient.
@@ -291,6 +368,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 			}
 		}
 	}
+	ctx.Scratch.Put(weff)
+	ctx.Scratch.Put(tmpW)
+	ctx.Scratch.Put(gradColBuf)
 	return gradX
 }
 
@@ -446,68 +526,70 @@ func (c *Conv2D) Edge() *subnet.Edge {
 
 // ForwardIncremental implements anytime inference for convolutions:
 // filters with assignment ≤ sPrev are copied from the cached output,
-// only newly activated filters are convolved.
-func (c *Conv2D) ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int) (*tensor.Tensor, int64) {
+// only newly activated filters are convolved. The new filters' masked
+// rows are gathered into a compact matrix so the per-image work is
+// one nNew×r matmul instead of a full-width sweep. It touches no
+// layer state, so it is safe to call concurrently on disjoint batch
+// shards (each caller passing its own pool).
+func (c *Conv2D) ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int, pool *tensor.Pool) (*tensor.Tensor, int64) {
 	g := c.geom
 	batch := x.Dim(0)
 	r, cc := g.ColRows(), g.ColCols()
-	out := tensor.New(batch, g.OutC, g.OutH(), g.OutW())
+	out := pool.Get(batch, g.OutC, g.OutH(), g.OutW())
 	od := out.Data()
 	imgLen := g.InC * g.InH * g.InW
-	colBuf := tensor.New(r, cc)
-	wd := c.w.Value.Data()
-	var macs int64
+	bd := c.b.Value.Data()
 
-	// Per-image MACs are identical across the batch; count once.
-	for o := 0; o < g.OutC; o++ {
-		outID := c.assign.ID(o)
-		if outID > s || (outID <= sPrev && cached != nil) {
-			continue
-		}
-		for col := 0; col < cc; col++ {
-			if c.weightActive(o, col, s) {
-				macs++
-			}
-		}
+	// Filters to compute fresh: active in s, not reusable from the
+	// cache, i.e. lo < assignment ≤ s.
+	lo := 0
+	if cached != nil {
+		lo = sPrev
 	}
-	macs *= int64(r)
 
+	// Gather the new filters' masked weights transposed (the fast
+	// kernel's layout); per-image MACs are identical across the
+	// batch, so count while gathering.
+	nNew := c.countFilters(lo, s)
+	wt := pool.GetUninit(cc, nNew)
+	macs := c.gatherFiltersT(wt, lo, s) * int64(r)
+
+	var colBuf, zNew *tensor.Tensor
+	if nNew > 0 {
+		colBuf = pool.GetUninit(r, cc)
+		zNew = pool.GetUninit(r, nNew)
+	}
 	for b := 0; b < batch; b++ {
-		needCol := false
-		for o := 0; o < g.OutC; o++ {
-			outID := c.assign.ID(o)
-			if outID <= s && (outID > sPrev || cached == nil) {
-				needCol = true
-				break
-			}
-		}
-		if needCol {
+		base := b * g.OutC * r
+		if nNew > 0 {
 			g.Im2Col(x.Data()[b*imgLen:(b+1)*imgLen], colBuf.Data())
-		}
-		for o := 0; o < g.OutC; o++ {
-			outID := c.assign.ID(o)
-			if outID > s {
-				continue
-			}
-			base := b*g.OutC*r + o*r
-			if outID <= sPrev && cached != nil {
-				copy(od[base:base+r], cached.Data()[base:base+r])
-				continue
-			}
-			bias := c.b.Value.Data()[o]
-			wrow := wd[o*cc : (o+1)*cc]
-			for p := 0; p < r; p++ {
-				crow := colBuf.Data()[p*cc : (p+1)*cc]
-				sum := bias
-				for col := 0; col < cc; col++ {
-					if c.weightActive(o, col, s) {
-						sum += wrow[col] * crow[col]
-					}
+			tensor.Gemm(zNew.Data(), colBuf.Data(), wt.Data(), r, cc, nNew, false)
+			znd := zNew.Data()
+			j := 0
+			for o := 0; o < g.OutC; o++ {
+				if id := c.assign.ID(o); id <= lo || id > s {
+					continue
 				}
-				od[base+p] = sum
+				orow := od[base+o*r : base+(o+1)*r]
+				bias := bd[o]
+				for p := range orow {
+					orow[p] = znd[p*nNew+j] + bias
+				}
+				j++
+			}
+		}
+		if cached != nil {
+			cd := cached.Data()
+			for o := 0; o < g.OutC; o++ {
+				if outID := c.assign.ID(o); outID <= sPrev && outID <= s {
+					copy(od[base+o*r:base+(o+1)*r], cd[base+o*r:base+(o+1)*r])
+				}
 			}
 		}
 	}
+	pool.Put(wt)
+	pool.Put(colBuf)
+	pool.Put(zNew)
 	return out, macs
 }
 

@@ -118,32 +118,29 @@ func (d *Dense) synapseActive(o, i, s int) bool {
 	return !d.pruned[o*d.in+i]
 }
 
-// effectiveWeights materializes W masked for subnet s into a fresh
-// out×in tensor.
-func (d *Dense) effectiveWeights(s int) *tensor.Tensor {
-	weff := tensor.New(d.out, d.in)
+// effectiveWeightsInto materializes W masked for subnet s into weff,
+// which must be out×in and is fully overwritten (inactive entries
+// become zero).
+func (d *Dense) effectiveWeightsInto(weff *tensor.Tensor, s int) {
 	wd, ed := d.w.Value.Data(), weff.Data()
 	for o := 0; o < d.out; o++ {
 		outID := d.assign.ID(o)
+		row := o * d.in
 		if outID > s {
+			clear(ed[row : row+d.in])
 			continue
 		}
-		row := o * d.in
 		for i := 0; i < d.in; i++ {
+			v := wd[row+i]
 			if d.pruned[row+i] {
-				continue
+				v = 0
+			} else if inID := maskedEffectiveID(d.assignIn, d.inRepeat, i); (d.rule == RuleIncremental && inID > outID) ||
+				(d.rule == RuleShared && inID > s) {
+				v = 0
 			}
-			inID := maskedEffectiveID(d.assignIn, d.inRepeat, i)
-			if d.rule == RuleIncremental && inID > outID {
-				continue
-			}
-			if d.rule == RuleShared && inID > s {
-				continue
-			}
-			ed[row+i] = wd[row+i]
+			ed[row+i] = v
 		}
 	}
-	return weff
 }
 
 // Forward computes z = x·W_effᵀ + b for active units.
@@ -152,8 +149,16 @@ func (d *Dense) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense %q forward input %v, want [B %d]", d.name, x.Shape(), d.in))
 	}
 	batch := x.Dim(0)
-	weff := d.effectiveWeights(ctx.Subnet)
-	z := tensor.MatMulTransB(x, weff)
+	if ctx.Train {
+		// Recycle the previous step's pre-activation cache (d.x is a
+		// reference to the upstream layer's buffer, not owned here).
+		ctx.Scratch.Put(d.z)
+		d.x, d.z = nil, nil
+	}
+	weff := ctx.Scratch.GetUninit(d.out, d.in)
+	d.effectiveWeightsInto(weff, ctx.Subnet)
+	z := ctx.Scratch.GetUninit(batch, d.out)
+	tensor.GemmTransB(z.Data(), x.Data(), weff.Data(), batch, d.in, d.out, false)
 	bd := d.b.Value.Data()
 	zd := z.Data()
 	for b := 0; b < batch; b++ {
@@ -164,6 +169,7 @@ func (d *Dense) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 			}
 		}
 	}
+	ctx.Scratch.Put(weff)
 	if ctx.Train {
 		d.x, d.z = x, z
 	}
@@ -196,14 +202,20 @@ func (d *Dense) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 		d.accumulateImportance(grad, s)
 	}
 
-	weff := d.effectiveWeights(s)
-	gradX := tensor.MatMul(grad, weff)
+	weff := ctx.Scratch.GetUninit(d.out, d.in)
+	d.effectiveWeightsInto(weff, s)
+	gradX := ctx.Scratch.GetUninit(batch, d.in)
+	tensor.Gemm(gradX.Data(), gd, weff.Data(), batch, d.out, d.in, false)
 
-	// Parameter gradients, masked like the forward and scaled by the
-	// suppression factor β^(s−assign(o)) for units of smaller subnets.
+	// Parameter gradients: accumulate the unmasked dW = gradᵀ·x in one
+	// matmul, then apply the forward's mask and the suppression factor
+	// β^(s−assign(o)) for units of smaller subnets while adding into
+	// the gradient accumulator.
+	tmpW := ctx.Scratch.GetUninit(d.out, d.in)
+	tensor.GemmTransA(tmpW.Data(), gd, d.x.Data(), batch, d.out, d.in, false)
 	gw := d.w.Grad.Data()
 	gb := d.b.Grad.Data()
-	xd := d.x.Data()
+	td := tmpW.Data()
 	for o := 0; o < d.out; o++ {
 		outID := d.assign.ID(o)
 		if outID > s {
@@ -216,21 +228,17 @@ func (d *Dense) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 		row := o * d.in
 		var gbo float64
 		for b := 0; b < batch; b++ {
-			g := gd[b*d.out+o]
-			if g == 0 {
-				continue
-			}
-			gbo += g
-			xrow := xd[b*d.in : (b+1)*d.in]
-			for i := 0; i < d.in; i++ {
-				if !d.synapseActive(o, i, s) {
-					continue
-				}
-				gw[row+i] += scale * g * xrow[i]
+			gbo += gd[b*d.out+o]
+		}
+		for i := 0; i < d.in; i++ {
+			if d.synapseActive(o, i, s) {
+				gw[row+i] += scale * td[row+i]
 			}
 		}
 		gb[o] += scale * gbo
 	}
+	ctx.Scratch.Put(weff)
+	ctx.Scratch.Put(tmpW)
 	return gradX
 }
 
@@ -367,14 +375,19 @@ func (d *Dense) Edge() *subnet.Edge {
 }
 
 // ForwardIncremental implements anytime inference (see Incremental).
-func (d *Dense) ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int) (*tensor.Tensor, int64) {
+// Units reusable from the cache are copied; the remaining active
+// units' masked weight rows are gathered into a compact matrix and
+// computed in a single matmul. It touches no layer state, so it is
+// safe to call concurrently on disjoint batch shards (each caller
+// passing its own pool).
+func (d *Dense) ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int, pool *tensor.Pool) (*tensor.Tensor, int64) {
 	batch := x.Dim(0)
-	out := tensor.New(batch, d.out)
+	out := pool.Get(batch, d.out)
 	od := out.Data()
-	xd := x.Data()
 	wd := d.w.Value.Data()
 	bd := d.b.Value.Data()
-	var macs int64
+
+	newIdx := make([]int, 0, d.out)
 	for o := 0; o < d.out; o++ {
 		outID := d.assign.ID(o)
 		if outID > s {
@@ -389,20 +402,33 @@ func (d *Dense) ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int) (*ten
 			}
 			continue
 		}
-		row := o * d.in
-		for b := 0; b < batch; b++ {
-			sum := bd[o]
-			xrow := xd[b*d.in : (b+1)*d.in]
+		newIdx = append(newIdx, o)
+	}
+
+	var macs int64
+	if len(newIdx) > 0 {
+		weffNew := pool.Get(len(newIdx), d.in)
+		ed := weffNew.Data()
+		for j, o := range newIdx {
+			row := o * d.in
+			erow := ed[j*d.in : (j+1)*d.in]
 			for i := 0; i < d.in; i++ {
 				if d.synapseActive(o, i, s) {
-					sum += wd[row+i] * xrow[i]
-					if b == 0 {
-						macs++ // per-image MAC count
-					}
+					erow[i] = wd[row+i]
+					macs++ // per-image MAC count
 				}
 			}
-			od[b*d.out+o] = sum
 		}
+		zNew := pool.GetUninit(batch, len(newIdx))
+		tensor.GemmTransB(zNew.Data(), x.Data(), ed, batch, d.in, len(newIdx), false)
+		zd := zNew.Data()
+		for b := 0; b < batch; b++ {
+			for j, o := range newIdx {
+				od[b*d.out+o] = zd[b*len(newIdx)+j] + bd[o]
+			}
+		}
+		pool.Put(weffNew)
+		pool.Put(zNew)
 	}
 	return out, macs
 }

@@ -92,7 +92,7 @@ func TestTanhPreservesZero(t *testing.T) {
 			t.Fatal("tanh(0) must be 0 — required for the incremental property")
 		}
 	}
-	inc, macs := th.ForwardIncremental(x, nil, 0, 1)
+	inc, macs := th.ForwardIncremental(x, nil, 0, 1, nil)
 	if macs != 0 || inc.AbsMax() != 0 {
 		t.Fatal("incremental tanh")
 	}
@@ -104,7 +104,7 @@ func TestAvgPoolIncrementalMatches(t *testing.T) {
 	x := tensor.New(1, 2, 4, 4)
 	x.FillNormal(r, 0, 1)
 	full := p.Forward(x, &Context{})
-	inc, macs := p.ForwardIncremental(x, nil, 0, 1)
+	inc, macs := p.ForwardIncremental(x, nil, 0, 1, nil)
 	if macs != 0 || !tensor.Equal(full, inc, 0) {
 		t.Fatal("avg pool incremental mismatch")
 	}

@@ -78,8 +78,14 @@ type Masked interface {
 // everything active in s. The incremental property guarantees the
 // result equals a from-scratch Forward at subnet s; infer.Engine
 // checks this invariant when auditing is enabled.
+//
+// pool supplies the output and temporary buffers (nil falls back to
+// plain allocation); the caller owns the returned tensor and may Put
+// it back once done. Implementations must not touch layer state, so
+// the engine can fan a batch out across goroutines — each worker
+// passing its own pool.
 type Incremental interface {
-	ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int) (out *tensor.Tensor, macs int64)
+	ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int, pool *tensor.Pool) (out *tensor.Tensor, macs int64)
 }
 
 // maskedEffectiveID returns the effective group id of flattened input

@@ -272,7 +272,7 @@ func TestDenseForwardIncrementalMatchesForward(t *testing.T) {
 		x.FillNormal(r, 0, 1)
 		var cached *tensor.Tensor
 		for s := 1; s <= n; s++ {
-			inc, _ := d.ForwardIncremental(x, cached, s-1, s)
+			inc, _ := d.ForwardIncremental(x, cached, s-1, s, nil)
 			full := d.Forward(x, &Context{Subnet: s})
 			if !tensor.Equal(inc, full, 1e-12) {
 				return false
@@ -299,7 +299,7 @@ func TestConvForwardIncrementalMatchesForward(t *testing.T) {
 	x.FillNormal(r, 0, 1)
 	var cached *tensor.Tensor
 	for s := 1; s <= n; s++ {
-		inc, macs := c.ForwardIncremental(x, cached, s-1, s)
+		inc, macs := c.ForwardIncremental(x, cached, s-1, s, nil)
 		full := c.Forward(x, &Context{Subnet: s})
 		if !tensor.Equal(inc, full, 1e-12) {
 			t.Fatalf("incremental conv mismatch at subnet %d", s)
@@ -328,7 +328,7 @@ func TestDenseIncrementalMACDelta(t *testing.T) {
 	var cached *tensor.Tensor
 	var total int64
 	for s := 1; s <= 3; s++ {
-		out, macs := d.ForwardIncremental(x, cached, s-1, s)
+		out, macs := d.ForwardIncremental(x, cached, s-1, s, nil)
 		total += macs
 		wantDelta := d.MACs(s)
 		if s > 1 {

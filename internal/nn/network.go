@@ -28,19 +28,37 @@ func (n *Network) Layers() []Layer { return n.layers }
 // Append adds layers to the end of the network.
 func (n *Network) Append(layers ...Layer) { n.layers = append(n.layers, layers...) }
 
-// Forward runs the batch through every layer.
+// Forward runs the batch through every layer. With a pooled eval
+// context every intermediate activation is recycled as soon as the
+// next layer has consumed it, so the steady-state forward path is
+// allocation-free; the caller owns the returned tensor (and may Put
+// it back). Training forwards are not recycled here because layers
+// cache their activations for Backward.
 func (n *Network) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	in := x
 	for _, l := range n.layers {
-		x = l.Forward(x, ctx)
+		out := l.Forward(in, ctx)
+		if ctx.Scratch != nil && !ctx.Train && in != x && !out.Aliases(in) {
+			ctx.Scratch.Put(in)
+		}
+		in = out
 	}
-	return x
+	return in
 }
 
 // Backward runs the gradient back through every layer, accumulating
-// parameter gradients.
+// parameter gradients. With a pooled context each layer's incoming
+// gradient is recycled once the layer has produced the next one; the
+// caller keeps ownership of the loss gradient it passed in and of the
+// input gradient returned.
 func (n *Network) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	top := grad
 	for i := len(n.layers) - 1; i >= 0; i-- {
-		grad = n.layers[i].Backward(grad, ctx)
+		next := n.layers[i].Backward(grad, ctx)
+		if ctx.Scratch != nil && grad != top && !next.Aliases(grad) {
+			ctx.Scratch.Put(grad)
+		}
+		grad = next
 	}
 	return grad
 }

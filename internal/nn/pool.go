@@ -13,7 +13,8 @@ import (
 type MaxPool2D struct {
 	name       string
 	c, h, w, k int
-	argmax     []int // flat input index chosen per output element
+	argmax     []int          // flat input index chosen per output element
+	out        *tensor.Tensor // previous train-mode output, self-recycled
 }
 
 // NewMaxPool2D constructs the layer for inputs of shape [B, c, h, w].
@@ -43,8 +44,13 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	}
 	batch := x.Dim(0)
 	oh, ow := m.OutH(), m.OutW()
-	out := tensor.New(batch, m.c, oh, ow)
 	if ctx.Train {
+		ctx.Scratch.Put(m.out) // previous step's output is dead
+		m.out = nil
+	}
+	out := ctx.Scratch.GetUninit(batch, m.c, oh, ow)
+	if ctx.Train {
+		m.out = out
 		if cap(m.argmax) < out.Len() {
 			m.argmax = make([]int, out.Len())
 		}
@@ -81,7 +87,7 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 
 func (m *MaxPool2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	batch := grad.Dim(0)
-	out := tensor.New(batch, m.c, m.h, m.w)
+	out := ctx.Scratch.Get(batch, m.c, m.h, m.w)
 	od, gd := out.Data(), grad.Data()
 	for i, g := range gd {
 		od[m.argmax[i]] += g
@@ -91,8 +97,8 @@ func (m *MaxPool2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 
 // ForwardIncremental recomputes pooling (zero MACs; per-channel, so
 // reuse-safe).
-func (m *MaxPool2D) ForwardIncremental(x, _ *tensor.Tensor, _, _ int) (*tensor.Tensor, int64) {
-	return m.Forward(x, &Context{Subnet: 1 << 30}), 0
+func (m *MaxPool2D) ForwardIncremental(x, _ *tensor.Tensor, _, _ int, pool *tensor.Pool) (*tensor.Tensor, int64) {
+	return m.Forward(x, &Context{Subnet: 1 << 30, Scratch: pool}), 0
 }
 
 var _ Incremental = (*MaxPool2D)(nil)
@@ -121,17 +127,38 @@ func (f *Flatten) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	if ctx.Train {
 		f.inShape = append(f.inShape[:0], x.Shape()[1:]...)
 	}
+	// In pooled eval mode the output must not alias the input — the
+	// recycling loop in Network.Forward would otherwise hand one
+	// backing array out twice — so copy instead of returning a view;
+	// the copy is trivial next to any matmul. Training forwards are
+	// never recycled, so they keep the zero-cost view.
+	if ctx.Scratch != nil && !ctx.Train {
+		out := ctx.Scratch.GetUninit(batch, features)
+		out.CopyFrom(x)
+		return out
+	}
 	return x.Reshape(batch, features)
 }
 
 func (f *Flatten) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	shape := append([]int{grad.Dim(0)}, f.inShape...)
+	if ctx.Scratch != nil {
+		out := ctx.Scratch.GetUninit(shape...)
+		out.CopyFrom(grad)
+		return out
+	}
 	return grad.Reshape(shape...)
 }
 
-// ForwardIncremental reshapes; zero MACs.
-func (f *Flatten) ForwardIncremental(x, _ *tensor.Tensor, _, _ int) (*tensor.Tensor, int64) {
+// ForwardIncremental reshapes (copying under a pool, where views are
+// forbidden); zero MACs.
+func (f *Flatten) ForwardIncremental(x, _ *tensor.Tensor, _, _ int, pool *tensor.Pool) (*tensor.Tensor, int64) {
 	batch := x.Dim(0)
+	if pool != nil {
+		out := pool.GetUninit(batch, x.Len()/batch)
+		out.CopyFrom(x)
+		return out, 0
+	}
 	return x.Reshape(batch, x.Len()/batch), 0
 }
 

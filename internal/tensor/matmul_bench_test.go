@@ -1,0 +1,65 @@
+package tensor
+
+import "testing"
+
+// Kernel microbenchmarks at the shapes the conv/dense layers actually
+// hit, for tuning the register tiling without running full models.
+
+func benchMats(m, k, n int) (c, a, b []float64) {
+	r := NewRNG(5)
+	a = make([]float64, m*k)
+	b = make([]float64, k*n)
+	c = make([]float64, m*n)
+	for i := range a {
+		a[i] = r.NormFloat64()
+	}
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	return c, a, b
+}
+
+func BenchmarkGemm64(bm *testing.B) {
+	c, a, b := benchMats(64, 64, 64)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		Gemm(c, a, b, 64, 64, 64, false)
+	}
+}
+
+func BenchmarkGemmTransA64(bm *testing.B) {
+	c, a, b := benchMats(64, 64, 64)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		GemmTransA(c, a, b, 64, 64, 64, false)
+	}
+}
+
+func BenchmarkGemmTransB64(bm *testing.B) {
+	c, a, b := benchMats(64, 64, 64)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		GemmTransB(c, a, b, 64, 64, 64, false)
+	}
+}
+
+// BenchmarkGemmTransBConvShape mirrors the second conv layer of the
+// benchmark LeNet: weff (84×423) times an im2col matrix (64×423).
+func BenchmarkGemmTransBConvShape(bm *testing.B) {
+	c, a, b := benchMats(84, 423, 64)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		GemmTransB(c, a, b, 84, 423, 64, false)
+	}
+}
+
+// BenchmarkGemmConvShape is the same product as
+// BenchmarkGemmTransBConvShape computed via the ikj kernel on a
+// pre-transposed weight matrix (the conv forward's layout).
+func BenchmarkGemmConvShape(bm *testing.B) {
+	c, a, b := benchMats(64, 423, 84)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		Gemm(c, a, b, 64, 423, 84, false)
+	}
+}

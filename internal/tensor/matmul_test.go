@@ -1,0 +1,224 @@
+package tensor
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// naiveMatMul is the reference kernel every optimized path is checked
+// against: a plain triple loop with no blocking, unrolling or
+// zero-skipping.
+func naiveMatMul(a, b *Tensor, transA, transB bool) *Tensor {
+	var m, k, n int
+	at := func(i, p int) float64 {
+		if transA {
+			return a.At(p, i)
+		}
+		return a.At(i, p)
+	}
+	bt := func(p, j int) float64 {
+		if transB {
+			return b.At(j, p)
+		}
+		return b.At(p, j)
+	}
+	if transA {
+		m, k = a.Dim(1), a.Dim(0)
+	} else {
+		m, k = a.Dim(0), a.Dim(1)
+	}
+	if transB {
+		n = b.Dim(0)
+	} else {
+		n = b.Dim(1)
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += at(i, p) * bt(p, j)
+			}
+			c.Set(s, i, j)
+		}
+	}
+	return c
+}
+
+// randMat returns an m×n matrix with a mix of normal values and exact
+// zeros, so the kernels' zero-skip paths are exercised.
+func randMat(r *RNG, m, n int) *Tensor {
+	t := New(m, n)
+	d := t.Data()
+	for i := range d {
+		if r.Intn(4) == 0 {
+			continue // leave exact zero
+		}
+		d[i] = r.NormFloat64()
+	}
+	return t
+}
+
+func maxAbsDiff(a, b *Tensor) float64 {
+	worst := 0.0
+	for i, v := range a.Data() {
+		if d := math.Abs(v - b.Data()[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// forceParallel routes every Gemm through the work-stealing path
+// regardless of size, with several workers even on a 1-CPU machine,
+// then restores the defaults.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldFlops := gemmMinParFlops
+	oldProcs := runtime.GOMAXPROCS(4)
+	gemmMinParFlops = 0
+	t.Cleanup(func() {
+		gemmMinParFlops = oldFlops
+		runtime.GOMAXPROCS(oldProcs)
+	})
+}
+
+var kernelShapes = []int{1, 3, 17, 64, 130}
+
+// checkAllShapes runs fn over the full (m,k,n) cross product of
+// kernelShapes.
+func checkAllShapes(t *testing.T, fn func(t *testing.T, m, k, n int)) {
+	t.Helper()
+	for _, m := range kernelShapes {
+		for _, k := range kernelShapes {
+			for _, n := range kernelShapes {
+				fn(t, m, k, n)
+			}
+		}
+	}
+}
+
+// TestBlockedKernelMatchesNaive asserts the optimized serial kernels
+// agree with the naive reference within 1e-12 across odd and even
+// shapes (both unroll remainders and full blocks).
+func TestBlockedKernelMatchesNaive(t *testing.T) {
+	r := NewRNG(11)
+	checkAllShapes(t, func(t *testing.T, m, k, n int) {
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		if d := maxAbsDiff(MatMul(a, b), naiveMatMul(a, b, false, false)); d > 1e-12 {
+			t.Fatalf("MatMul %dx%dx%d diverges from naive by %g", m, k, n, d)
+		}
+		at := randMat(r, k, m)
+		if d := maxAbsDiff(MatMulTransA(at, b), naiveMatMul(at, b, true, false)); d > 1e-12 {
+			t.Fatalf("MatMulTransA %dx%dx%d diverges from naive by %g", m, k, n, d)
+		}
+		bt := randMat(r, n, k)
+		if d := maxAbsDiff(MatMulTransB(a, bt), naiveMatMul(a, bt, false, true)); d > 1e-12 {
+			t.Fatalf("MatMulTransB %dx%dx%d diverges from naive by %g", m, k, n, d)
+		}
+	})
+}
+
+// TestParallelKernelMatchesNaive repeats the sweep with the
+// work-stealing parallel path forced on, so row-block boundaries and
+// concurrent writes are covered (run with -race to check the
+// scheduler).
+func TestParallelKernelMatchesNaive(t *testing.T) {
+	forceParallel(t)
+	r := NewRNG(13)
+	checkAllShapes(t, func(t *testing.T, m, k, n int) {
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		if d := maxAbsDiff(MatMul(a, b), naiveMatMul(a, b, false, false)); d > 1e-12 {
+			t.Fatalf("parallel MatMul %dx%dx%d diverges by %g", m, k, n, d)
+		}
+		at := randMat(r, k, m)
+		if d := maxAbsDiff(MatMulTransA(at, b), naiveMatMul(at, b, true, false)); d > 1e-12 {
+			t.Fatalf("parallel MatMulTransA %dx%dx%d diverges by %g", m, k, n, d)
+		}
+		bt := randMat(r, n, k)
+		if d := maxAbsDiff(MatMulTransB(a, bt), naiveMatMul(a, bt, false, true)); d > 1e-12 {
+			t.Fatalf("parallel MatMulTransB %dx%dx%d diverges by %g", m, k, n, d)
+		}
+	})
+}
+
+// TestIntoVariantsAccumulate checks the (+)= contract of all three
+// Into variants against explicit addition.
+func TestIntoVariantsAccumulate(t *testing.T) {
+	r := NewRNG(17)
+	m, k, n := 17, 9, 13
+	base := randMat(r, m, n)
+
+	a, b := randMat(r, m, k), randMat(r, k, n)
+	c := base.Clone()
+	MatMulInto(c, a, b, true)
+	want := base.Clone()
+	want.Add(naiveMatMul(a, b, false, false))
+	if d := maxAbsDiff(c, want); d > 1e-12 {
+		t.Fatalf("MatMulInto accumulate off by %g", d)
+	}
+
+	at := randMat(r, k, m)
+	c = base.Clone()
+	MatMulTransAInto(c, at, b, true)
+	want = base.Clone()
+	want.Add(naiveMatMul(at, b, true, false))
+	if d := maxAbsDiff(c, want); d > 1e-12 {
+		t.Fatalf("MatMulTransAInto accumulate off by %g", d)
+	}
+
+	bt := randMat(r, n, k)
+	c = base.Clone()
+	MatMulTransBInto(c, a, bt, true)
+	want = base.Clone()
+	want.Add(naiveMatMul(a, bt, false, true))
+	if d := maxAbsDiff(c, want); d > 1e-12 {
+		t.Fatalf("MatMulTransBInto accumulate off by %g", d)
+	}
+
+	// Overwrite mode must clear prior contents.
+	c = base.Clone()
+	MatMulInto(c, a, b, false)
+	if d := maxAbsDiff(c, naiveMatMul(a, b, false, false)); d > 1e-12 {
+		t.Fatalf("MatMulInto overwrite off by %g", d)
+	}
+}
+
+// TestPoolRecycles pins the pool contract: same-volume buffers are
+// recycled (and zeroed), different volumes are not confused, and a
+// nil pool degrades to plain allocation.
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool()
+	a := p.Get(4, 8)
+	a.Fill(3)
+	p.Put(a)
+	b := p.Get(8, 4) // same volume, different shape
+	if b != a {
+		t.Fatal("pool did not recycle same-volume tensor")
+	}
+	if b.Dim(0) != 8 || b.Dim(1) != 4 {
+		t.Fatalf("recycled shape %v, want [8 4]", b.Shape())
+	}
+	for _, v := range b.Data() {
+		if v != 0 {
+			t.Fatal("recycled tensor not zeroed")
+		}
+	}
+	c := p.Get(4, 8) // pool drained → fresh allocation
+	if c == a {
+		t.Fatal("pool handed out a live tensor twice")
+	}
+	if p.Hits != 1 || p.Gets != 3 {
+		t.Fatalf("stats hits=%d gets=%d, want 1/3", p.Hits, p.Gets)
+	}
+
+	var nilPool *Pool
+	d := nilPool.Get(2, 2)
+	if d == nil || d.Len() != 4 {
+		t.Fatal("nil pool Get must allocate")
+	}
+	nilPool.Put(d) // must not panic
+}

@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// gemmMinParFlops is the multiply-add count (m·k·n) below which the
+// matmul kernels stay on the current goroutine: for small shapes the
+// cost of waking workers exceeds the multiply itself. The default
+// corresponds to roughly a 64×64×64 product. It is a variable so the
+// equivalence tests can force both paths.
+var gemmMinParFlops = 1 << 18
+
+// rowsPerTask is the granularity of the work queue: each task is a
+// block of output rows. Small enough to balance ragged workloads,
+// large enough that the atomic counter is not contended.
+const rowsPerTask = 8
+
+// helperCount tracks matmul helper goroutines across ALL concurrent
+// kernel calls, capping them at GOMAXPROCS-1 globally. Without the
+// cap, a kernel call made from inside an already-parallel caller
+// (e.g. the batch-parallel inference engine's workers) would fan out
+// again and oversubscribe the cores; with it, nested calls find the
+// budget spent and simply run serially on their own goroutine.
+var helperCount atomic.Int64
+
+// parallelRows runs fn over [0,m) split into rowsPerTask-sized
+// blocks, with up to GOMAXPROCS workers (the calling goroutine
+// included) stealing blocks off a shared atomic counter. fn must be
+// safe for concurrent invocation on disjoint ranges.
+func parallelRows(m int, fn func(i0, i1 int)) {
+	nTasks := (m + rowsPerTask - 1) / rowsPerTask
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nTasks {
+		workers = nTasks
+	}
+	if workers <= 1 {
+		fn(0, m)
+		return
+	}
+	budget := int64(runtime.GOMAXPROCS(0) - 1)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers-1; w++ {
+		if helperCount.Add(1) > budget {
+			helperCount.Add(-1)
+			break // cores already busy (possibly a nested call): stay serial
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer helperCount.Add(-1)
+			stealRows(m, &next, fn)
+		}()
+	}
+	stealRows(m, &next, fn) // the caller is always worker 0
+	wg.Wait()
+}
+
+// stealRows claims row blocks until the queue is drained.
+func stealRows(m int, next *atomic.Int64, fn func(i0, i1 int)) {
+	for {
+		i0 := (int(next.Add(1)) - 1) * rowsPerTask
+		if i0 >= m {
+			return
+		}
+		i1 := i0 + rowsPerTask
+		if i1 > m {
+			i1 = m
+		}
+		fn(i0, i1)
+	}
+}

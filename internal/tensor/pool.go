@@ -1,0 +1,94 @@
+package tensor
+
+// Pool is a size-keyed free list of tensors used to make hot paths
+// (inference forwards, training steps) allocation-free in the steady
+// state. It is deliberately simple: Get hands out a zero-filled
+// tensor, Put takes one back, and recycling is keyed on element count
+// so a buffer released as [8 32 8 8] can be reborn as [8 2048].
+//
+// Ownership rules:
+//
+//   - A tensor obtained from Get is owned by the caller until it is
+//     passed to Put; after Put the pool may hand the same backing
+//     array to any later Get, so the caller must drop all references.
+//   - Never Put two tensors that share a backing array (e.g. a tensor
+//     and a Reshape view of it): the pool would hand the same memory
+//     out twice. Layers that produce views under a pool therefore
+//     copy instead (see nn.Flatten).
+//   - Tensors allocated elsewhere (New, FromSlice) may be Put; the
+//     pool does not care where memory came from.
+//
+// A Pool is NOT safe for concurrent use. Use one Pool per goroutine;
+// infer.Engine keeps one per batch-parallel worker.
+//
+// All methods are nil-receiver safe: a nil *Pool degrades to plain
+// allocation (Get == New, Put == no-op), so code can be written
+// against an optional pool without branching.
+type Pool struct {
+	free map[int][]*Tensor
+
+	// Gets and Hits count lookups and successful recycles, for tests
+	// and benchmarks that assert steady-state behaviour.
+	Gets, Hits int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[int][]*Tensor)}
+}
+
+// Get returns a zero-filled tensor of the given shape, recycling a
+// previously Put tensor of the same volume when one is available.
+func (p *Pool) Get(shape ...int) *Tensor {
+	return p.get(shape, true)
+}
+
+// GetUninit is Get without the zero fill: the contents of a recycled
+// tensor are whatever its previous owner left there. Use it only when
+// every element is about to be overwritten (an im2col target, a
+// non-accumulating matmul output); anything relying on "fresh tensors
+// are zero" must use Get.
+func (p *Pool) GetUninit(shape ...int) *Tensor {
+	return p.get(shape, false)
+}
+
+// get is the single recycling path behind Get and GetUninit; a fresh
+// New allocation is zero by construction, so zeroFill only matters on
+// the recycled branch.
+func (p *Pool) get(shape []int, zeroFill bool) *Tensor {
+	if p == nil {
+		return New(shape...)
+	}
+	n := checkShape(shape)
+	p.Gets++
+	if l := p.free[n]; len(l) > 0 {
+		t := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.free[n] = l[:len(l)-1]
+		p.Hits++
+		t.shape = append(t.shape[:0], shape...)
+		if zeroFill {
+			clear(t.data)
+		}
+		return t
+	}
+	return New(shape...)
+}
+
+// Put returns a tensor to the pool. Putting nil is a no-op.
+func (p *Pool) Put(t *Tensor) {
+	if p == nil || t == nil || len(t.data) == 0 {
+		return
+	}
+	p.free[len(t.data)] = append(p.free[len(t.data)], t)
+}
+
+// Aliases reports whether t and o share the same backing array. Used
+// by callers that must not release a buffer still visible through a
+// Reshape view.
+func (t *Tensor) Aliases(o *Tensor) bool {
+	if t == nil || o == nil || len(t.data) == 0 || len(o.data) == 0 {
+		return false
+	}
+	return &t.data[0] == &o.data[0]
+}

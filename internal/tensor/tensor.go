@@ -58,11 +58,21 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panicNegativeDim(shape)
 		}
 		n *= d
 	}
 	return n
+}
+
+// panicNegativeDim lives outside checkShape so the error formatting
+// does not make every caller's variadic shape argument escape to the
+// heap: keeping checkShape allocation-free is what lets Pool.Get and
+// New be called in hot loops with stack-allocated shapes.
+//
+//go:noinline
+func panicNegativeDim(shape []int) {
+	panic(fmt.Sprintf("tensor: negative dimension in shape %v", append([]int(nil), shape...)))
 }
 
 // Shape returns the tensor's shape. The returned slice must not be

@@ -1,0 +1,29 @@
+package tensor
+
+import "testing"
+
+// TestZeroWidthProducts pins the empty-operand contract: a zero-width
+// or zero-height product returns an empty (or untouched) C instead of
+// panicking, matching the pre-optimization kernel.
+func TestZeroWidthProducts(t *testing.T) {
+	if got := MatMul(New(2, 4), New(4, 0)); got.Dim(0) != 2 || got.Dim(1) != 0 {
+		t.Fatalf("MatMul zero-width shape %v", got.Shape())
+	}
+	if got := MatMul(New(0, 4), New(4, 3)); got.Dim(0) != 0 {
+		t.Fatalf("MatMul zero-height shape %v", got.Shape())
+	}
+	if got := MatMulTransA(New(4, 0), New(4, 3)); got.Dim(0) != 0 {
+		t.Fatalf("MatMulTransA zero-m shape %v", got.Shape())
+	}
+	if got := MatMulTransB(New(2, 4), New(0, 4)); got.Dim(1) != 0 {
+		t.Fatalf("MatMulTransB zero-n shape %v", got.Shape())
+	}
+	// Zero inner dimension is a valid (all-zero) product.
+	c := Full(7, 2, 3)
+	MatMulInto(c, New(2, 0), New(0, 3), false)
+	for _, v := range c.Data() {
+		if v != 0 {
+			t.Fatal("zero-k product must zero C when not accumulating")
+		}
+	}
+}
