@@ -1,17 +1,43 @@
 #!/usr/bin/env bash
 # ci.sh — the repo's verification gate. Run before every merge:
 #
-#   ./ci.sh            # vet + build + race tests + perf baseline
-#   ./ci.sh --quick    # skip the race detector (slow on 1-CPU boxes)
+#   ./ci.sh                      # vet + build + race tests (both backends) + perf gate
+#   ./ci.sh --quick              # skip the race detector (slow on 1-CPU boxes)
+#   ./ci.sh --update-baseline    # additionally refresh BENCH_baseline.json
+#                                # after a passing gate (combinable with --quick)
 #
-# The perf step regenerates BENCH_baseline.json via cmd/stepbench so a
-# reviewer can `git diff BENCH_baseline.json` and see exactly how a PR
-# moved the substrate numbers (ns/op, allocs/op) on the kernels the
-# ROADMAP's Performance section tracks. Noise on shared machines is
-# real: treat <15% ns/op movement as neutral, but any allocs/op
-# increase on a zero-alloc path as a regression.
+# The test suite runs twice: once on the default GEMM backend (AVX2
+# on capable amd64 hardware) and once with STEPPINGNET_NOSIMD=1
+# forcing the scalar fallback, so the path non-AVX2 machines depend
+# on cannot silently rot. A purego-tagged build additionally proves
+# the no-assembly configuration still compiles.
+#
+# The perf step regenerates the benchmark numbers into a temp file
+# and diffs them against the committed BENCH_baseline.json via
+# `stepbench -compare`, which fails hard on allocs/op growth on any
+# zero-alloc path and on ns/op regressions beyond the ±15% noise
+# threshold (ns/op is not gated when the committed baseline came from
+# a different GEMM backend than this machine selects). The committed
+# baseline is only replaced under --update-baseline — and never
+# cross-backend — so sub-threshold regressions cannot ratchet
+# silently and a scalar box cannot clobber the avx2 reference; when a
+# PR intentionally moves the numbers, refresh and commit the file so
+# `git diff BENCH_baseline.json` shows the movement in review.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+QUICK=0
+UPDATE_ARGS=()
+for arg in "$@"; do
+    case "$arg" in
+    --quick) QUICK=1 ;;
+    --update-baseline) UPDATE_ARGS=(-update) ;;
+    *)
+        echo "unknown flag: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== go vet =="
 go vet ./...
@@ -19,13 +45,22 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-if [[ "${1:-}" == "--quick" ]]; then
+echo "== go build (purego fallback) =="
+go build -tags purego ./...
+
+if [[ "$QUICK" == 1 ]]; then
     echo "== go test (no race) =="
     go test ./...
+    echo "== go test, scalar backend (no race) =="
+    STEPPINGNET_NOSIMD=1 go test -count=1 ./...
 else
     echo "== go test -race =="
     go test -race ./...
+    echo "== go test -race, scalar backend =="
+    STEPPINGNET_NOSIMD=1 go test -race -count=1 ./...
 fi
 
 echo "== perf baseline =="
-go run ./cmd/stepbench -bench BENCH_baseline.json
+trap 'rm -f BENCH_new.json' EXIT # the gate's scratch file, never committed
+go run ./cmd/stepbench -bench BENCH_new.json
+go run ./cmd/stepbench -compare ${UPDATE_ARGS[@]+"${UPDATE_ARGS[@]}"} BENCH_baseline.json BENCH_new.json

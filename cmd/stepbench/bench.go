@@ -27,6 +27,7 @@ type benchBaseline struct {
 	GoVersion string                 `json:"go_version"`
 	GOARCH    string                 `json:"goarch"`
 	NumCPU    int                    `json:"num_cpu"`
+	Backend   string                 `json:"backend"` // tensor.Backend(): "avx2" or "scalar"
 	Results   map[string]benchResult `json:"results"`
 }
 
@@ -34,10 +35,18 @@ type benchBaseline struct {
 // targets are stated against (the blocked matmul kernel and the
 // zero-allocation forward/step paths) via testing.Benchmark and
 // writes them as JSON, so ci.sh can record a BENCH_baseline.json that
-// future PRs diff.
+// future PRs diff. Each benchmark runs three times and the fastest
+// run is recorded: min ns/op is the noise-robust statistic on a
+// shared box, and keeps the compare gate's ±15% threshold meaningful
+// for the sub-100µs benchmarks whose single runs wobble more.
 func writeBenchBaseline(path string) error {
 	record := func(m map[string]benchResult, name string, flops int64, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
+		for i := 0; i < 2; i++ {
+			if rr := testing.Benchmark(fn); rr.NsPerOp() < r.NsPerOp() {
+				r = rr
+			}
+		}
 		res := benchResult{
 			NsPerOp:     r.NsPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -102,9 +111,26 @@ func writeBenchBaseline(path string) error {
 			ctx.Scratch.Put(net.Forward(x, ctx))
 		}
 	})
+	// Batch-1 latency: the single-image forward a latency-sensitive
+	// deployment pays per decision. The batch-parallel engine cannot
+	// shard it, so this is the number the ROADMAP's intra-layer
+	// parallelism item targets.
+	record(results, "forward_lenet3c1l_b1", 0, func(b *testing.B) {
+		net, _ := newNet()
+		r := tensor.NewRNG(4)
+		x := tensor.New(1, 3, 16, 16)
+		x.FillNormal(r, 0, 1)
+		ctx := nn.Eval(4)
+		ctx.Scratch = tensor.NewPool()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Scratch.Put(net.Forward(x, ctx))
+		}
+	})
 	record(results, "anytime_walk_lenet3c1l", 0, func(b *testing.B) {
 		net, x := newNet()
 		e := infer.NewEngine(net)
+		defer e.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			e.Reset(x)
@@ -118,6 +144,7 @@ func writeBenchBaseline(path string) error {
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
+		Backend:   tensor.Backend(),
 		Results:   results,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

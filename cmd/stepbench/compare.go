@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// compareNoiseThreshold is the ns/op movement treated as shared-box
+// noise, per the ROADMAP Performance contract (±15%).
+const compareNoiseThreshold = 0.15
+
+// compareBaselines diffs two benchmark baseline JSON files (old vs
+// new) and enforces the regression gate ci.sh relies on:
+//
+//   - ns/op movement within ±15% is reported as noise;
+//   - ns/op regressions beyond the threshold fail — unless the two
+//     baselines were produced by different GEMM backends (a scalar-only
+//     machine comparing against a committed avx2 baseline, or an old
+//     file predating the backend tag), in which case wall-clock is
+//     incomparable by construction and only reported;
+//   - ANY allocs/op growth on a path that was zero-alloc in the old
+//     baseline fails — allocation creep is deterministic, backend- and
+//     machine-independent, never noise;
+//   - benchmarks missing from the new file fail (a silently dropped
+//     benchmark is how perf contracts rot).
+//
+// New benchmarks absent from the old baseline are reported but never
+// fail, so adding coverage stays cheap.
+//
+// With update set, a passing comparison replaces the old baseline
+// file with the new one — but only when both were produced by the
+// same backend, so a scalar-only machine can never clobber the
+// committed avx2 reference numbers. Replacement is deliberately not
+// the default: gating every run against the previous run would let
+// sub-threshold regressions ratchet — each PR 14% slower than the
+// last, none ever failing — whereas gating against a pinned
+// committed reference makes the drift visible in review when the
+// baseline is intentionally refreshed.
+func compareBaselines(oldPath, newPath string, update bool) error {
+	oldBase, err := readBaseline(oldPath)
+	if err != nil {
+		return err
+	}
+	newBase, err := readBaseline(newPath)
+	if err != nil {
+		return err
+	}
+	sameBackend := oldBase.Backend == newBase.Backend
+	if !sameBackend {
+		fmt.Printf("note: backend changed %q -> %q; ns/op is incomparable and not gated this run\n",
+			oldBase.Backend, newBase.Backend)
+	}
+
+	names := make([]string, 0, len(oldBase.Results)+len(newBase.Results))
+	for name := range oldBase.Results {
+		names = append(names, name)
+	}
+	for name := range newBase.Results {
+		if _, ok := oldBase.Results[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var failures []string
+	fmt.Printf("%-28s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "Δ", "verdict")
+	for _, name := range names {
+		o, haveOld := oldBase.Results[name]
+		n, haveNew := newBase.Results[name]
+		switch {
+		case !haveNew:
+			fmt.Printf("%-28s %12d %12s %8s  MISSING from new baseline\n", name, o.NsPerOp, "-", "-")
+			failures = append(failures, fmt.Sprintf("%s: missing from %s", name, newPath))
+			continue
+		case !haveOld:
+			fmt.Printf("%-28s %12s %12d %8s  new benchmark\n", name, "-", n.NsPerOp, "-")
+			continue
+		}
+
+		delta := math.Inf(1)
+		if o.NsPerOp > 0 {
+			delta = float64(n.NsPerOp-o.NsPerOp) / float64(o.NsPerOp)
+		}
+		verdict := "ok (noise)"
+		switch {
+		case delta < -compareNoiseThreshold:
+			verdict = "faster"
+		case delta > compareNoiseThreshold && sameBackend:
+			verdict = "SLOWER beyond noise"
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %+.0f%% (%d -> %d)",
+				name, delta*100, o.NsPerOp, n.NsPerOp))
+		case delta > compareNoiseThreshold:
+			verdict = "slower (backend changed, not gated)"
+		}
+		if o.AllocsPerOp == 0 && n.AllocsPerOp > 0 {
+			verdict = "ALLOCS on zero-alloc path"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op grew 0 -> %d on a zero-alloc path",
+				name, n.AllocsPerOp))
+		} else if n.AllocsPerOp > o.AllocsPerOp {
+			// Growth on an already-allocating path: report loudly but
+			// let the ns/op gate decide.
+			verdict += fmt.Sprintf(" [allocs %d -> %d]", o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Printf("%-28s %12d %12d %+7.0f%%  %s\n", name, o.NsPerOp, n.NsPerOp, delta*100, verdict)
+	}
+
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Printf("REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s)", len(failures))
+	}
+	fmt.Println("\nno regressions")
+
+	if update {
+		if !sameBackend {
+			fmt.Printf("baseline NOT updated: %s was produced by backend %q, this machine produced %q\n",
+				oldPath, oldBase.Backend, newBase.Backend)
+			return nil
+		}
+		data, err := os.ReadFile(newPath)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(oldPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("baseline updated: %s <- %s\n", oldPath, newPath)
+	}
+	return nil
+}
+
+func readBaseline(path string) (*benchBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}

@@ -7,6 +7,8 @@
 //	stepbench -exp all -scale quick
 //	stepbench -exp table1 -scale full
 //	stepbench -exp fig6,reuse -scale tiny
+//	stepbench -bench BENCH_baseline.json
+//	stepbench -compare BENCH_baseline.json BENCH_new.json
 package main
 
 import (
@@ -29,7 +31,19 @@ func main() {
 	scale := flag.String("scale", "quick", "problem scale: tiny, quick or full")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	benchOut := flag.String("bench", "", "run the substrate perf benchmarks, write the JSON baseline to this file and exit")
+	compare := flag.Bool("compare", false, "compare two baseline JSON files (old new), exit non-zero on regressions")
+	update := flag.Bool("update", false, "with -compare: replace the old baseline with the new one after a passing, same-backend comparison")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatalf("-compare needs exactly two baseline files, got %d args", flag.NArg())
+		}
+		if err := compareBaselines(flag.Arg(0), flag.Arg(1), *update); err != nil {
+			log.Fatalf("compare: %v", err)
+		}
+		return
+	}
 
 	if *benchOut != "" {
 		if err := writeBenchBaseline(*benchOut); err != nil {

@@ -88,6 +88,7 @@ func runWalk(res *core.Result, imgHW int, seed uint64) {
 	x := tensor.New(1, 3, imgHW, imgHW)
 	x.FillNormal(tensor.NewRNG(seed^0xA11), 0, 1)
 	e := infer.NewEngine(res.StudentNet.Net)
+	defer e.Close()
 	e.Reset(x)
 	for s := 1; s <= len(res.Stats); s++ {
 		out, macs := e.MustStep(s)

@@ -26,14 +26,28 @@
 // image over a transposed gather of the subnet's active filters, so a
 // small subnet pays only for its own width.
 //
+// The kernels come in two backends behind a dispatch layer
+// (internal/tensor/gemm_dispatch.go). On amd64, AVX2+FMA assembly
+// micro-kernels (gemm_amd64.s) are selected at startup when CPUID
+// reports FMA+AVX+AVX2 and the OS saves YMM state; everything else —
+// other architectures, builds with the purego tag, CPUs without the
+// features, or any process started with STEPPINGNET_NOSIMD set —
+// runs the portable scalar kernels. Both backends share the scalar
+// edge handling and the zero-panel skip, and are cross-checked
+// against each other and a naive reference to 1e-12 in CI (which
+// runs the suite under both). BENCH_baseline.json records which
+// backend produced it in its "backend" field.
+//
 // Hot paths are allocation-free in the steady state: a tensor.Pool
 // (per goroutine, nil-safe) recycles every activation and temporary.
 // nn.Context.Scratch threads the pool through Forward/Backward — see
 // its comment for the ownership rules — and infer.Engine keeps one
-// pool per batch-parallel worker while sharding a batch across
-// goroutines without breaking the incremental-reuse audit.
+// pool per batch-parallel worker plus persistent shard workers and
+// reusable per-step bookkeeping, so the anytime walk performs zero
+// allocations per Step on both its serial and sharded paths.
 // BENCH_baseline.json records the substrate's reference numbers
-// (regenerate with ./ci.sh or `go run ./cmd/stepbench -bench`).
+// (regenerate with ./ci.sh or `go run ./cmd/stepbench -bench`;
+// compare two baselines with `stepbench -compare old.json new.json`).
 //
 // The benchmarks in bench_test.go regenerate each table/figure:
 //

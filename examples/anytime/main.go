@@ -51,6 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 	engine := infer.NewEngine(res.StudentNet.Net)
+	defer engine.Close()
 
 	fmt.Println("anytime inference on 6 frames (budget = MACs available before deadline)")
 	fmt.Println()

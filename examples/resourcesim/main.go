@@ -66,6 +66,7 @@ func main() {
 	const ticksPerFrame = 4
 	rng := tensor.NewRNG(5)
 	gov := governor.New(res.StudentNet, 3)
+	defer gov.Close()
 	gov.Hysteresis = 2 // hold a larger subnet for 2 low ticks before shrinking
 
 	var log2 []governor.Decision

@@ -44,6 +44,7 @@ func Reuse(sc Scale) (*ReuseResult, error) {
 	x := tensor.New(1, w.Data.C, w.Data.H, w.Data.W)
 	x.FillNormal(tensor.NewRNG(sc.Seed^0x5E0), 0, 1)
 	e := infer.NewEngine(model.Net)
+	defer e.Close()
 	e.Reset(x)
 
 	res := &ReuseResult{Scale: sc, Model: r.Model}

@@ -113,6 +113,11 @@ func New(model *models.Model, n int) *Governor {
 // Engine exposes the underlying anytime engine (for Reset).
 func (g *Governor) Engine() *infer.Engine { return g.engine }
 
+// Close releases the engine's batch-parallel workers (a no-op for
+// governors that only ever saw batch-1 inputs). The governor remains
+// usable afterwards.
+func (g *Governor) Close() { g.engine.Close() }
+
 // Reset installs a new input.
 func (g *Governor) Reset(x *tensor.Tensor) {
 	g.engine.Reset(x)

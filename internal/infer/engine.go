@@ -20,11 +20,14 @@ import (
 // Engine executes one input batch through a masked network
 // incrementally, caching per-layer activations between subnet
 // switches. Activations and temporaries are drawn from internal
-// buffer pools, so steady-state stepping allocates (almost) nothing;
-// batches large enough to shard are fanned out across GOMAXPROCS
-// worker goroutines, each with its own pool (every layer treats the
-// batch dimension independently, so sharding preserves the
-// incremental-reuse semantics exactly).
+// buffer pools and every piece of per-step bookkeeping (shard slices,
+// view headers, eval contexts) is hoisted into Engine-owned buffers
+// sized once per (batch, workers) pair, so steady-state stepping
+// allocates nothing at all — serial or sharded (enforced by
+// TestStepSteadyStateAllocs). Batches large enough to shard are
+// fanned out across persistent worker goroutines, each with its own
+// pool (every layer treats the batch dimension independently, so
+// sharding preserves the incremental-reuse semantics exactly).
 type Engine struct {
 	net   *nn.Network
 	input *tensor.Tensor
@@ -44,7 +47,30 @@ type Engine struct {
 	pool   *tensor.Pool   // owner-goroutine scratch; backs the cache tensors
 	wpools []*tensor.Pool // per-worker scratch for the sharded path
 
+	// Reusable per-step state for the sharded path, indexed by worker.
+	// Grown on demand by ensureShardState, never shrunk; the shard
+	// workers themselves are persistent goroutines fed over jobs (a
+	// `go` statement per Step would allocate its closure).
+	shardOuts  [][]*tensor.Tensor // per-layer shard outputs
+	shardMACs  [][]int64          // per-layer shard MAC counts
+	inViews    []*tensor.Tensor   // reusable view headers onto input
+	cacheViews [][]*tensor.Tensor // reusable view headers onto cache
+	ctxs       []*nn.Context      // reusable eval contexts
+	sctx       nn.Context         // serial-path eval context
+	shapeBuf   []int              // scratch for assembling output shapes
+
+	jobs    chan shardJob
+	wg      sync.WaitGroup
+	started int // persistent shard workers spawned so far
+
 	totalMACs int64
+}
+
+// shardJob tells a shard worker which batch rows to walk to which
+// subnet. Jobs travel by value, so dispatch is allocation-free.
+type shardJob struct {
+	wi, b0, b1 int
+	sPrev, s   int
 }
 
 // NewEngine wraps a network. The network's layers must implement
@@ -134,17 +160,21 @@ func (e *Engine) workers(batch int) int {
 // stepLayer advances one layer of one (sub-)batch, mirroring the
 // paper's per-layer dispatch: RuleShared layers recompute from
 // scratch, Incremental layers reuse the cache, parameter-free layers
-// just run.
-func stepLayer(l nn.Layer, x, cached *tensor.Tensor, sPrev, s int, pool *tensor.Pool) (*tensor.Tensor, int64) {
+// just run. ctx is a caller-owned reusable context (allocating one
+// per layer step would defeat the walk's zero-alloc property); only
+// its Subnet and Scratch fields are meaningful here.
+func stepLayer(l nn.Layer, x, cached *tensor.Tensor, sPrev, s int, pool *tensor.Pool, ctx *nn.Context) (*tensor.Tensor, int64) {
 	if m, ok := l.(nn.Masked); ok && m.Rule() == nn.RuleShared {
 		// Recompute-per-subnet layer (classifier head or slimmable
 		// backbone): no reuse is possible.
-		return l.Forward(x, &nn.Context{Subnet: s, Scratch: pool}), m.MACs(s)
+		ctx.Subnet, ctx.Scratch = s, pool
+		return l.Forward(x, ctx), m.MACs(s)
 	}
 	if inc, ok := l.(nn.Incremental); ok {
 		return inc.ForwardIncremental(x, cached, sPrev, s, pool)
 	}
-	return l.Forward(x, &nn.Context{Subnet: s, Scratch: pool}), 0
+	ctx.Subnet, ctx.Scratch = s, pool
+	return l.Forward(x, ctx), 0
 }
 
 // stepSerial walks the whole batch through the layer stack on the
@@ -153,7 +183,7 @@ func (e *Engine) stepSerial(s, sPrev int) int64 {
 	var stepMACs int64
 	x := e.input
 	for i, l := range e.net.Layers() {
-		out, macs := stepLayer(l, x, e.cache[i], sPrev, s, e.pool)
+		out, macs := stepLayer(l, x, e.cache[i], sPrev, s, e.pool, &e.sctx)
 		e.pool.Put(e.cache[i]) // superseded by out; safe to recycle now
 		e.cache[i] = out
 		x = out
@@ -163,72 +193,115 @@ func (e *Engine) stepSerial(s, sPrev int) int64 {
 }
 
 // stepParallel shards the batch into w contiguous row ranges, walks
-// each shard through the full layer stack on its own goroutine (with
-// its own pool — layers' incremental paths touch no shared state),
-// then assembles full-batch cache tensors from the shard outputs.
-// MAC accounting is per image and identical across shards, so the
-// first shard's counts are authoritative.
+// each shard through the full layer stack on its own worker (with its
+// own pool — layers' incremental paths touch no shared state), then
+// assembles full-batch cache tensors from the shard outputs. Workers
+// 1..w-1 are persistent goroutines fed jobs over a channel; the
+// calling goroutine always walks shard 0 itself. MAC accounting is
+// per image and identical across shards, so the first shard's counts
+// are authoritative.
 func (e *Engine) stepParallel(s, sPrev, w int) int64 {
 	layers := e.net.Layers()
 	batch := e.input.Dim(0)
-	for len(e.wpools) < w {
-		e.wpools = append(e.wpools, tensor.NewPool())
-	}
+	e.ensureShardState(w, len(layers))
 
-	type shardResult struct {
-		outs []*tensor.Tensor
-		macs []int64
+	e.wg.Add(w - 1)
+	for wi := 1; wi < w; wi++ {
+		e.jobs <- shardJob{wi: wi, b0: wi * batch / w, b1: (wi + 1) * batch / w, sPrev: sPrev, s: s}
 	}
-	results := make([]shardResult, w)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for wi := 0; wi < w; wi++ {
-		b0 := wi * batch / w
-		b1 := (wi + 1) * batch / w
-		go func(wi, b0, b1 int) {
-			defer wg.Done()
-			pool := e.wpools[wi]
-			outs := make([]*tensor.Tensor, len(layers))
-			macs := make([]int64, len(layers))
-			x := viewRows(e.input, b0, b1)
-			for i, l := range layers {
-				var cached *tensor.Tensor
-				if e.cache[i] != nil {
-					cached = viewRows(e.cache[i], b0, b1)
-				}
-				outs[i], macs[i] = stepLayer(l, x, cached, sPrev, s, pool)
-				x = outs[i]
-			}
-			results[wi] = shardResult{outs, macs}
-		}(wi, b0, b1)
-	}
-	wg.Wait()
+	e.runShard(shardJob{wi: 0, b0: 0, b1: batch / w, sPrev: sPrev, s: s})
+	e.wg.Wait()
 
 	var stepMACs int64
 	for i := range layers {
-		shape := append([]int{batch}, results[0].outs[i].Shape()[1:]...)
-		full := e.pool.GetUninit(shape...) // shard copies cover every row
+		// Output shape = shard shape with the full batch dimension.
+		e.shapeBuf = append(e.shapeBuf[:0], e.shardOuts[0][i].Shape()...)
+		e.shapeBuf[0] = batch
+		full := e.pool.GetUninit(e.shapeBuf...) // shard copies cover every row
 		fd := full.Data()
 		rowLen := full.Len() / batch
 		for wi := 0; wi < w; wi++ {
 			b0 := wi * batch / w
-			shard := results[wi].outs[i]
+			shard := e.shardOuts[wi][i]
 			copy(fd[b0*rowLen:b0*rowLen+shard.Len()], shard.Data())
 			e.wpools[wi].Put(shard)
+			e.shardOuts[wi][i] = nil
 		}
 		e.pool.Put(e.cache[i])
 		e.cache[i] = full
-		stepMACs += results[0].macs[i]
+		stepMACs += e.shardMACs[0][i]
 	}
 	return stepMACs
 }
 
-// viewRows returns a no-copy view of rows [b0,b1) of a batch-major
-// tensor.
-func viewRows(t *tensor.Tensor, b0, b1 int) *tensor.Tensor {
-	rowLen := t.Len() / t.Dim(0)
-	shape := append([]int{b1 - b0}, t.Shape()[1:]...)
-	return tensor.FromSlice(t.Data()[b0*rowLen:b1*rowLen], shape...)
+// runShard walks one shard of the batch through the layer stack,
+// writing outputs and MAC counts into the worker's reusable slices.
+func (e *Engine) runShard(j shardJob) {
+	pool := e.wpools[j.wi]
+	ctx := e.ctxs[j.wi]
+	outs := e.shardOuts[j.wi]
+	macs := e.shardMACs[j.wi]
+	views := e.cacheViews[j.wi]
+	x := e.inViews[j.wi].ViewRows(e.input, j.b0, j.b1)
+	for i, l := range e.net.Layers() {
+		var cached *tensor.Tensor
+		if e.cache[i] != nil {
+			cached = views[i].ViewRows(e.cache[i], j.b0, j.b1)
+		}
+		outs[i], macs[i] = stepLayer(l, x, cached, j.sPrev, j.s, pool, ctx)
+		x = outs[i]
+	}
+}
+
+// shardWorker is the body of one persistent worker goroutine: drain
+// jobs until Close.
+func (e *Engine) shardWorker() {
+	for job := range e.jobs {
+		e.runShard(job)
+		e.wg.Done()
+	}
+}
+
+// ensureShardState grows the per-worker reusable state (pools,
+// contexts, output/MAC slices, view headers) to w workers and nLayers
+// layers, and spawns any missing persistent workers. Steady-state
+// calls find everything sized and do nothing.
+func (e *Engine) ensureShardState(w, nLayers int) {
+	for len(e.wpools) < w {
+		e.wpools = append(e.wpools, tensor.NewPool())
+	}
+	for len(e.ctxs) < w {
+		e.ctxs = append(e.ctxs, &nn.Context{})
+	}
+	for len(e.shardOuts) < w {
+		e.shardOuts = append(e.shardOuts, make([]*tensor.Tensor, nLayers))
+		e.shardMACs = append(e.shardMACs, make([]int64, nLayers))
+		e.inViews = append(e.inViews, &tensor.Tensor{})
+		views := make([]*tensor.Tensor, nLayers)
+		for i := range views {
+			views[i] = &tensor.Tensor{}
+		}
+		e.cacheViews = append(e.cacheViews, views)
+	}
+	if e.jobs == nil {
+		e.jobs = make(chan shardJob)
+	}
+	for e.started < w-1 { // worker 0 is the calling goroutine
+		e.started++
+		go e.shardWorker()
+	}
+}
+
+// Close releases the engine's persistent shard workers. It is only
+// needed for engines that used the batch-parallel path (serial-only
+// engines spawn none) and the engine remains usable afterwards — the
+// next parallel Step simply respawns workers.
+func (e *Engine) Close() {
+	if e.jobs != nil {
+		close(e.jobs)
+		e.jobs = nil
+		e.started = 0
+	}
 }
 
 // MustStep is Step for code paths where the engine is known to be

@@ -188,6 +188,7 @@ func TestBatchParallelMatchesSerial(t *testing.T) {
 	parallel := NewEngine(m.Net)
 	parallel.Workers = 4
 	parallel.Audit = true
+	defer parallel.Close()
 
 	serial.Reset(x)
 	parallel.Reset(x)
@@ -223,6 +224,7 @@ func TestBatchParallelOddShards(t *testing.T) {
 	e := NewEngine(m.Net)
 	e.Workers = 3
 	e.Audit = true // every step checked against the full forward
+	defer e.Close()
 	e.Reset(x)
 	for _, s := range []int{2, 3, 1, 3} {
 		if _, _, err := e.Step(s); err != nil {
@@ -232,28 +234,39 @@ func TestBatchParallelOddShards(t *testing.T) {
 }
 
 // TestStepSteadyStateAllocs pins the zero-allocation claim for the
-// serial engine: once the pools are warm, stepping allocates almost
-// nothing (a handful of small slice headers for the per-step
-// bookkeeping, no activation buffers).
+// anytime walk: once the pools and the engine-owned shard state are
+// warm, stepping allocates nothing at all — no activation buffers,
+// no contexts, no shard bookkeeping — on the serial AND the
+// batch-parallel path. Any allocation here is a regression (a dropped
+// Put, an escaping context, per-step shard slices).
 func TestStepSteadyStateAllocs(t *testing.T) {
-	m := buildModel(41)
-	x := input(42)
-	e := NewEngine(m.Net)
-	e.Workers = 1
-	e.Reset(x)
-	for s := 1; s <= 3; s++ {
-		e.MustStep(s) // warm the pools
-	}
-	allocs := testing.AllocsPerRun(20, func() {
-		e.Reset(x)
-		for s := 1; s <= 3; s++ {
-			e.MustStep(s)
-		}
-	})
-	// The engine itself is allocation-free in steady state; the dense
-	// head's incremental path builds one small index slice per layer
-	// step. Anything above this budget is a pooling regression.
-	if allocs > 16 {
-		t.Fatalf("steady-state walk allocates %v times per run", allocs)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildModel(41)
+			x := tensor.New(8, 1, 8, 8)
+			x.FillNormal(tensor.NewRNG(42), 0, 1)
+			e := NewEngine(m.Net)
+			e.Workers = tc.workers
+			defer e.Close()
+			walk := func() {
+				e.Reset(x)
+				for s := 1; s <= 3; s++ {
+					e.MustStep(s)
+				}
+				e.MustStep(1) // step down: the nNew==0 fast paths
+			}
+			for i := 0; i < 3; i++ {
+				walk() // warm pools, shard state and workers
+			}
+			if allocs := testing.AllocsPerRun(20, walk); allocs != 0 {
+				t.Fatalf("steady-state %s walk allocates %v times per run, want 0", tc.name, allocs)
+			}
+		})
 	}
 }

@@ -50,6 +50,14 @@ func (m *AvgPool2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	if ctx.Train {
 		m.out = out
 	}
+	m.poolInto(x, out)
+	return out
+}
+
+// poolInto runs the averaging loop from x into out.
+func (m *AvgPool2D) poolInto(x, out *tensor.Tensor) {
+	batch := x.Dim(0)
+	oh, ow := m.OutH(), m.OutW()
 	xd, od := x.Data(), out.Data()
 	inv := 1 / float64(m.k*m.k)
 	for b := 0; b < batch; b++ {
@@ -69,7 +77,6 @@ func (m *AvgPool2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
 func (m *AvgPool2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
@@ -98,9 +105,12 @@ func (m *AvgPool2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 }
 
 // ForwardIncremental recomputes pooling (zero MACs; per-channel, so
-// reuse-safe).
+// reuse-safe). It bypasses Forward's Context plumbing so the anytime
+// walk allocates nothing in steady state.
 func (m *AvgPool2D) ForwardIncremental(x, _ *tensor.Tensor, _, _ int, pool *tensor.Pool) (*tensor.Tensor, int64) {
-	return m.Forward(x, &Context{Subnet: 1 << 30, Scratch: pool}), 0
+	out := pool.GetUninit(x.Dim(0), m.c, m.OutH(), m.OutW())
+	m.poolInto(x, out)
+	return out, 0
 }
 
 var _ Incremental = (*AvgPool2D)(nil)

@@ -549,13 +549,16 @@ func (c *Conv2D) ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int, pool
 
 	// Gather the new filters' masked weights transposed (the fast
 	// kernel's layout); per-image MACs are identical across the
-	// batch, so count while gathering.
+	// batch, so count while gathering. With no new filters (re-step or
+	// step-down) no buffers are drawn at all — a pool Get of a
+	// zero-width tensor would allocate a header the pool can never
+	// recycle, breaking the walk's zero-alloc steady state.
 	nNew := c.countFilters(lo, s)
-	wt := pool.GetUninit(cc, nNew)
-	macs := c.gatherFiltersT(wt, lo, s) * int64(r)
-
-	var colBuf, zNew *tensor.Tensor
+	var macs int64
+	var wt, colBuf, zNew *tensor.Tensor
 	if nNew > 0 {
+		wt = pool.GetUninit(cc, nNew)
+		macs = c.gatherFiltersT(wt, lo, s) * int64(r)
 		colBuf = pool.GetUninit(r, cc)
 		zNew = pool.GetUninit(r, nNew)
 	}

@@ -387,29 +387,39 @@ func (d *Dense) ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int, pool 
 	wd := d.w.Value.Data()
 	bd := d.b.Value.Data()
 
-	newIdx := make([]int, 0, d.out)
-	for o := 0; o < d.out; o++ {
+	// A unit is reused when the cache holds its sPrev value (the
+	// incremental property guarantees its active inputs are unchanged
+	// between sPrev and s) and computed fresh when newly active. The
+	// fresh set is re-derived from the assignment wherever it is
+	// needed instead of being materialized as an index slice, so the
+	// steady-state anytime walk stays allocation-free.
+	fresh := func(o int) bool {
 		outID := d.assign.ID(o)
-		if outID > s {
+		return outID <= s && (outID > sPrev || cached == nil)
+	}
+	nNew := 0
+	for o := 0; o < d.out; o++ {
+		if outID := d.assign.ID(o); outID > s {
 			continue
-		}
-		if outID <= sPrev && cached != nil {
-			// Reuse: the incremental property guarantees this unit's
-			// active inputs are unchanged between sPrev and s.
+		} else if fresh(o) {
+			nNew++
+		} else {
 			cd := cached.Data()
 			for b := 0; b < batch; b++ {
 				od[b*d.out+o] = cd[b*d.out+o]
 			}
-			continue
 		}
-		newIdx = append(newIdx, o)
 	}
 
 	var macs int64
-	if len(newIdx) > 0 {
-		weffNew := pool.Get(len(newIdx), d.in)
+	if nNew > 0 {
+		weffNew := pool.Get(nNew, d.in)
 		ed := weffNew.Data()
-		for j, o := range newIdx {
+		j := 0
+		for o := 0; o < d.out; o++ {
+			if !fresh(o) {
+				continue
+			}
 			row := o * d.in
 			erow := ed[j*d.in : (j+1)*d.in]
 			for i := 0; i < d.in; i++ {
@@ -418,14 +428,20 @@ func (d *Dense) ForwardIncremental(x, cached *tensor.Tensor, sPrev, s int, pool 
 					macs++ // per-image MAC count
 				}
 			}
+			j++
 		}
-		zNew := pool.GetUninit(batch, len(newIdx))
-		tensor.GemmTransB(zNew.Data(), x.Data(), ed, batch, d.in, len(newIdx), false)
+		zNew := pool.GetUninit(batch, nNew)
+		tensor.GemmTransB(zNew.Data(), x.Data(), ed, batch, d.in, nNew, false)
 		zd := zNew.Data()
-		for b := 0; b < batch; b++ {
-			for j, o := range newIdx {
-				od[b*d.out+o] = zd[b*len(newIdx)+j] + bd[o]
+		j = 0
+		for o := 0; o < d.out; o++ {
+			if !fresh(o) {
+				continue
 			}
+			for b := 0; b < batch; b++ {
+				od[b*d.out+o] = zd[b*nNew+j] + bd[o]
+			}
+			j++
 		}
 		pool.Put(weffNew)
 		pool.Put(zNew)

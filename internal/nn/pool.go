@@ -56,6 +56,15 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 		}
 		m.argmax = m.argmax[:out.Len()]
 	}
+	m.poolInto(x, out, ctx.Train)
+	return out
+}
+
+// poolInto runs the pooling loop from x into out, recording argmax
+// indices when recordArgmax is set (training backward needs them).
+func (m *MaxPool2D) poolInto(x, out *tensor.Tensor, recordArgmax bool) {
+	batch := x.Dim(0)
+	oh, ow := m.OutH(), m.OutW()
 	xd, od := x.Data(), out.Data()
 	for b := 0; b < batch; b++ {
 		for ch := 0; ch < m.c; ch++ {
@@ -75,14 +84,13 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 					}
 					oidx := outBase + oy*ow + ox
 					od[oidx] = best
-					if ctx.Train {
+					if recordArgmax {
 						m.argmax[oidx] = bestIdx
 					}
 				}
 			}
 		}
 	}
-	return out
 }
 
 func (m *MaxPool2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
@@ -96,9 +104,12 @@ func (m *MaxPool2D) Backward(grad *tensor.Tensor, ctx *Context) *tensor.Tensor {
 }
 
 // ForwardIncremental recomputes pooling (zero MACs; per-channel, so
-// reuse-safe).
+// reuse-safe). It bypasses Forward's Context plumbing so the anytime
+// walk allocates nothing in steady state.
 func (m *MaxPool2D) ForwardIncremental(x, _ *tensor.Tensor, _, _ int, pool *tensor.Pool) (*tensor.Tensor, int64) {
-	return m.Forward(x, &Context{Subnet: 1 << 30, Scratch: pool}), 0
+	out := pool.GetUninit(x.Dim(0), m.c, m.OutH(), m.OutW())
+	m.poolInto(x, out, false)
+	return out, 0
 }
 
 var _ Incremental = (*MaxPool2D)(nil)

@@ -1,0 +1,422 @@
+// AVX2+FMA micro-kernels for the GEMM backends in gemm_amd64.go, plus
+// the CPUID/XGETBV feature probes that gate them. All float64, all
+// ABI0 (stack arguments), all NOSPLIT leaf functions.
+//
+// Kernel shapes (see gemm_amd64.go for how they compose into the
+// three GEMM row kernels):
+//
+//   avx2QuadAxpy2  c0,c1 += a·B panel   2 C rows × 4 B rows, the ikj
+//                                       inner strip: 8 FMA chains per
+//                                       4-wide column block
+//   avx2QuadAxpy1  c += a·B panel       1 C row × 4 B rows
+//   avx2Dot2x4     8 dot products       2 A rows × 4 B rows (A·Bᵀ)
+//   avx2Dot1x4     4 dot products       1 A row × 4 B rows
+//
+// Operand-order note: the Go assembler reverses Intel order, so
+// VFMADD231PD Y8, Y0, Y12 computes Y12 += Y0*Y8.
+//
+// The scalar tails at the bottom of each kernel use VFMADD231SD,
+// which zeroes bits 128..255 of its destination register — safe in
+// the axpy kernels (destinations are freshly loaded C values) and in
+// the dot kernels only because the wide accumulators are horizontally
+// reduced to scalars *before* the tail runs.
+
+//go:build !purego
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+// Caller must have verified CPUID.1:ECX.OSXSAVE first.
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func avx2QuadAxpy2(c0, c1, b0, b1, b2, b3 *float64, a *[8]float64, n int)
+//
+// c0[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j]
+// c1[j] += a[4]*b0[j] + a[5]*b1[j] + a[6]*b2[j] + a[7]*b3[j]
+// for j in [0,n): the two-output-row ikj strip. Each loaded B block
+// feeds both C rows, so the 8 FMAs per 4-wide block are bound by FMA
+// throughput, not loads.
+TEXT ·avx2QuadAxpy2(SB), NOSPLIT, $0-64
+	MOVQ c0+0(FP), DI
+	MOVQ c1+8(FP), SI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ a+48(FP), AX
+	MOVQ n+56(FP), CX
+	VBROADCASTSD (AX), Y0
+	VBROADCASTSD 8(AX), Y1
+	VBROADCASTSD 16(AX), Y2
+	VBROADCASTSD 24(AX), Y3
+	VBROADCASTSD 32(AX), Y4
+	VBROADCASTSD 40(AX), Y5
+	VBROADCASTSD 48(AX), Y6
+	VBROADCASTSD 56(AX), Y7
+	XORQ DX, DX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+
+qa2_block8:
+	CMPQ DX, BX
+	JGE  qa2_tail4
+	VMOVUPD (R8)(DX*8), Y8
+	VMOVUPD (R9)(DX*8), Y9
+	VMOVUPD (R10)(DX*8), Y10
+	VMOVUPD (R11)(DX*8), Y11
+	VMOVUPD (DI)(DX*8), Y12
+	VMOVUPD (SI)(DX*8), Y13
+	VFMADD231PD Y8, Y0, Y12
+	VFMADD231PD Y9, Y1, Y12
+	VFMADD231PD Y10, Y2, Y12
+	VFMADD231PD Y11, Y3, Y12
+	VFMADD231PD Y8, Y4, Y13
+	VFMADD231PD Y9, Y5, Y13
+	VFMADD231PD Y10, Y6, Y13
+	VFMADD231PD Y11, Y7, Y13
+	VMOVUPD Y12, (DI)(DX*8)
+	VMOVUPD Y13, (SI)(DX*8)
+	VMOVUPD 32(R8)(DX*8), Y8
+	VMOVUPD 32(R9)(DX*8), Y9
+	VMOVUPD 32(R10)(DX*8), Y10
+	VMOVUPD 32(R11)(DX*8), Y11
+	VMOVUPD 32(DI)(DX*8), Y12
+	VMOVUPD 32(SI)(DX*8), Y13
+	VFMADD231PD Y8, Y0, Y12
+	VFMADD231PD Y9, Y1, Y12
+	VFMADD231PD Y10, Y2, Y12
+	VFMADD231PD Y11, Y3, Y12
+	VFMADD231PD Y8, Y4, Y13
+	VFMADD231PD Y9, Y5, Y13
+	VFMADD231PD Y10, Y6, Y13
+	VFMADD231PD Y11, Y7, Y13
+	VMOVUPD Y12, 32(DI)(DX*8)
+	VMOVUPD Y13, 32(SI)(DX*8)
+	ADDQ $8, DX
+	JMP  qa2_block8
+
+qa2_tail4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	CMPQ DX, BX
+	JGE  qa2_tail1
+	VMOVUPD (R8)(DX*8), Y8
+	VMOVUPD (R9)(DX*8), Y9
+	VMOVUPD (R10)(DX*8), Y10
+	VMOVUPD (R11)(DX*8), Y11
+	VMOVUPD (DI)(DX*8), Y12
+	VMOVUPD (SI)(DX*8), Y13
+	VFMADD231PD Y8, Y0, Y12
+	VFMADD231PD Y9, Y1, Y12
+	VFMADD231PD Y10, Y2, Y12
+	VFMADD231PD Y11, Y3, Y12
+	VFMADD231PD Y8, Y4, Y13
+	VFMADD231PD Y9, Y5, Y13
+	VFMADD231PD Y10, Y6, Y13
+	VFMADD231PD Y11, Y7, Y13
+	VMOVUPD Y12, (DI)(DX*8)
+	VMOVUPD Y13, (SI)(DX*8)
+	ADDQ $4, DX
+
+qa2_tail1:
+	CMPQ DX, CX
+	JGE  qa2_done
+	VMOVSD (R8)(DX*8), X8
+	VMOVSD (R9)(DX*8), X9
+	VMOVSD (R10)(DX*8), X10
+	VMOVSD (R11)(DX*8), X11
+	VMOVSD (DI)(DX*8), X12
+	VMOVSD (SI)(DX*8), X13
+	VFMADD231SD X8, X0, X12
+	VFMADD231SD X9, X1, X12
+	VFMADD231SD X10, X2, X12
+	VFMADD231SD X11, X3, X12
+	VFMADD231SD X8, X4, X13
+	VFMADD231SD X9, X5, X13
+	VFMADD231SD X10, X6, X13
+	VFMADD231SD X11, X7, X13
+	VMOVSD X12, (DI)(DX*8)
+	VMOVSD X13, (SI)(DX*8)
+	INCQ DX
+	JMP  qa2_tail1
+
+qa2_done:
+	VZEROUPPER
+	RET
+
+// func avx2QuadAxpy1(c, b0, b1, b2, b3 *float64, a *[4]float64, n int)
+//
+// c[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] + a[3]*b3[j] for j in
+// [0,n): the single-row strip, used for GemmTransA rows and for row
+// pairs where the zero-panel skip killed one side.
+TEXT ·avx2QuadAxpy1(SB), NOSPLIT, $0-56
+	MOVQ c+0(FP), DI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ a+40(FP), AX
+	MOVQ n+48(FP), CX
+	VBROADCASTSD (AX), Y0
+	VBROADCASTSD 8(AX), Y1
+	VBROADCASTSD 16(AX), Y2
+	VBROADCASTSD 24(AX), Y3
+	XORQ DX, DX
+	MOVQ CX, BX
+	ANDQ $-8, BX
+
+qa1_block8:
+	CMPQ DX, BX
+	JGE  qa1_tail4
+	VMOVUPD (R8)(DX*8), Y8
+	VMOVUPD (R9)(DX*8), Y9
+	VMOVUPD (R10)(DX*8), Y10
+	VMOVUPD (R11)(DX*8), Y11
+	VMOVUPD (DI)(DX*8), Y12
+	VFMADD231PD Y8, Y0, Y12
+	VFMADD231PD Y9, Y1, Y12
+	VFMADD231PD Y10, Y2, Y12
+	VFMADD231PD Y11, Y3, Y12
+	VMOVUPD Y12, (DI)(DX*8)
+	VMOVUPD 32(R8)(DX*8), Y8
+	VMOVUPD 32(R9)(DX*8), Y9
+	VMOVUPD 32(R10)(DX*8), Y10
+	VMOVUPD 32(R11)(DX*8), Y11
+	VMOVUPD 32(DI)(DX*8), Y12
+	VFMADD231PD Y8, Y0, Y12
+	VFMADD231PD Y9, Y1, Y12
+	VFMADD231PD Y10, Y2, Y12
+	VFMADD231PD Y11, Y3, Y12
+	VMOVUPD Y12, 32(DI)(DX*8)
+	ADDQ $8, DX
+	JMP  qa1_block8
+
+qa1_tail4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	CMPQ DX, BX
+	JGE  qa1_tail1
+	VMOVUPD (R8)(DX*8), Y8
+	VMOVUPD (R9)(DX*8), Y9
+	VMOVUPD (R10)(DX*8), Y10
+	VMOVUPD (R11)(DX*8), Y11
+	VMOVUPD (DI)(DX*8), Y12
+	VFMADD231PD Y8, Y0, Y12
+	VFMADD231PD Y9, Y1, Y12
+	VFMADD231PD Y10, Y2, Y12
+	VFMADD231PD Y11, Y3, Y12
+	VMOVUPD Y12, (DI)(DX*8)
+	ADDQ $4, DX
+
+qa1_tail1:
+	CMPQ DX, CX
+	JGE  qa1_done
+	VMOVSD (R8)(DX*8), X8
+	VMOVSD (R9)(DX*8), X9
+	VMOVSD (R10)(DX*8), X10
+	VMOVSD (R11)(DX*8), X11
+	VMOVSD (DI)(DX*8), X12
+	VFMADD231SD X8, X0, X12
+	VFMADD231SD X9, X1, X12
+	VFMADD231SD X10, X2, X12
+	VFMADD231SD X11, X3, X12
+	VMOVSD X12, (DI)(DX*8)
+	INCQ DX
+	JMP  qa1_tail1
+
+qa1_done:
+	VZEROUPPER
+	RET
+
+// func avx2Dot2x4(a0, a1, b0, b1, b2, b3 *float64, k int, out *[8]float64)
+//
+// out[4r+c] = Σ_p ar[p]·bc[p] over p in [0,k) — the eight dot
+// products of a 2-row × 4-column A·Bᵀ tile. Wide partial sums are
+// reduced to scalars before the k%4 tail so the tail's VFMADD231SD
+// (which zeroes the destination's upper lanes) is safe.
+TEXT ·avx2Dot2x4(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), DI
+	MOVQ a1+8(FP), SI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ k+48(FP), CX
+	MOVQ out+56(FP), AX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ DX, DX
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+d24_block4:
+	CMPQ DX, BX
+	JGE  d24_reduce
+	VMOVUPD (DI)(DX*8), Y8
+	VMOVUPD (SI)(DX*8), Y9
+	VMOVUPD (R8)(DX*8), Y10
+	VMOVUPD (R9)(DX*8), Y11
+	VMOVUPD (R10)(DX*8), Y12
+	VMOVUPD (R11)(DX*8), Y13
+	VFMADD231PD Y10, Y8, Y0
+	VFMADD231PD Y11, Y8, Y1
+	VFMADD231PD Y12, Y8, Y2
+	VFMADD231PD Y13, Y8, Y3
+	VFMADD231PD Y10, Y9, Y4
+	VFMADD231PD Y11, Y9, Y5
+	VFMADD231PD Y12, Y9, Y6
+	VFMADD231PD Y13, Y9, Y7
+	ADDQ $4, DX
+	JMP  d24_block4
+
+d24_reduce:
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD  X8, X0, X0
+	VHADDPD X0, X0, X0
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD  X8, X1, X1
+	VHADDPD X1, X1, X1
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD  X8, X2, X2
+	VHADDPD X2, X2, X2
+	VEXTRACTF128 $1, Y3, X8
+	VADDPD  X8, X3, X3
+	VHADDPD X3, X3, X3
+	VEXTRACTF128 $1, Y4, X8
+	VADDPD  X8, X4, X4
+	VHADDPD X4, X4, X4
+	VEXTRACTF128 $1, Y5, X8
+	VADDPD  X8, X5, X5
+	VHADDPD X5, X5, X5
+	VEXTRACTF128 $1, Y6, X8
+	VADDPD  X8, X6, X6
+	VHADDPD X6, X6, X6
+	VEXTRACTF128 $1, Y7, X8
+	VADDPD  X8, X7, X7
+	VHADDPD X7, X7, X7
+
+d24_tail:
+	CMPQ DX, CX
+	JGE  d24_store
+	VMOVSD (DI)(DX*8), X8
+	VMOVSD (SI)(DX*8), X9
+	VMOVSD (R8)(DX*8), X10
+	VMOVSD (R9)(DX*8), X11
+	VMOVSD (R10)(DX*8), X12
+	VMOVSD (R11)(DX*8), X13
+	VFMADD231SD X10, X8, X0
+	VFMADD231SD X11, X8, X1
+	VFMADD231SD X12, X8, X2
+	VFMADD231SD X13, X8, X3
+	VFMADD231SD X10, X9, X4
+	VFMADD231SD X11, X9, X5
+	VFMADD231SD X12, X9, X6
+	VFMADD231SD X13, X9, X7
+	INCQ DX
+	JMP  d24_tail
+
+d24_store:
+	VMOVSD X0, (AX)
+	VMOVSD X1, 8(AX)
+	VMOVSD X2, 16(AX)
+	VMOVSD X3, 24(AX)
+	VMOVSD X4, 32(AX)
+	VMOVSD X5, 40(AX)
+	VMOVSD X6, 48(AX)
+	VMOVSD X7, 56(AX)
+	VZEROUPPER
+	RET
+
+// func avx2Dot1x4(a0, b0, b1, b2, b3 *float64, k int, out *[4]float64)
+//
+// out[c] = Σ_p a0[p]·bc[p] over p in [0,k): the single-A-row variant
+// of avx2Dot2x4 for odd trailing rows and batch-1 dense layers.
+TEXT ·avx2Dot1x4(SB), NOSPLIT, $0-56
+	MOVQ a0+0(FP), DI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ k+40(FP), CX
+	MOVQ out+48(FP), AX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	XORQ DX, DX
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+d14_block4:
+	CMPQ DX, BX
+	JGE  d14_reduce
+	VMOVUPD (DI)(DX*8), Y8
+	VMOVUPD (R8)(DX*8), Y10
+	VMOVUPD (R9)(DX*8), Y11
+	VMOVUPD (R10)(DX*8), Y12
+	VMOVUPD (R11)(DX*8), Y13
+	VFMADD231PD Y10, Y8, Y0
+	VFMADD231PD Y11, Y8, Y1
+	VFMADD231PD Y12, Y8, Y2
+	VFMADD231PD Y13, Y8, Y3
+	ADDQ $4, DX
+	JMP  d14_block4
+
+d14_reduce:
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD  X8, X0, X0
+	VHADDPD X0, X0, X0
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD  X8, X1, X1
+	VHADDPD X1, X1, X1
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD  X8, X2, X2
+	VHADDPD X2, X2, X2
+	VEXTRACTF128 $1, Y3, X8
+	VADDPD  X8, X3, X3
+	VHADDPD X3, X3, X3
+
+d14_tail:
+	CMPQ DX, CX
+	JGE  d14_store
+	VMOVSD (DI)(DX*8), X8
+	VMOVSD (R8)(DX*8), X10
+	VMOVSD (R9)(DX*8), X11
+	VMOVSD (R10)(DX*8), X12
+	VMOVSD (R11)(DX*8), X13
+	VFMADD231SD X10, X8, X0
+	VFMADD231SD X11, X8, X1
+	VFMADD231SD X12, X8, X2
+	VFMADD231SD X13, X8, X3
+	INCQ DX
+	JMP  d14_tail
+
+d14_store:
+	VMOVSD X0, (AX)
+	VMOVSD X1, 8(AX)
+	VMOVSD X2, 16(AX)
+	VMOVSD X3, 24(AX)
+	VZEROUPPER
+	RET

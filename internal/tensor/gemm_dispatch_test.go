@@ -1,0 +1,49 @@
+package tensor
+
+import "testing"
+
+// restoreBackend reinstalls whatever backend the process selected at
+// startup once a backend-forcing test finishes.
+func restoreBackend(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		if simdWanted() {
+			restoreSIMDBackend()
+		} else {
+			useScalarBackend()
+		}
+	})
+}
+
+// TestBackendName pins the dispatch contract: the reported backend is
+// one of the two known names, and builds that cannot ever select SIMD
+// (purego, non-amd64) report scalar.
+func TestBackendName(t *testing.T) {
+	switch b := Backend(); b {
+	case "scalar", "avx2":
+	default:
+		t.Fatalf("unknown backend %q", b)
+	}
+	if !simdAvailable() && Backend() != "scalar" {
+		t.Fatalf("SIMD-incapable build reports backend %q, want scalar", Backend())
+	}
+}
+
+// TestForcedScalarBackend checks the runtime fallback arm: with the
+// scalar kernels forced, the full property grid still holds against
+// the naive reference, serial and forced-parallel.
+func TestForcedScalarBackend(t *testing.T) {
+	restoreBackend(t)
+	useScalarBackend()
+	if Backend() != "scalar" {
+		t.Fatalf("backend %q after useScalarBackend", Backend())
+	}
+	r := NewRNG(99)
+	checkAllShapes(t, func(t *testing.T, m, k, n int) {
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		if d := maxAbsDiff(MatMul(a, b), naiveMatMul(a, b, false, false)); d > 1e-12 {
+			t.Fatalf("scalar MatMul %dx%dx%d diverges by %g", m, k, n, d)
+		}
+	})
+}

@@ -1,0 +1,20 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Scalar-only builds: non-amd64 architectures, or any architecture
+// with the purego build tag (the compile-time counterpart of the
+// STEPPINGNET_NOSIMD environment override). The portable kernels in
+// matmul.go are already installed by the dispatch defaults, so there
+// is nothing to initialize here.
+
+// simdAvailable reports whether this build could select a SIMD
+// backend on this machine; never, by construction.
+func simdAvailable() bool { return false }
+
+// simdWanted mirrors the amd64 helper for tests.
+func simdWanted() bool { return false }
+
+// restoreSIMDBackend exists for the backend-forcing tests; without a
+// SIMD backend it reinstalls the scalar kernels.
+func restoreSIMDBackend() { useScalarBackend() }

@@ -16,6 +16,11 @@ import (
 // amortize the fan-out (see gemmMinParFlops). Fully-zero panels of A
 // are skipped, which is the common case for the masked weight
 // matrices this reproduction multiplies by.
+//
+// The row kernels defined here are the portable scalar backend; on
+// amd64 hardware with AVX2+FMA a dispatch layer swaps in assembly
+// variants at startup (gemm_dispatch.go, gemm_amd64.go) and this
+// code doubles as their edge-case fallback and test reference.
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n),
 // returning a fresh m×n tensor.
@@ -108,11 +113,11 @@ func Gemm(c, a, b []float64, m, k, n int, accumulate bool) {
 		return // empty product; nothing to write
 	}
 	if m*k*n < gemmMinParFlops || runtime.GOMAXPROCS(0) <= 1 {
-		gemmRows(c, a, b, 0, m, k, n, accumulate)
+		gemmRowsImpl(c, a, b, 0, m, k, n, accumulate)
 		return
 	}
 	parallelRows(m, func(i0, i1 int) {
-		gemmRows(c, a, b, i0, i1, k, n, accumulate)
+		gemmRowsImpl(c, a, b, i0, i1, k, n, accumulate)
 	})
 }
 
@@ -123,11 +128,11 @@ func GemmTransA(c, a, b []float64, k, m, n int, accumulate bool) {
 		return // empty product; nothing to write
 	}
 	if m*k*n < gemmMinParFlops || runtime.GOMAXPROCS(0) <= 1 {
-		gemmTransARows(c, a, b, 0, m, m, k, n, accumulate)
+		gemmTransARowsImpl(c, a, b, 0, m, m, k, n, accumulate)
 		return
 	}
 	parallelRows(m, func(i0, i1 int) {
-		gemmTransARows(c, a, b, i0, i1, m, k, n, accumulate)
+		gemmTransARowsImpl(c, a, b, i0, i1, m, k, n, accumulate)
 	})
 }
 
@@ -138,11 +143,11 @@ func GemmTransB(c, a, b []float64, m, k, n int, accumulate bool) {
 		return // empty product; nothing to write
 	}
 	if m*k*n < gemmMinParFlops || runtime.GOMAXPROCS(0) <= 1 {
-		gemmTransBRows(c, a, b, 0, m, k, n, accumulate)
+		gemmTransBRowsImpl(c, a, b, 0, m, k, n, accumulate)
 		return
 	}
 	parallelRows(m, func(i0, i1 int) {
-		gemmTransBRows(c, a, b, i0, i1, k, n, accumulate)
+		gemmTransBRowsImpl(c, a, b, i0, i1, k, n, accumulate)
 	})
 }
 

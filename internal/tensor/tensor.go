@@ -110,6 +110,20 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
 }
 
+// ViewRows repoints t at rows [b0,b1) of the batch-major tensor src
+// (no copy) and returns t. Reusing one header tensor this way keeps
+// hot paths that re-view every call — the batch-parallel inference
+// engine's shards — allocation-free; the caller must ensure t is not
+// aliased elsewhere and must never Put a view into a Pool (it shares
+// src's backing array).
+func (t *Tensor) ViewRows(src *Tensor, b0, b1 int) *Tensor {
+	rowLen := len(src.data) / src.shape[0]
+	t.data = src.data[b0*rowLen : b1*rowLen]
+	t.shape = append(t.shape[:0], src.shape...)
+	t.shape[0] = b1 - b0
+	return t
+}
+
 // At returns the element at the given multi-dimensional index.
 func (t *Tensor) At(idx ...int) float64 { return t.data[t.Offset(idx...)] }
 
