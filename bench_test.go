@@ -2,6 +2,7 @@ package steppingnet
 
 import (
 	"testing"
+	"time"
 
 	"steppingnet/internal/baselines"
 	"steppingnet/internal/baselines/anywidth"
@@ -12,6 +13,7 @@ import (
 	"steppingnet/internal/infer"
 	"steppingnet/internal/models"
 	"steppingnet/internal/nn"
+	"steppingnet/internal/serve"
 	"steppingnet/internal/tensor"
 )
 
@@ -230,6 +232,40 @@ func BenchmarkForwardBackwardLeNet3C1L(b *testing.B) {
 		ctx.Scratch.Put(net.Backward(grad, ctx))
 		ctx.Scratch.Put(grad)
 		net.ZeroGrad()
+	}
+}
+
+// BenchmarkServeB1Deadline measures single-request serving latency
+// through the full internal/serve path (admission, deadline
+// scheduling, ladder walk, answer channel) — the test-suite twin of
+// the serve_b1_deadline entry in BENCH_baseline.json.
+func BenchmarkServeB1Deadline(b *testing.B) {
+	m := models.LeNet3C1L(models.Options{
+		Classes: 10, InC: 3, InH: 16, InW: 16, Expansion: 1.8,
+		Subnets: 4, Rule: nn.RuleIncremental, Seed: 3,
+	})
+	r := tensor.NewRNG(9)
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for u := 1; u < a.Units(); u++ {
+			a.SetID(u, 1+r.Intn(4))
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		Model: m, Subnets: 4, Workers: 1,
+		DefaultDeadline: time.Second, CalibrationReps: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	in := tensor.New(3 * 16 * 16)
+	in.FillNormal(tensor.NewRNG(4), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Submit(serve.Request{Input: in.Data()}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # ci.sh — the repo's verification gate. Run before every merge:
 #
-#   ./ci.sh                      # vet + build + race tests (both backends) + perf gate
+#   ./ci.sh                      # vet + build + doc health + race tests (both
+#                                # backends) + serve smoke-run + perf gate
 #   ./ci.sh --quick              # skip the race detector (slow on 1-CPU boxes)
 #   ./ci.sh --update-baseline    # additionally refresh BENCH_baseline.json
 #                                # after a passing gate (combinable with --quick)
@@ -45,6 +46,21 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== doc health =="
+# gofmt cleanliness repo-wide, an explicit vet of the serving packages
+# (also covered by ./... above, but kept here so the doc-health step
+# is self-contained), and the doc-comment gate: every exported
+# identifier in internal/serve must carry a doc comment (enforced by
+# an AST-walking test).
+UNFORMATTED=$(gofmt -l .)
+if [[ -n "$UNFORMATTED" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+go vet ./internal/serve ./cmd/stepserve
+go test -count=1 -run TestExportedIdentifiersDocumented ./internal/serve
+
 echo "== go build (purego fallback) =="
 go build -tags purego ./...
 
@@ -59,6 +75,15 @@ else
     echo "== go test -race, scalar backend =="
     STEPPINGNET_NOSIMD=1 go test -race -count=1 ./...
 fi
+
+echo "== serve smoke-run (default backend) =="
+# Drive the anytime serving layer briefly through the load generator:
+# calibration, admission, deadline scheduling, micro-batching and
+# graceful drain all execute. Run under both GEMM backends, like the
+# test suite.
+go run ./cmd/stepserve -loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -deadlines 500us:0.5,10ms:0.5
+echo "== serve smoke-run (scalar backend) =="
+STEPPINGNET_NOSIMD=1 go run ./cmd/stepserve -loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -deadlines 500us:0.5,10ms:0.5
 
 echo "== perf baseline =="
 trap 'rm -f BENCH_new.json' EXIT # the gate's scratch file, never committed

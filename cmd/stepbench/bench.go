@@ -6,10 +6,12 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"steppingnet/internal/infer"
 	"steppingnet/internal/models"
 	"steppingnet/internal/nn"
+	"steppingnet/internal/serve"
 	"steppingnet/internal/tensor"
 )
 
@@ -136,6 +138,45 @@ func writeBenchBaseline(path string) error {
 			e.Reset(x)
 			for s := 1; s <= 4; s++ {
 				e.MustStep(s)
+			}
+		}
+	})
+	// Single-request serving latency through the full internal/serve
+	// path — admission, scheduling, the 4-step ladder walk and the
+	// answer channel — with a deadline generous enough to always reach
+	// the widest subnet. The delta over anytime_walk_lenet3c1l (at
+	// batch 8 there vs batch 1 here) is the serving layer's overhead
+	// budget.
+	record(results, "serve_b1_deadline", 0, func(b *testing.B) {
+		m := models.LeNet3C1L(models.Options{
+			Classes: 10, InC: 3, InH: 16, InW: 16, Expansion: 1.8,
+			Subnets: 4, Rule: nn.RuleIncremental, Seed: 3,
+		})
+		r := tensor.NewRNG(9)
+		for _, mv := range m.Movable {
+			a := mv.OutAssignment()
+			for u := 1; u < a.Units(); u++ {
+				a.SetID(u, 1+r.Intn(4))
+			}
+		}
+		srv, err := serve.New(serve.Config{
+			Model: m, Subnets: 4, Workers: 1,
+			DefaultDeadline: time.Second, CalibrationReps: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		in := tensor.New(3 * 16 * 16)
+		in.FillNormal(tensor.NewRNG(4), 0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := srv.Submit(serve.Request{Input: in.Data()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Subnet != 4 {
+				b.Fatalf("generous deadline answered from subnet %d", res.Subnet)
 			}
 		}
 	})

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"steppingnet/internal/models"
+	"steppingnet/internal/serve"
+	"steppingnet/internal/tensor"
+)
+
+// deadlineClass is one entry of the loadgen's deadline mix.
+type deadlineClass struct {
+	d time.Duration
+	w float64 // relative weight
+}
+
+// parseDeadlineMix parses "4ms:0.5,12ms:0.5" into classes; an empty
+// spec yields a single class at the server's default deadline.
+func parseDeadlineMix(spec string, fallback time.Duration) ([]deadlineClass, error) {
+	if strings.TrimSpace(spec) == "" {
+		return []deadlineClass{{d: fallback, w: 1}}, nil
+	}
+	var mix []deadlineClass
+	for _, part := range strings.Split(spec, ",") {
+		dur, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad deadline class %q (want e.g. 4ms:0.5)", part)
+		}
+		d, err := time.ParseDuration(dur)
+		if err != nil {
+			return nil, fmt.Errorf("bad deadline in %q: %v", part, err)
+		}
+		w, err := strconv.ParseFloat(weight, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight in %q", part)
+		}
+		mix = append(mix, deadlineClass{d: d, w: w})
+	}
+	return mix, nil
+}
+
+// pickClass draws a class index proportionally to the weights.
+func pickClass(mix []deadlineClass, rng *tensor.RNG) int {
+	var total float64
+	for _, c := range mix {
+		total += c.w
+	}
+	x := rng.Float64() * total
+	for i, c := range mix {
+		x -= c.w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(mix) - 1
+}
+
+// classStats accumulates per-deadline-class outcomes.
+type classStats struct {
+	sent, served, rejected, dropped, met int
+	lats                                 []time.Duration
+}
+
+// maxInflight caps the load generator's concurrent requests. Ticks
+// that fire beyond the cap are counted as client-side drops instead
+// of spawning ever more goroutines — an unbounded spawn backlog would
+// stretch the measurement window and fake better throughput than the
+// service really has.
+const maxInflight = 256
+
+// runLoadgen offers an open-loop request stream at the given rate for
+// the given duration, then prints the serving report: per-class
+// latency percentiles and deadline hit rates, and the global
+// per-subnet answer distribution — the observable form of the anytime
+// property under load.
+func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.Duration, mix []deadlineClass, seed uint64) {
+	if rps <= 0 {
+		log.Fatal("loadgen: -rps must be positive")
+	}
+	imgLen := m.InC * m.InH * m.InW
+	// A fixed pool of seeded inputs: the generator must not spend its
+	// tick budget on RNG work.
+	const inputPool = 64
+	inputs := make([][]float64, inputPool)
+	rng := tensor.NewRNG(seed ^ 0x10ADF5)
+	for i := range inputs {
+		inputs[i] = randomInput(rng, imgLen)
+	}
+
+	n := srv.Latency().Subnets()
+	log.Printf("loadgen: %.0f rps for %v, deadline mix %s", rps, duration, mixString(mix))
+
+	var (
+		mu       sync.Mutex
+		perClass = make([]classStats, len(mix))
+		bySubnet = make([]int64, n)
+		wg       sync.WaitGroup
+		inflight atomic.Int64
+	)
+
+	// Sub-millisecond tick intervals coalesce under load, silently
+	// capping the offered rate; tick at ≥1ms and fire a burst per
+	// tick instead.
+	interval := time.Duration(float64(time.Second) / rps)
+	burst := 1
+	if interval < time.Millisecond {
+		burst = int(rps*time.Millisecond.Seconds() + 0.5)
+		interval = time.Duration(float64(burst) * float64(time.Second) / rps)
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(duration)
+	offered := 0
+
+	fire := func() {
+		offered++
+		ci := pickClass(mix, rng)
+		st := &perClass[ci]
+		st.sent++
+		if inflight.Load() >= maxInflight {
+			st.dropped++
+			return
+		}
+		inflight.Add(1)
+		in := inputs[offered%inputPool]
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			// Latencies below are service latency (admission→answer),
+			// the serving layer's SLO; client-side time would mostly
+			// measure this co-located generator's own goroutine
+			// scheduling on a shared CPU.
+			res, err := srv.Submit(serve.Request{Input: in, Deadline: mix[ci].d})
+			mu.Lock()
+			defer mu.Unlock()
+			st := &perClass[ci]
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				st.rejected++
+			case err != nil:
+				log.Printf("loadgen: submit: %v", err)
+			default:
+				st.served++
+				if res.DeadlineMet {
+					st.met++
+				}
+				st.lats = append(st.lats, res.Latency)
+				if res.Subnet >= 1 && res.Subnet <= n {
+					bySubnet[res.Subnet-1]++
+				}
+			}
+		}(ci)
+	}
+
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			for i := 0; i < burst; i++ {
+				fire()
+			}
+		}
+	}
+	wg.Wait()
+
+	fmt.Printf("\noffered %d requests (%.0f rps × %v)\n", offered, rps, duration)
+	fmt.Printf("%-10s %7s %7s %7s %7s %9s %9s %9s  %s\n",
+		"deadline", "sent", "served", "reject", "drop", "p50", "p95", "p99", "hit-rate")
+	for i, c := range mix {
+		st := perClass[i]
+		sort.Slice(st.lats, func(a, b int) bool { return st.lats[a] < st.lats[b] })
+		hit := 0.0
+		if st.served > 0 {
+			hit = float64(st.met) / float64(st.served)
+		}
+		fmt.Printf("%-10v %7d %7d %7d %7d %8.2fm %8.2fm %8.2fm  %6.1f%%\n",
+			c.d, st.sent, st.served, st.rejected, st.dropped,
+			serve.PercentileMs(st.lats, 0.50), serve.PercentileMs(st.lats, 0.95), serve.PercentileMs(st.lats, 0.99),
+			100*hit)
+	}
+
+	var served int64
+	for _, c := range bySubnet {
+		served += c
+	}
+	fmt.Printf("\nanswer distribution over the subnet ladder (%d served):\n", served)
+	for s := 1; s <= n; s++ {
+		frac := 0.0
+		if served > 0 {
+			frac = float64(bySubnet[s-1]) / float64(served)
+		}
+		fmt.Printf("  subnet %d %7d  %5.1f%%  %s\n", s, bySubnet[s-1], 100*frac, bar(frac, 40))
+	}
+	snap := srv.Stats()
+	fmt.Printf("\nserver: served %d, rejected %d, deadline hit-rate %.1f%%, mean %.0f kMAC/answer\n",
+		snap.Served, snap.Rejected, 100*snap.DeadlineHitRate, meanKMAC(snap))
+}
+
+// mixString renders the deadline mix for the log line.
+func mixString(mix []deadlineClass) string {
+	parts := make([]string, len(mix))
+	for i, c := range mix {
+		parts[i] = fmt.Sprintf("%v:%g", c.d, c.w)
+	}
+	return strings.Join(parts, ",")
+}
+
+// bar renders a fraction as a fixed-width ASCII bar.
+func bar(frac float64, width int) string {
+	fill := int(frac*float64(width) + 0.5)
+	if fill > width {
+		fill = width
+	}
+	return strings.Repeat("█", fill) + strings.Repeat("·", width-fill)
+}
+
+// meanKMAC is the average per-answer MAC cost in thousands.
+func meanKMAC(s serve.Snapshot) float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return float64(s.TotalMACs) / float64(s.Served) / 1e3
+}

@@ -1,0 +1,261 @@
+// Command stepserve exposes the anytime-inference serving layer
+// (internal/serve) over HTTP, and doubles as a load generator for
+// measuring how the service degrades under pressure.
+//
+// Server mode builds a stepping model (by default an untrained one
+// with a seeded random unit→subnet spread — the serving data path is
+// identical; pass -train to run the full construction pipeline
+// first), calibrates per-subnet step latencies, and listens:
+//
+//	stepserve -addr :8080 -model lenet3c1l -subnets 4
+//	curl -s localhost:8080/infer -d '{"deadline_ms": 5}'
+//	curl -s localhost:8080/stats
+//
+// POST /infer accepts {"input": [...], "deadline_ms": 5}; a missing
+// input is replaced by a seeded random image (handy for smoke tests).
+// The answer reports which subnet produced it, the MACs spent, and
+// whether the deadline was met. GET /stats returns the serve.Snapshot
+// counters; GET /healthz returns 200 once serving.
+//
+// Load-generator mode drives the same in-process service at a
+// configurable request rate and deadline mix, then prints latency
+// percentiles and the per-subnet answer distribution:
+//
+//	stepserve -loadgen -rps 400 -duration 5s -deadlines 4ms:0.5,12ms:0.5
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"steppingnet/internal/core"
+	"steppingnet/internal/data"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/serve"
+	"steppingnet/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stepserve: ")
+
+	modelName := flag.String("model", "lenet3c1l", "network: lenet3c1l, lenet5 or vgg16")
+	subnets := flag.Int("subnets", 4, "ladder depth N")
+	expansion := flag.Float64("expansion", 1.6, "width expansion ratio")
+	classes := flag.Int("classes", 10, "number of classes")
+	imgHW := flag.Int("img", 16, "input image height/width")
+	seed := flag.Uint64("seed", 1, "master seed")
+	train := flag.Bool("train", false, "run the full construction+distillation pipeline instead of a random subnet spread (slow)")
+
+	addr := flag.String("addr", ":8080", "HTTP listen address (server mode)")
+	workers := flag.Int("workers", 0, "engine-pool size (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 64, "admission queue bound")
+	maxBatch := flag.Int("batch", 4, "micro-batch size (1 disables batching)")
+	deadline := flag.Duration("deadline", 20*time.Millisecond, "default per-request deadline")
+
+	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of the HTTP server")
+	rps := flag.Float64("rps", 200, "loadgen: offered requests per second")
+	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
+	deadlineMix := flag.String("deadlines", "", "loadgen: deadline mix like 4ms:0.5,12ms:0.5 (default: the -deadline flag at weight 1)")
+	flag.Parse()
+
+	m, err := buildServeModel(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Model: m, Subnets: *subnets,
+		Workers: *workers, QueueDepth: *queueDepth, MaxBatch: *maxBatch,
+		DefaultDeadline: *deadline,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lm := srv.Latency()
+	log.Printf("model %s, %d subnets, backend %s", m.Name, *subnets, tensor.Backend())
+	for s := 1; s <= lm.Subnets(); s++ {
+		log.Printf("  step %d: %8.3f ms  (+%d MACs, ladder so far %.3f ms)",
+			s, ms(lm.StepTime[s-1]), lm.StepMACs[s-1], ms(lm.WalkTime(s)))
+	}
+	log.Printf("calibrated rate: %.1f MMAC/s", lm.MACRate()/1e6)
+
+	if *loadgen {
+		mix, err := parseDeadlineMix(*deadlineMix, *deadline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runLoadgen(srv, m, *rps, *duration, mix, *seed)
+		srv.Close()
+		return
+	}
+	serveHTTP(srv, m, *addr, *seed)
+}
+
+// buildServeModel constructs the model to serve. Without -train the
+// units are spread over the ladder with a seeded RNG — MAC ladders
+// and the serving data path are exactly those of a constructed model,
+// only the weights are untrained (ideal for serving benchmarks and
+// smoke tests). With -train the real pipeline runs first.
+func buildServeModel(name string, classes, imgHW int, expansion float64, n int, seed uint64, train bool) (*models.Model, error) {
+	build, err := models.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if train {
+		budgets := make([]float64, n)
+		for i := range budgets {
+			budgets[i] = 0.1 + 0.8*float64(i)/float64(max(n-1, 1))
+		}
+		res, err := core.Run(core.PipelineOptions{
+			Build: build,
+			Data: data.Config{
+				Name: "serve", Classes: classes, C: 3, H: imgHW, W: imgHW,
+				Train: 1024, Test: 256, Seed: seed + 10, LabelNoise: 0.04,
+			},
+			Expansion: expansion,
+			Config: core.Config{
+				Subnets: n, Budgets: budgets,
+				Iterations: 20, TeacherEpochs: 4, DistillEpochs: 4, Seed: seed,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.StudentNet, nil
+	}
+
+	m := build(models.Options{
+		Classes: classes, InC: 3, InH: imgHW, InW: imgHW,
+		Expansion: expansion, Subnets: n, Rule: nn.RuleIncremental, Seed: seed,
+	})
+	r := tensor.NewRNG(seed ^ 0x5EED5)
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for u := 1; u < a.Units(); u++ {
+			a.SetID(u, 1+r.Intn(n))
+		}
+	}
+	return m, nil
+}
+
+// inferRequest is the POST /infer payload.
+type inferRequest struct {
+	Input      []float64 `json:"input,omitempty"`
+	DeadlineMs float64   `json:"deadline_ms,omitempty"`
+}
+
+// inferResponse is the POST /infer answer.
+type inferResponse struct {
+	Subnet      int       `json:"subnet"`
+	Pred        int       `json:"pred"`
+	Logits      []float64 `json:"logits"`
+	MACs        int64     `json:"macs"`
+	DeadlineMet bool      `json:"deadline_met"`
+	QueueWaitMs float64   `json:"queue_wait_ms"`
+	LatencyMs   float64   `json:"latency_ms"`
+}
+
+// serveHTTP runs the JSON endpoint until SIGINT/SIGTERM, then drains
+// the HTTP server and the serving layer in order.
+func serveHTTP(srv *serve.Server, m *models.Model, addr string, seed uint64) {
+	imgLen := m.InC * m.InH * m.InW
+	// net/http runs each handler on its own goroutine and tensor.RNG
+	// is not concurrency-safe; serialize the smoke-test input draws.
+	var rngMu sync.Mutex
+	rng := tensor.NewRNG(seed ^ 0xD06F00D)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(srv.Stats()); err != nil {
+			log.Printf("stats encode: %v", err)
+		}
+	})
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req inferRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Input == nil {
+			rngMu.Lock()
+			req.Input = randomInput(rng, imgLen) // smoke-test convenience
+			rngMu.Unlock()
+		}
+		res, err := srv.Submit(serve.Request{
+			Input:    req.Input,
+			Deadline: time.Duration(req.DeadlineMs * float64(time.Millisecond)),
+		})
+		switch {
+		case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(inferResponse{
+			Subnet: res.Subnet, Pred: res.Pred, Logits: res.Logits, MACs: res.MACs,
+			DeadlineMet: res.DeadlineMet,
+			QueueWaitMs: ms(res.QueueWait), LatencyMs: ms(res.Latency),
+		}); err != nil {
+			log.Printf("infer encode: %v", err)
+		}
+	})
+
+	hs := &http.Server{Addr: addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+	log.Printf("listening on %s", addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns the moment Shutdown starts; wait for
+	// Shutdown itself (it blocks until active handlers finish) before
+	// closing the serving layer, so in-flight handlers never see
+	// ErrClosed.
+	<-shutdownDone
+	srv.Close()
+	log.Printf("drained; final stats: %+v", srv.Stats())
+}
+
+// randomInput draws a standard-normal image, the same distribution
+// the synthetic datasets use.
+func randomInput(rng *tensor.RNG, n int) []float64 {
+	x := tensor.New(n)
+	x.FillNormal(rng, 0, 1)
+	return x.Data()
+}
+
+// ms converts a duration to float milliseconds for JSON and logs.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

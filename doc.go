@@ -9,11 +9,15 @@
 // The implementation lives under internal/: the tensor and layer
 // substrate (internal/tensor, internal/nn), subnet bookkeeping
 // (internal/subnet), the construction and distillation algorithms
-// (internal/core), the anytime engine (internal/infer), the slimmable
-// and any-width baselines (internal/baselines/...), and the harness
-// that regenerates the paper's tables and figures
-// (internal/experiments). Entry points are cmd/steppingnet,
-// cmd/stepbench and the programs under examples/.
+// (internal/core), the anytime engine (internal/infer), the budget
+// policy and deadline→MAC mapping (internal/governor), the concurrent
+// serving layer (internal/serve), the slimmable and any-width
+// baselines (internal/baselines/...), and the harness that
+// regenerates the paper's tables and figures (internal/experiments).
+// Entry points are cmd/steppingnet, cmd/stepbench, cmd/stepserve and
+// the programs under examples/. README.md is the user-facing tour;
+// ARCHITECTURE.md holds the package map, the pool-ownership and
+// width-invariance contracts, and the serving request lifecycle.
 //
 // # Compute substrate
 //
@@ -48,6 +52,21 @@
 // BENCH_baseline.json records the substrate's reference numbers
 // (regenerate with ./ci.sh or `go run ./cmd/stepbench -bench`;
 // compare two baselines with `stepbench -compare old.json new.json`).
+//
+// # Serving
+//
+// internal/serve turns the anytime engine into a concurrent service:
+// a pool of per-worker engines behind a bounded admission queue with
+// micro-batching. Per-subnet step latencies are calibrated at startup
+// (infer.Engine.CalibrateSteps → governor.LatencyModel) and a
+// deadline-aware scheduler walks each request up the subnet ladder
+// only as far as its deadline — and a queue-pressure load-shedding
+// cap — allows, so overload degrades into narrower answers instead of
+// unbounded queuing. cmd/stepserve exposes the service over HTTP
+// (POST /infer, GET /stats) and ships a load generator
+// (stepserve -loadgen) for measuring latency percentiles and the
+// per-subnet answer distribution under configurable RPS/deadline
+// mixes.
 //
 // The benchmarks in bench_test.go regenerate each table/figure:
 //

@@ -97,17 +97,26 @@ func New(model *models.Model, n int) *Governor {
 	if n < 1 {
 		panic(fmt.Sprintf("governor: need ≥1 subnets, got %d", n))
 	}
-	g := &Governor{model: model, engine: infer.NewEngine(model.Net), n: n}
+	return &Governor{model: model, engine: infer.NewEngine(model.Net), n: n, stepCost: StepCosts(model, n)}
+}
+
+// StepCosts returns the worst-case incremental MAC cost of stepping an
+// anytime engine from subnet s-1 to s, for s = 1..n (index s-1): the
+// backbone MAC delta plus the recomputed classifier head at s. This is
+// the cost ladder both the governor's budget policy and the serving
+// layer's deadline scheduler plan against.
+func StepCosts(model *models.Model, n int) []int64 {
+	costs := make([]int64, 0, n)
 	var prevBackbone int64
 	for s := 1; s <= n; s++ {
 		var backbone int64
 		for _, m := range model.Movable {
 			backbone += m.MACs(s)
 		}
-		g.stepCost = append(g.stepCost, backbone-prevBackbone+model.Head.MACs(s))
+		costs = append(costs, backbone-prevBackbone+model.Head.MACs(s))
 		prevBackbone = backbone
 	}
-	return g
+	return costs
 }
 
 // Engine exposes the underlying anytime engine (for Reset).

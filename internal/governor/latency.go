@@ -1,0 +1,110 @@
+package governor
+
+import (
+	"fmt"
+	"time"
+)
+
+// LatencyModel maps wall-clock deadlines to MAC budgets and subnet
+// depths. It pairs the model's per-step MAC ladder (StepCosts) with
+// per-step wall-clock latencies calibrated at startup
+// (infer.Engine.CalibrateSteps), turning the paper's MAC-denominated
+// anytime property into the time-denominated one a serving deadline
+// actually constrains. Both slices are indexed by s-1 and must have
+// equal length n ≥ 1.
+type LatencyModel struct {
+	// StepMACs[s-1] is the incremental MAC cost of stepping from
+	// subnet s-1 to s (backbone delta + head at s), from StepCosts.
+	StepMACs []int64
+	// StepTime[s-1] is the calibrated wall-clock cost of the same
+	// step at batch 1.
+	StepTime []time.Duration
+}
+
+// Validate reports structural errors (mismatched or empty ladders,
+// non-positive step times that would break rate estimates).
+func (m LatencyModel) Validate() error {
+	switch {
+	case len(m.StepMACs) == 0:
+		return fmt.Errorf("governor: latency model has no steps")
+	case len(m.StepMACs) != len(m.StepTime):
+		return fmt.Errorf("governor: latency model has %d MAC steps but %d time steps",
+			len(m.StepMACs), len(m.StepTime))
+	}
+	for s, d := range m.StepTime {
+		if d <= 0 {
+			return fmt.Errorf("governor: step %d has non-positive calibrated time %v", s+1, d)
+		}
+	}
+	return nil
+}
+
+// Subnets returns n, the depth of the ladder.
+func (m LatencyModel) Subnets() int { return len(m.StepMACs) }
+
+// WalkTime returns the calibrated wall-clock cost of walking from a
+// cold engine up to subnet s (the sum of the first s step times).
+func (m LatencyModel) WalkTime(s int) time.Duration {
+	var total time.Duration
+	for i := 0; i < s && i < len(m.StepTime); i++ {
+		total += m.StepTime[i]
+	}
+	return total
+}
+
+// MACRate returns the measured MAC throughput over the full ladder
+// walk, in MACs per second — the machine-specific constant that
+// converts time budgets into the paper's MAC budgets.
+func (m LatencyModel) MACRate() float64 {
+	var macs int64
+	for _, c := range m.StepMACs {
+		macs += c
+	}
+	total := m.WalkTime(m.Subnets())
+	if total <= 0 {
+		return 0
+	}
+	return float64(macs) / total.Seconds()
+}
+
+// BudgetFor converts a wall-clock budget into a MAC budget at the
+// calibrated rate. Non-positive durations map to a zero budget.
+func (m LatencyModel) BudgetFor(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(m.MACRate() * d.Seconds())
+}
+
+// MaxSubnetWithin returns the deepest subnet whose full cold walk
+// (steps 1..s) fits within d, or 0 when not even subnet 1 does.
+func (m LatencyModel) MaxSubnetWithin(d time.Duration) int {
+	best := 0
+	var total time.Duration
+	for s := 1; s <= m.Subnets(); s++ {
+		total += m.StepTime[s-1]
+		if total > d {
+			break
+		}
+		best = s
+	}
+	return best
+}
+
+// DeadlineBudget adapts a LatencyModel plus a per-tick deadline trace
+// into a Budgeter, so a Governor can be driven by time deadlines
+// instead of raw MAC numbers: each tick's budget is the MACs the
+// calibrated machine can execute within that tick's deadline. The
+// trace repeats cyclically, like TraceBudget.
+type DeadlineBudget struct {
+	Model     LatencyModel
+	Deadlines []time.Duration
+}
+
+// Budget implements Budgeter.
+func (db DeadlineBudget) Budget(t int) int64 {
+	if len(db.Deadlines) == 0 {
+		return 0
+	}
+	return db.Model.BudgetFor(db.Deadlines[t%len(db.Deadlines)])
+}

@@ -1,0 +1,143 @@
+package governor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStepCostsMatchLadderDeltas(t *testing.T) {
+	m := buildModel(17)
+	costs := StepCosts(m, 3)
+	if len(costs) != 3 {
+		t.Fatalf("want 3 step costs, got %d", len(costs))
+	}
+	backbone := func(s int) int64 {
+		var total int64
+		for _, mv := range m.Movable {
+			total += mv.MACs(s)
+		}
+		return total
+	}
+	var prev int64
+	for s := 1; s <= 3; s++ {
+		want := backbone(s) - prev + m.Head.MACs(s)
+		if costs[s-1] != want {
+			t.Fatalf("step %d cost %d want %d", s, costs[s-1], want)
+		}
+		prev = backbone(s)
+	}
+	// The governor's internal ladder must be the exported one.
+	g := New(m, 3)
+	for s := range costs {
+		if g.stepCost[s] != costs[s] {
+			t.Fatalf("governor ladder diverges from StepCosts at step %d", s+1)
+		}
+	}
+}
+
+func testLatencyModel() LatencyModel {
+	return LatencyModel{
+		StepMACs: []int64{1000, 2000, 4000},
+		StepTime: []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond},
+	}
+}
+
+func TestLatencyModelValidate(t *testing.T) {
+	if err := testLatencyModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []LatencyModel{
+		{},
+		{StepMACs: []int64{1}, StepTime: nil},
+		{StepMACs: []int64{1}, StepTime: []time.Duration{0}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestLatencyModelWalkTimeAndRate(t *testing.T) {
+	m := testLatencyModel()
+	if got := m.WalkTime(2); got != 3*time.Millisecond {
+		t.Fatalf("WalkTime(2) = %v", got)
+	}
+	if got := m.WalkTime(3); got != 7*time.Millisecond {
+		t.Fatalf("WalkTime(3) = %v", got)
+	}
+	// 7000 MACs over 7ms = 1e6 MACs/s.
+	if rate := m.MACRate(); rate < 0.99e6 || rate > 1.01e6 {
+		t.Fatalf("MACRate = %g, want ~1e6", rate)
+	}
+}
+
+func TestLatencyModelBudgetFor(t *testing.T) {
+	m := testLatencyModel()
+	if b := m.BudgetFor(7 * time.Millisecond); b < 6900 || b > 7100 {
+		t.Fatalf("BudgetFor(7ms) = %d, want ~7000", b)
+	}
+	if b := m.BudgetFor(0); b != 0 {
+		t.Fatalf("BudgetFor(0) = %d", b)
+	}
+	if b := m.BudgetFor(-time.Second); b != 0 {
+		t.Fatalf("negative deadline budget = %d", b)
+	}
+}
+
+func TestLatencyModelMaxSubnetWithin(t *testing.T) {
+	m := testLatencyModel()
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{500 * time.Microsecond, 0}, // not even step 1 fits
+		{time.Millisecond, 1},
+		{3 * time.Millisecond, 2},
+		{6 * time.Millisecond, 2}, // step 3 needs 7ms cumulative
+		{7 * time.Millisecond, 3},
+		{time.Hour, 3},
+	}
+	for _, tc := range cases {
+		if got := m.MaxSubnetWithin(tc.d); got != tc.want {
+			t.Fatalf("MaxSubnetWithin(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestDeadlineBudgetDrivesGovernor closes the loop: deadlines become
+// MAC budgets become subnet choices, through the same Governor.Tick
+// path a raw TraceBudget would use.
+func TestDeadlineBudgetDrivesGovernor(t *testing.T) {
+	m := buildModel(19)
+	costs := StepCosts(m, 3)
+	// Fabricate a machine that runs exactly 1 MAC per microsecond, so
+	// deadlines translate to budgets 1:1.
+	lat := LatencyModel{StepMACs: costs, StepTime: make([]time.Duration, len(costs))}
+	for i, c := range costs {
+		lat.StepTime[i] = time.Duration(c) * time.Microsecond
+	}
+	db := DeadlineBudget{Model: lat, Deadlines: []time.Duration{
+		lat.WalkTime(3) * 2, // generous: full ladder
+		1,                   // 1ns: nothing fits
+	}}
+	g := New(m, 3)
+	g.Reset(input(20))
+	d0, err := g.Tick(0, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.Subnet != 3 {
+		t.Fatalf("generous deadline picked subnet %d, want 3", d0.Subnet)
+	}
+	d1, err := g.Tick(1, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Subnet != 0 || d1.SpentMACs != 0 {
+		t.Fatalf("impossible deadline must skip: %+v", d1)
+	}
+	if (DeadlineBudget{Model: lat}).Budget(4) != 0 {
+		t.Fatal("empty deadline trace → 0 budget")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"steppingnet/internal/nn"
 	"steppingnet/internal/tensor"
@@ -99,6 +100,11 @@ func (e *Engine) Reset(x *tensor.Tensor) {
 // Current returns the subnet the cache currently represents (0
 // before the first Step).
 func (e *Engine) Current() int { return e.cur }
+
+// Network returns the network the engine walks. Callers that pool
+// engines (internal/serve) use it to validate that checked-out
+// engines all wrap the same model.
+func (e *Engine) Network() *nn.Network { return e.net }
 
 // TotalMACs returns the MACs executed since the last Reset.
 func (e *Engine) TotalMACs() int64 { return e.totalMACs }
@@ -302,6 +308,46 @@ func (e *Engine) Close() {
 		e.jobs = nil
 		e.started = 0
 	}
+}
+
+// CalibrateSteps measures the wall-clock cost of each ladder step
+// 1..n on input x: the engine is Reset and walked 1→2→…→n reps times,
+// and the fastest observed duration of each step is returned (index
+// s-1). Min-of-reps is the noise-robust statistic on a shared box —
+// scheduling hiccups only ever add time. The measured numbers are the
+// calibration a deadline-aware serving layer plans against
+// (governor.LatencyModel, internal/serve); callers should calibrate
+// with the batch shape they will serve, since step cost scales with
+// rows. The engine is left Reset to x at subnet n; reps < 1 is
+// treated as 1.
+func (e *Engine) CalibrateSteps(x *tensor.Tensor, n, reps int) ([]time.Duration, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("infer: calibrate needs ≥1 subnets, got %d", n)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	best := make([]time.Duration, n)
+	for rep := 0; rep < reps; rep++ {
+		e.Reset(x)
+		for s := 1; s <= n; s++ {
+			start := time.Now()
+			if _, _, err := e.Step(s); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); rep == 0 || d < best[s-1] {
+				best[s-1] = d
+			}
+		}
+	}
+	// A sub-resolution measurement would break feasibility planning
+	// (a zero-cost step always "fits"); clamp to the clock's floor.
+	for i, d := range best {
+		if d <= 0 {
+			best[i] = time.Nanosecond
+		}
+	}
+	return best, nil
 }
 
 // MustStep is Step for code paths where the engine is known to be

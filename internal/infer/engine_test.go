@@ -172,6 +172,34 @@ func TestRepeatedStepSameSubnetChargesHeadOnly(t *testing.T) {
 	}
 }
 
+func TestCalibrateSteps(t *testing.T) {
+	m := buildModel(51)
+	e := NewEngine(m.Net)
+	defer e.Close()
+	times, err := e.CalibrateSteps(input(52), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("want 3 step times, got %d", len(times))
+	}
+	for s, d := range times {
+		if d <= 0 {
+			t.Fatalf("step %d calibrated to non-positive %v", s+1, d)
+		}
+	}
+	// Calibration leaves the engine usable and at the top of the ladder.
+	if e.Current() != 3 {
+		t.Fatalf("engine at subnet %d after calibration, want 3", e.Current())
+	}
+	if _, _, err := e.Step(1); err != nil {
+		t.Fatalf("engine unusable after calibration: %v", err)
+	}
+	if _, err := e.CalibrateSteps(input(53), 0, 1); err == nil {
+		t.Fatal("want error for n < 1")
+	}
+}
+
 // TestBatchParallelMatchesSerial walks serial and sharded engines in
 // lockstep over random subnet sequences: outputs and MAC accounting
 // must be identical, and with Audit every step is also cross-checked

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestExportedIdentifiersDocumented is the doc-health gate ci.sh runs
+// on this package: every exported top-level identifier — functions,
+// methods, types, consts, vars, struct fields and interface methods —
+// must carry a doc comment. The serving layer is the repo's public
+// face; undocumented API here is a regression.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	report := func(pos token.Pos, what, name string) {
+		missing = append(missing, fset.Position(pos).String()+": "+what+" "+name)
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						report(d.Pos(), "func", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch sp := spec.(type) {
+						case *ast.TypeSpec:
+							if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+								report(sp.Pos(), "type", sp.Name.Name)
+							}
+							checkFields(report, sp)
+						case *ast.ValueSpec:
+							for _, name := range sp.Names {
+								if name.IsExported() && d.Doc == nil && sp.Doc == nil {
+									report(name.Pos(), "value", name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("%d exported identifier(s) without doc comments:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}
+
+// checkFields descends into struct fields and interface methods of an
+// exported type spec.
+func checkFields(report func(token.Pos, string, string), sp *ast.TypeSpec) {
+	if !sp.Name.IsExported() {
+		return
+	}
+	var fields *ast.FieldList
+	switch tt := sp.Type.(type) {
+	case *ast.StructType:
+		fields = tt.Fields
+	case *ast.InterfaceType:
+		fields = tt.Methods
+	default:
+		return
+	}
+	// A doc comment may cover a whole group of fields declared on
+	// adjacent lines; require docs per Field node, which is exactly
+	// "per group".
+	for _, f := range fields.List {
+		for _, name := range f.Names {
+			if name.IsExported() && f.Doc == nil && f.Comment == nil {
+				report(name.Pos(), sp.Name.Name+" field", name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package serve_test
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"steppingnet/internal/governor"
+	"steppingnet/internal/models"
+	"steppingnet/internal/nn"
+	"steppingnet/internal/serve"
+	"steppingnet/internal/tensor"
+)
+
+// ExampleServer stands up a one-worker anytime-inference service,
+// submits a request with a generous deadline (so the answer comes
+// from the widest subnet) and shuts down gracefully. A pre-measured
+// calibration is injected to keep the example deterministic; real
+// servers omit it and calibrate at startup.
+func ExampleServer() {
+	m := models.LeNet3C1L(models.Options{
+		Classes: 4, InC: 1, InH: 8, InW: 8, Expansion: 1.5,
+		Subnets: 3, Rule: nn.RuleIncremental, Seed: 1,
+	})
+	r := tensor.NewRNG(3)
+	for _, mv := range m.Movable {
+		a := mv.OutAssignment()
+		for u := 1; u < a.Units(); u++ {
+			a.SetID(u, 1+r.Intn(3))
+		}
+	}
+
+	cal := governor.LatencyModel{
+		StepMACs: governor.StepCosts(m, 3),
+		StepTime: []time.Duration{time.Nanosecond, time.Nanosecond, time.Nanosecond},
+	}
+	srv, err := serve.New(serve.Config{
+		Model: m, Subnets: 3, Workers: 1,
+		Calibration: cal, DefaultDeadline: time.Hour,
+	})
+	if err != nil {
+		fmt.Println("server failed:", err)
+		return
+	}
+
+	input := tensor.New(1 * 8 * 8)
+	input.FillNormal(tensor.NewRNG(4), 0, 1)
+	res, err := srv.Submit(serve.Request{Input: input.Data()})
+	if err != nil {
+		fmt.Println("submit failed:", err)
+		return
+	}
+	fmt.Println("answered from subnet:", res.Subnet)
+	fmt.Println("deadline met:", res.DeadlineMet)
+	fmt.Println("paid incremental MACs:", res.MACs > 0)
+
+	srv.Close()
+	_, err = srv.Submit(serve.Request{Input: input.Data()})
+	fmt.Println("after Close:", errors.Is(err, serve.ErrClosed))
+	// Output:
+	// answered from subnet: 3
+	// deadline met: true
+	// paid incremental MACs: true
+	// after Close: true
+}

@@ -1,0 +1,549 @@
+// Package serve turns the anytime engine into a concurrent inference
+// service: the paper's MAC-budgeted subnet ladder becomes a
+// load-management mechanism. A pool of workers — each owning one
+// infer.Engine with its persistent shard state and buffer pools —
+// drains a bounded admission queue, optionally micro-batching
+// compatible requests. A deadline-aware scheduler walks every request
+// up the ladder only as far as its deadline allows, using per-subnet
+// step latencies calibrated at startup (infer.Engine.CalibrateSteps
+// threaded through governor.LatencyModel), and a queue-pressure signal
+// caps the ladder under overload so the service degrades to narrower
+// answers instead of queuing unboundedly: the anytime property as
+// backpressure. Every answer reports which subnet produced it, the
+// MACs actually spent, and whether the deadline was met.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"steppingnet/internal/governor"
+	"steppingnet/internal/infer"
+	"steppingnet/internal/models"
+	"steppingnet/internal/tensor"
+)
+
+// ErrClosed is returned by Submit after Close has begun: the server
+// no longer admits work (in-flight and already-queued requests still
+// drain to completion).
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrOverloaded is returned by Submit when the bounded admission
+// queue is full, or when the request's deadline is already unmeetable
+// given the measured backlog (the predicted queue wait alone exceeds
+// it). It is the service's fast-fail signal: callers should back off
+// (or retry with a longer deadline) rather than pile on — serving a
+// guaranteed-late answer would only steal capacity from requests that
+// can still make their deadlines.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// ErrBadInput is returned (wrapped) by Submit when the request input
+// does not match the model's input geometry.
+var ErrBadInput = errors.New("serve: bad input")
+
+// Config parameterizes a Server.
+type Config struct {
+	// Model is the constructed stepping model to serve. Required.
+	Model *models.Model
+	// Subnets is the ladder depth n the model was constructed with.
+	// Required, ≥ 1.
+	Subnets int
+	// Workers sets the engine-pool size (one infer.Engine per
+	// worker). 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue rejects
+	// with ErrOverloaded. 0 means 64.
+	QueueDepth int
+	// MaxBatch enables micro-batching: a worker drains up to this
+	// many queued requests and walks them as one engine batch,
+	// amortizing per-step overhead; each request still finalizes at
+	// the widest subnet its own deadline affords. 0 or 1 disables.
+	MaxBatch int
+	// DefaultDeadline applies to requests that carry none. 0 means
+	// 50ms.
+	DefaultDeadline time.Duration
+	// MinSubnet is the narrowest answer the scheduler will return.
+	// Every admitted request is walked at least this far, even when
+	// its deadline is already blown — an anytime service answers
+	// narrow rather than not at all. 0 means 1.
+	MinSubnet int
+	// Margin is the scheduling safety margin added to every
+	// estimated step cost before the feasibility check, absorbing
+	// calibration jitter. 0 means 100µs.
+	Margin time.Duration
+	// CalibrationReps is the number of calibration walks at startup
+	// (fastest rep wins, see infer.Engine.CalibrateSteps). 0 means 3.
+	CalibrationReps int
+	// Calibration, when non-zero, supplies a pre-measured latency
+	// model and skips startup calibration (tests, warm restarts).
+	Calibration governor.LatencyModel
+
+	// serveDelay, when positive, stalls each batch walk — an
+	// in-package test hook that makes overload scenarios
+	// deterministic on fast machines.
+	serveDelay time.Duration
+}
+
+// withDefaults fills zero fields and validates the rest.
+func (c Config) withDefaults() (Config, error) {
+	if c.Model == nil {
+		return c, fmt.Errorf("serve: Config.Model is required")
+	}
+	if c.Subnets < 1 {
+		return c, fmt.Errorf("serve: need ≥1 subnets, got %d", c.Subnets)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 50 * time.Millisecond
+	}
+	if c.MinSubnet <= 0 {
+		c.MinSubnet = 1
+	}
+	if c.MinSubnet > c.Subnets {
+		return c, fmt.Errorf("serve: MinSubnet %d exceeds Subnets %d", c.MinSubnet, c.Subnets)
+	}
+	if c.Margin <= 0 {
+		c.Margin = 100 * time.Microsecond
+	}
+	if c.CalibrationReps <= 0 {
+		c.CalibrationReps = 3
+	}
+	return c, nil
+}
+
+// Request is one inference submission.
+type Request struct {
+	// Input is the flattened image, length InC*InH*InW of the served
+	// model. The slice must not be mutated until Submit returns.
+	Input []float64
+	// Deadline is the wall-clock budget measured from submission
+	// (queue wait counts against it). 0 selects
+	// Config.DefaultDeadline.
+	Deadline time.Duration
+}
+
+// Result is the anytime answer: the widest completed subnet's output
+// plus the metadata a caller needs to reason about answer quality.
+type Result struct {
+	// Subnet is the ladder rung that produced Logits (1..n; narrower
+	// under deadline pressure or load shedding).
+	Subnet int
+	// Pred is the argmax class of Logits.
+	Pred int
+	// Logits is the served subnet's output row (a copy owned by the
+	// caller).
+	Logits []float64
+	// MACs is the per-image MAC count actually executed for this
+	// request — the incremental walk cost, not the from-scratch cost.
+	MACs int64
+	// DeadlineMet reports whether the answer was produced within the
+	// request's deadline.
+	DeadlineMet bool
+	// QueueWait is the time spent in the admission queue before a
+	// worker picked the request up.
+	QueueWait time.Duration
+	// Latency is end-to-end wall clock from submission to answer
+	// (queue wait + walk).
+	Latency time.Duration
+}
+
+// response pairs a Result with a worker-side error for the channel
+// back to Submit.
+type response struct {
+	res Result
+	err error
+}
+
+// pending is a request in flight through the queue and scheduler.
+type pending struct {
+	input     []float64
+	submitted time.Time
+	deadline  time.Time
+	done      chan response
+
+	// Worker-owned while being served.
+	started  time.Time // when a worker popped it (queue wait ends)
+	macs     int64
+	answered bool
+}
+
+// Server is a concurrent anytime-inference service over one model.
+// Create with New, submit with Submit, stop with Close.
+type Server struct {
+	cfg Config
+	n   int
+
+	inC, inH, inW int
+	imgLen        int
+	classes       int
+
+	lat   governor.LatencyModel
+	queue chan *pending
+	stats *Stats
+
+	// svcNs is an EWMA of per-request service time in nanoseconds,
+	// updated by workers after every batch. It feeds the admission
+	// controller's queue-wait prediction; zero until the first batch
+	// completes (admission control off while cold).
+	svcNs atomic.Int64
+
+	mu     sync.RWMutex // guards closed against concurrent Submit/Close
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a Server: it calibrates per-subnet step latencies on one
+// throwaway engine (unless Config.Calibration is supplied), then
+// starts the worker pool. The returned server is ready for Submit.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Model
+	s := &Server{
+		cfg: cfg, n: cfg.Subnets,
+		inC: m.InC, inH: m.InH, inW: m.InW,
+		imgLen:  m.InC * m.InH * m.InW,
+		classes: m.Classes,
+		queue:   make(chan *pending, cfg.QueueDepth),
+		stats:   newStats(cfg.Subnets),
+	}
+
+	s.lat = cfg.Calibration
+	if s.lat.Subnets() == 0 {
+		times, err := calibrate(m, cfg.Subnets, cfg.CalibrationReps)
+		if err != nil {
+			return nil, err
+		}
+		s.lat = governor.LatencyModel{StepMACs: governor.StepCosts(m, cfg.Subnets), StepTime: times}
+	}
+	if err := s.lat.Validate(); err != nil {
+		return nil, err
+	}
+	if s.lat.Subnets() != cfg.Subnets {
+		return nil, fmt.Errorf("serve: latency model covers %d subnets, want %d", s.lat.Subnets(), cfg.Subnets)
+	}
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// calibrate measures the batch-1 step ladder on a throwaway engine.
+func calibrate(m *models.Model, n, reps int) ([]time.Duration, error) {
+	e := infer.NewEngine(m.Net)
+	e.Workers = 1
+	defer e.Close()
+	x := tensor.New(1, m.InC, m.InH, m.InW)
+	x.FillNormal(tensor.NewRNG(0xCA11B8A7E), 0, 1)
+	return e.CalibrateSteps(x, n, reps)
+}
+
+// Latency exposes the calibrated latency model the scheduler plans
+// with (for logging and load generators).
+func (s *Server) Latency() governor.LatencyModel { return s.lat }
+
+// Stats returns a point-in-time snapshot of the serving counters,
+// including queue gauges and the calibration constants.
+func (s *Server) Stats() Snapshot {
+	snap := s.stats.snapshot()
+	snap.QueueLen = len(s.queue)
+	snap.QueueCap = cap(s.queue)
+	snap.Workers = s.cfg.Workers
+	snap.ServiceEwmaMs = float64(s.svcNs.Load()) / float64(time.Millisecond)
+	snap.MACRate = s.lat.MACRate()
+	snap.StepTimeMs = make([]float64, s.n)
+	for i, d := range s.lat.StepTime {
+		snap.StepTimeMs[i] = float64(d) / float64(time.Millisecond)
+	}
+	return snap
+}
+
+// Submit runs one request through the service and blocks until its
+// answer is ready (bounded by deadline handling: under pressure the
+// answer comes back early from a narrower subnet). It returns
+// ErrClosed after Close, ErrOverloaded (wrapped) when the admission
+// queue is full or the deadline is unmeetable at the measured
+// backlog, and a wrapped ErrBadInput for geometry mismatches.
+func (s *Server) Submit(req Request) (Result, error) {
+	if len(req.Input) != s.imgLen {
+		return Result{}, fmt.Errorf("%w: input length %d, model wants %d (%d×%d×%d)",
+			ErrBadInput, len(req.Input), s.imgLen, s.inC, s.inH, s.inW)
+	}
+	d := req.Deadline
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	now := time.Now()
+	p := &pending{
+		input:     req.Input,
+		submitted: now,
+		deadline:  now.Add(d),
+		done:      make(chan response, 1),
+	}
+
+	s.mu.RLock()
+	if s.closed {
+		// Before any counter moves, so Submitted = Served + Rejected
+		// stays an invariant at quiescence.
+		s.mu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	s.stats.recordSubmitted()
+	// Deadline-aware admission: when the measured backlog alone makes
+	// this deadline unmeetable, fail fast instead of serving late.
+	if wait := s.predictedWait(); wait > 0 && d < wait+s.lat.WalkTime(s.cfg.MinSubnet) {
+		s.mu.RUnlock()
+		s.stats.recordRejected()
+		return Result{}, fmt.Errorf("%w: predicted queue wait %v exceeds deadline %v", ErrOverloaded, wait, d)
+	}
+	select {
+	case s.queue <- p:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.stats.recordRejected()
+		return Result{}, fmt.Errorf("%w: admission queue full", ErrOverloaded)
+	}
+
+	r := <-p.done
+	return r.res, r.err
+}
+
+// Close stops admission (Submit returns ErrClosed), drains every
+// already-queued and in-flight request to a real answer, waits for
+// the workers to exit and releases their engines. It is idempotent
+// and safe to call concurrently with Submit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker owns one engine and serves queue batches until the queue
+// closes and drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	e := infer.NewEngine(s.cfg.Model.Net)
+	// Concurrency comes from the worker pool; a nested batch-parallel
+	// fan-out per engine would oversubscribe the CPUs.
+	e.Workers = 1
+	defer e.Close()
+
+	bufs := make(map[int]*tensor.Tensor) // batch size → reused input tensor
+	batch := make([]*pending, 0, s.cfg.MaxBatch)
+	for p := range s.queue {
+		batch = append(batch[:0], p)
+		batch = s.drainInto(batch)
+		s.runBatch(e, bufs, batch)
+	}
+}
+
+// drainInto micro-batches: it non-blockingly pulls up to MaxBatch-1
+// additional queued requests to ride along with the one just popped.
+func (s *Server) drainInto(batch []*pending) []*pending {
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				return batch // closed and drained
+			}
+			batch = append(batch, p)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// predictedWait estimates how long a request admitted now would sit
+// in the queue: occupancy × the EWMA per-request service time, spread
+// over the worker pool. Zero while the EWMA is cold.
+func (s *Server) predictedWait() time.Duration {
+	svc := time.Duration(s.svcNs.Load())
+	if svc <= 0 {
+		return 0
+	}
+	return time.Duration(len(s.queue)) * svc / time.Duration(s.cfg.Workers)
+}
+
+// observeService folds one batch's per-request service time into the
+// EWMA (α = 0.2; the first observation seeds it).
+func (s *Server) observeService(perReq time.Duration) {
+	for {
+		old := s.svcNs.Load()
+		next := int64(perReq)
+		if old > 0 {
+			next = old + (int64(perReq)-old)/5
+		}
+		if s.svcNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// shedCap maps current queue pressure to the widest subnet the
+// scheduler may walk to: an empty queue allows the full ladder, a
+// full queue caps at MinSubnet, linear (ceiling) in between. This is
+// the global load-shedding signal — under overload every answer gets
+// narrower, each request costs fewer MACs, and the queue drains
+// faster instead of growing.
+func (s *Server) shedCap() int {
+	depth := cap(s.queue)
+	if depth == 0 {
+		return s.n
+	}
+	span := s.n - s.cfg.MinSubnet
+	c := s.n - (len(s.queue)*span+depth-1)/depth
+	if c < s.cfg.MinSubnet {
+		c = s.cfg.MinSubnet
+	}
+	return c
+}
+
+// stepEstimate predicts the wall-clock cost of stepping a b-row batch
+// to subnet next: the calibrated batch-1 step time scales linearly in
+// rows on a CPU-bound walk, plus the configured safety margin.
+func (s *Server) stepEstimate(next, b int) time.Duration {
+	return time.Duration(b)*s.lat.StepTime[next-1] + s.cfg.Margin
+}
+
+// runBatch walks one micro-batch up the subnet ladder. Every request
+// is stepped to at least MinSubnet; beyond that, a step is taken only
+// while (a) the load-shedding cap allows it and (b) at least one
+// still-pending request's deadline affords the step's estimated cost.
+// After each step, requests that cannot afford the next one finalize
+// immediately at the current subnet — so within one batch, tight
+// deadlines answer narrow while generous ones keep climbing.
+func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []*pending) {
+	started := time.Now()
+	if s.cfg.serveDelay > 0 {
+		time.Sleep(s.cfg.serveDelay)
+	}
+	b := len(batch)
+	x := bufs[b]
+	if x == nil {
+		x = tensor.New(b, s.inC, s.inH, s.inW)
+		bufs[b] = x
+	}
+	for i, p := range batch {
+		p.started = started
+		copy(x.Data()[i*s.imgLen:(i+1)*s.imgLen], p.input)
+	}
+	e.Reset(x)
+
+	ladderCap := s.shedCap()
+	var out *tensor.Tensor
+	cur := 0
+	for next := 1; next <= s.n; next++ {
+		if next > s.cfg.MinSubnet {
+			if next > ladderCap {
+				break // load shedding: answer from what we have
+			}
+			if !s.anyAffords(batch, next, b) {
+				break // no pending deadline can pay for this step
+			}
+		}
+		o, macs, err := e.Step(next)
+		if err != nil {
+			s.failBatch(batch, err)
+			return
+		}
+		out, cur = o, next
+		for _, p := range batch {
+			if !p.answered {
+				p.macs += macs
+			}
+		}
+		// Requests that cannot afford the next rung answer now; the
+		// rest of the batch keeps climbing. Never finalize below the
+		// MinSubnet floor — those rungs are walked unconditionally.
+		if next >= s.cfg.MinSubnet && next < s.n && next < ladderCap {
+			now := time.Now()
+			est := s.stepEstimate(next+1, b)
+			for i, p := range batch {
+				if !p.answered && p.deadline.Sub(now) < est {
+					s.finish(p, out, i, cur)
+				}
+			}
+		}
+	}
+	for i, p := range batch {
+		if !p.answered {
+			s.finish(p, out, i, cur)
+		}
+	}
+	s.observeService(time.Since(started) / time.Duration(b))
+}
+
+// anyAffords reports whether any still-pending request's remaining
+// deadline covers the estimated cost of stepping the batch to next.
+func (s *Server) anyAffords(batch []*pending, next, b int) bool {
+	est := s.stepEstimate(next, b)
+	now := time.Now()
+	for _, p := range batch {
+		if !p.answered && p.deadline.Sub(now) >= est {
+			return true
+		}
+	}
+	return false
+}
+
+// finish answers one request from batch row i at the given subnet.
+func (s *Server) finish(p *pending, out *tensor.Tensor, i, subnet int) {
+	logits := make([]float64, s.classes)
+	copy(logits, out.Data()[i*s.classes:(i+1)*s.classes])
+	pred := 0
+	for j, v := range logits {
+		if v > logits[pred] {
+			pred = j
+		}
+	}
+	now := time.Now()
+	res := Result{
+		Subnet:      subnet,
+		Pred:        pred,
+		Logits:      logits,
+		MACs:        p.macs,
+		DeadlineMet: !now.After(p.deadline),
+		QueueWait:   p.started.Sub(p.submitted),
+		Latency:     now.Sub(p.submitted),
+	}
+	p.answered = true
+	s.stats.recordServed(res)
+	p.done <- response{res: res}
+}
+
+// failBatch answers every still-pending request with err (engine
+// failures are programming errors — a bad subnet index — but the
+// callers blocked in Submit must still be released).
+func (s *Server) failBatch(batch []*pending, err error) {
+	for _, p := range batch {
+		if !p.answered {
+			p.answered = true
+			p.done <- response{err: err}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latRingSize bounds the latency reservoir the percentile estimates
+// are computed from: large enough that p99 over recent traffic is
+// meaningful, small enough that a Snapshot sort stays off any hot
+// path's critical section.
+const latRingSize = 4096
+
+// Stats accumulates serving counters. One instance per Server; all
+// methods are safe for concurrent use.
+type Stats struct {
+	mu          sync.Mutex
+	submitted   int64
+	rejected    int64
+	served      int64
+	deadlineMet int64
+	totalMACs   int64
+	bySubnet    []int64 // answers per subnet, index s-1
+
+	latRing  []time.Duration // ring buffer of recent end-to-end latencies
+	latIdx   int
+	latCount int
+}
+
+func newStats(n int) *Stats {
+	return &Stats{bySubnet: make([]int64, n), latRing: make([]time.Duration, latRingSize)}
+}
+
+func (st *Stats) recordSubmitted() {
+	st.mu.Lock()
+	st.submitted++
+	st.mu.Unlock()
+}
+
+func (st *Stats) recordRejected() {
+	st.mu.Lock()
+	st.rejected++
+	st.mu.Unlock()
+}
+
+func (st *Stats) recordServed(res Result) {
+	st.mu.Lock()
+	st.served++
+	if res.DeadlineMet {
+		st.deadlineMet++
+	}
+	st.totalMACs += res.MACs
+	if res.Subnet >= 1 && res.Subnet <= len(st.bySubnet) {
+		st.bySubnet[res.Subnet-1]++
+	}
+	st.latRing[st.latIdx] = res.Latency
+	st.latIdx = (st.latIdx + 1) % len(st.latRing)
+	if st.latCount < len(st.latRing) {
+		st.latCount++
+	}
+	st.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the serving counters, shaped
+// for JSON (the /stats endpoint of cmd/stepserve).
+type Snapshot struct {
+	// Submitted counts admission attempts (accepted + rejected).
+	Submitted int64 `json:"submitted"`
+	// Rejected counts the ErrOverloaded fast-fails at a full queue.
+	Rejected int64 `json:"rejected"`
+	// Served counts answered requests.
+	Served int64 `json:"served"`
+	// DeadlineMet counts answers delivered before their deadline.
+	DeadlineMet int64 `json:"deadline_met"`
+	// DeadlineHitRate is DeadlineMet/Served (0 when nothing served).
+	DeadlineHitRate float64 `json:"deadline_hit_rate"`
+	// BySubnet histograms answers over the ladder, index s-1 — the
+	// distribution that shifts toward narrow subnets under overload.
+	BySubnet []int64 `json:"by_subnet"`
+	// TotalMACs sums the per-request MACs actually executed.
+	TotalMACs int64 `json:"total_macs"`
+	// P50Ms is the median end-to-end latency (queue wait + walk)
+	// over the most recent window of served requests, in
+	// milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	// P90Ms is the 90th-percentile latency of the same window.
+	P90Ms float64 `json:"p90_ms"`
+	// P99Ms is the 99th-percentile latency of the same window.
+	P99Ms float64 `json:"p99_ms"`
+	// QueueLen gauges admission-queue occupancy at snapshot time.
+	QueueLen int `json:"queue_len"`
+	// QueueCap is the admission queue's configured bound.
+	QueueCap int `json:"queue_cap"`
+	// Workers is the engine-pool size serving requests.
+	Workers int `json:"workers"`
+	// ServiceEwmaMs is the smoothed per-request service time the
+	// admission controller predicts queue waits with, in
+	// milliseconds (0 until the first batch completes).
+	ServiceEwmaMs float64 `json:"service_ewma_ms"`
+	// MACRate is the calibrated throughput (MACs/second) the
+	// deadline scheduler plans with.
+	MACRate float64 `json:"mac_rate"`
+	// StepTimeMs lists the calibrated per-step latencies, index s-1.
+	StepTimeMs []float64 `json:"step_time_ms"`
+}
+
+// snapshot copies the counters and computes the latency percentiles.
+func (st *Stats) snapshot() Snapshot {
+	st.mu.Lock()
+	snap := Snapshot{
+		Submitted:   st.submitted,
+		Rejected:    st.rejected,
+		Served:      st.served,
+		DeadlineMet: st.deadlineMet,
+		TotalMACs:   st.totalMACs,
+		BySubnet:    append([]int64(nil), st.bySubnet...),
+	}
+	lats := append([]time.Duration(nil), st.latRing[:st.latCount]...)
+	st.mu.Unlock()
+
+	if snap.Served > 0 {
+		snap.DeadlineHitRate = float64(snap.DeadlineMet) / float64(snap.Served)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	snap.P50Ms = PercentileMs(lats, 0.50)
+	snap.P90Ms = PercentileMs(lats, 0.90)
+	snap.P99Ms = PercentileMs(lats, 0.99)
+	return snap
+}
+
+// PercentileMs returns the p-quantile of an ascending latency slice
+// in milliseconds (nearest-rank), or 0 for an empty slice. Exported
+// for load generators and monitoring code that aggregate their own
+// latency samples alongside the server's Snapshot.
+func PercentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

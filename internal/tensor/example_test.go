@@ -1,0 +1,36 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"steppingnet/internal/tensor"
+)
+
+// ExamplePool shows the ownership discipline that makes hot paths
+// allocation-free: Get hands out a tensor the caller owns, Put
+// returns it, and a later Get of the same volume recycles the backing
+// array — even under a different shape. A nil *Pool degrades to plain
+// allocation, so library code can thread an optional pool without
+// branching.
+func ExamplePool() {
+	p := tensor.NewPool()
+
+	a := p.Get(8, 32, 8, 8) // owned by us until Put
+	p.Put(a)
+
+	b := p.Get(8, 2048) // same element count: the buffer is reborn reshaped
+	fmt.Println("recycled:", &a.Data()[0] == &b.Data()[0])
+	fmt.Println("shape:", b.Shape())
+	fmt.Println("hits/gets:", p.Hits, "/", p.Gets)
+	p.Put(b)
+
+	var nilPool *tensor.Pool
+	c := nilPool.Get(4, 4) // nil-safe: plain allocation
+	nilPool.Put(c)         // no-op
+	fmt.Println("nil pool works:", c.Len() == 16)
+	// Output:
+	// recycled: true
+	// shape: [8 2048]
+	// hits/gets: 1 / 2
+	// nil pool works: true
+}
