@@ -2,7 +2,8 @@
 # ci.sh — the repo's verification gate. Run before every merge:
 #
 #   ./ci.sh                      # vet + build + doc health + race tests (both
-#                                # backends) + serve smoke-run + perf gate
+#                                # backends) + fuzz smoke + chaos + serve
+#                                # smoke-run + perf gate
 #   ./ci.sh --quick              # skip the race detector (slow on 1-CPU boxes)
 #   ./ci.sh --update-baseline    # additionally refresh BENCH_baseline.json
 #                                # after a passing gate (combinable with --quick)
@@ -76,14 +77,31 @@ else
     STEPPINGNET_NOSIMD=1 go test -race -count=1 ./...
 fi
 
+echo "== fuzz smoke =="
+# Ten seconds per fuzz target on top of the committed seed corpora:
+# enough to shake out regressions in the hardened surfaces (the
+# LatencyModel deadline math and the /infer handler chain) without
+# stalling the gate. A real campaign runs them longer by hand.
+go test -run='^$' -fuzz=FuzzLatencyModel -fuzztime=10s ./internal/governor
+go test -run='^$' -fuzz=FuzzInferHandler -fuzztime=10s ./cmd/stepserve
+
+echo "== chaos (default backend) =="
+# The serving layer's randomized lifecycle storm always runs under the
+# race detector (even with --quick) and under both GEMM backends:
+# close/submit races are exactly where the backends' differing step
+# timings shake out different interleavings.
+go test -race -count=1 -run TestChaosRandomizedLifecycles ./internal/serve
+echo "== chaos (scalar backend) =="
+STEPPINGNET_NOSIMD=1 go test -race -count=1 -run TestChaosRandomizedLifecycles ./internal/serve
+
 echo "== serve smoke-run (default backend) =="
 # Drive the anytime serving layer briefly through the load generator:
 # calibration, admission, deadline scheduling, micro-batching and
 # graceful drain all execute. Run under both GEMM backends, like the
 # test suite.
-go run ./cmd/stepserve -loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -deadlines 500us:0.5,10ms:0.5
+go run ./cmd/stepserve -loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -refresh 250ms -deadlines 500us:0.45,10ms:0.45,10ms:0.1:hi
 echo "== serve smoke-run (scalar backend) =="
-STEPPINGNET_NOSIMD=1 go run ./cmd/stepserve -loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -deadlines 500us:0.5,10ms:0.5
+STEPPINGNET_NOSIMD=1 go run ./cmd/stepserve -loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -refresh 250ms -deadlines 500us:0.45,10ms:0.45,10ms:0.1:hi
 
 echo "== perf baseline =="
 trap 'rm -f BENCH_new.json' EXIT # the gate's scratch file, never committed

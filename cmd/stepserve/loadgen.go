@@ -16,33 +16,50 @@ import (
 	"steppingnet/internal/tensor"
 )
 
-// deadlineClass is one entry of the loadgen's deadline mix.
+// deadlineClass is one entry of the loadgen's class mix.
 type deadlineClass struct {
-	d time.Duration
-	w float64 // relative weight
+	d    time.Duration
+	w    float64 // relative weight
+	prio int     // serve priority class (0 = lowest)
 }
 
-// parseDeadlineMix parses "4ms:0.5,12ms:0.5" into classes; an empty
-// spec yields a single class at the server's default deadline.
+// parseDeadlineMix parses "4ms:0.9,12ms:0.1:hi" into classes —
+// deadline:weight with an optional third field naming the priority
+// ("hi"/"lo" or a numeric class). An empty spec yields a single
+// low-priority class at the server's default deadline.
 func parseDeadlineMix(spec string, fallback time.Duration) ([]deadlineClass, error) {
 	if strings.TrimSpace(spec) == "" {
 		return []deadlineClass{{d: fallback, w: 1}}, nil
 	}
 	var mix []deadlineClass
 	for _, part := range strings.Split(spec, ",") {
-		dur, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
-		if !ok {
-			return nil, fmt.Errorf("bad deadline class %q (want e.g. 4ms:0.5)", part)
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("bad class %q (want deadline:weight or deadline:weight:prio)", part)
 		}
-		d, err := time.ParseDuration(dur)
+		d, err := time.ParseDuration(fields[0])
 		if err != nil {
 			return nil, fmt.Errorf("bad deadline in %q: %v", part, err)
 		}
-		w, err := strconv.ParseFloat(weight, 64)
+		w, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil || w <= 0 {
 			return nil, fmt.Errorf("bad weight in %q", part)
 		}
-		mix = append(mix, deadlineClass{d: d, w: w})
+		prio := 0
+		if len(fields) == 3 {
+			switch fields[2] {
+			case "lo":
+				prio = 0
+			case "hi":
+				prio = 1
+			default:
+				prio, err = strconv.Atoi(fields[2])
+				if err != nil || prio < 0 {
+					return nil, fmt.Errorf("bad priority in %q (want lo, hi or a class number)", part)
+				}
+			}
+		}
+		mix = append(mix, deadlineClass{d: d, w: w, prio: prio})
 	}
 	return mix, nil
 }
@@ -139,7 +156,7 @@ func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.D
 			// the serving layer's SLO; client-side time would mostly
 			// measure this co-located generator's own goroutine
 			// scheduling on a shared CPU.
-			res, err := srv.Submit(serve.Request{Input: in, Deadline: mix[ci].d})
+			res, err := srv.Submit(serve.Request{Input: in, Deadline: mix[ci].d, Priority: mix[ci].prio})
 			mu.Lock()
 			defer mu.Unlock()
 			st := &perClass[ci]
@@ -175,8 +192,8 @@ loop:
 	wg.Wait()
 
 	fmt.Printf("\noffered %d requests (%.0f rps × %v)\n", offered, rps, duration)
-	fmt.Printf("%-10s %7s %7s %7s %7s %9s %9s %9s  %s\n",
-		"deadline", "sent", "served", "reject", "drop", "p50", "p95", "p99", "hit-rate")
+	fmt.Printf("%-10s %4s %7s %7s %7s %7s %9s %9s %9s  %s\n",
+		"deadline", "prio", "sent", "served", "reject", "drop", "p50", "p95", "p99", "hit-rate")
 	for i, c := range mix {
 		st := perClass[i]
 		sort.Slice(st.lats, func(a, b int) bool { return st.lats[a] < st.lats[b] })
@@ -184,8 +201,8 @@ loop:
 		if st.served > 0 {
 			hit = float64(st.met) / float64(st.served)
 		}
-		fmt.Printf("%-10v %7d %7d %7d %7d %8.2fm %8.2fm %8.2fm  %6.1f%%\n",
-			c.d, st.sent, st.served, st.rejected, st.dropped,
+		fmt.Printf("%-10v %4d %7d %7d %7d %7d %8.2fm %8.2fm %8.2fm  %6.1f%%\n",
+			c.d, c.prio, st.sent, st.served, st.rejected, st.dropped,
 			serve.PercentileMs(st.lats, 0.50), serve.PercentileMs(st.lats, 0.95), serve.PercentileMs(st.lats, 0.99),
 			100*hit)
 	}
@@ -203,15 +220,25 @@ loop:
 		fmt.Printf("  subnet %d %7d  %5.1f%%  %s\n", s, bySubnet[s-1], 100*frac, bar(frac, 40))
 	}
 	snap := srv.Stats()
-	fmt.Printf("\nserver: served %d, rejected %d, deadline hit-rate %.1f%%, mean %.0f kMAC/answer\n",
-		snap.Served, snap.Rejected, 100*snap.DeadlineHitRate, meanKMAC(snap))
+	fmt.Printf("\nserver: served %d, rejected %d, deadline hit-rate %.1f%%, mean %.0f kMAC/answer, %d calibration refreshes\n",
+		snap.Served, snap.Rejected, 100*snap.DeadlineHitRate, meanKMAC(snap), snap.Refreshes)
+	if len(snap.Classes) > 1 {
+		fmt.Printf("per-priority protection (server view):\n")
+		for _, cs := range snap.Classes {
+			if cs.Submitted == 0 {
+				continue
+			}
+			fmt.Printf("  prio %d: served %5d  rejected %5d  hit-rate %5.1f%%  p99 %6.2fms  subnets %v\n",
+				cs.Priority, cs.Served, cs.Rejected, 100*cs.DeadlineHitRate, cs.P99Ms, cs.BySubnet)
+		}
+	}
 }
 
-// mixString renders the deadline mix for the log line.
+// mixString renders the class mix for the log line.
 func mixString(mix []deadlineClass) string {
 	parts := make([]string, len(mix))
 	for i, c := range mix {
-		parts[i] = fmt.Sprintf("%v:%g", c.d, c.w)
+		parts[i] = fmt.Sprintf("%v:%g:%d", c.d, c.w, c.prio)
 	}
 	return strings.Join(parts, ",")
 }

@@ -11,17 +11,24 @@
 //	curl -s localhost:8080/infer -d '{"deadline_ms": 5}'
 //	curl -s localhost:8080/stats
 //
-// POST /infer accepts {"input": [...], "deadline_ms": 5}; a missing
-// input is replaced by a seeded random image (handy for smoke tests).
-// The answer reports which subnet produced it, the MACs spent, and
-// whether the deadline was met. GET /stats returns the serve.Snapshot
-// counters; GET /healthz returns 200 once serving.
+// POST /infer accepts {"input": [...], "deadline_ms": 5, "priority":
+// 1} (priority also via the X-Priority header; higher classes shed
+// last and keep wider answers under overload — see -priorities). A
+// missing input is replaced by a seeded random image (handy for smoke
+// tests). The answer reports which subnet produced it, the MACs
+// spent, and whether the deadline was met. GET /stats returns the
+// serve.Snapshot counters including the per-priority breakdown; GET
+// /healthz returns 200 once serving. The -refresh interval keeps the
+// deadline calibration tracking live step timings (thermal or
+// contention drift) instead of trusting startup numbers forever.
 //
 // Load-generator mode drives the same in-process service at a
-// configurable request rate and deadline mix, then prints latency
-// percentiles and the per-subnet answer distribution:
+// configurable request rate and class mix (deadline:weight, with an
+// optional :hi/:lo/:N priority field), then prints per-class latency
+// percentiles, the per-subnet answer distribution and the server's
+// per-priority protection summary:
 //
-//	stepserve -loadgen -rps 400 -duration 5s -deadlines 4ms:0.5,12ms:0.5
+//	stepserve -loadgen -rps 400 -duration 5s -deadlines 4ms:0.9,12ms:0.1:hi
 package main
 
 import (
@@ -30,10 +37,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -63,11 +73,13 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "admission queue bound")
 	maxBatch := flag.Int("batch", 4, "micro-batch size (1 disables batching)")
 	deadline := flag.Duration("deadline", 20*time.Millisecond, "default per-request deadline")
+	priorities := flag.Int("priorities", 2, "number of request priority classes (1 disables priorities)")
+	refresh := flag.Duration("refresh", 2*time.Second, "calibration refresh interval (0 trusts startup calibration forever)")
 
 	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of the HTTP server")
 	rps := flag.Float64("rps", 200, "loadgen: offered requests per second")
 	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
-	deadlineMix := flag.String("deadlines", "", "loadgen: deadline mix like 4ms:0.5,12ms:0.5 (default: the -deadline flag at weight 1)")
+	deadlineMix := flag.String("deadlines", "", "loadgen: class mix like 4ms:0.5,12ms:0.5:hi — deadline:weight with an optional :hi marking the high-priority class (default: the -deadline flag at weight 1)")
 	flag.Parse()
 
 	m, err := buildServeModel(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train)
@@ -78,7 +90,9 @@ func main() {
 	srv, err := serve.New(serve.Config{
 		Model: m, Subnets: *subnets,
 		Workers: *workers, QueueDepth: *queueDepth, MaxBatch: *maxBatch,
+		PriorityClasses: *priorities,
 		DefaultDeadline: *deadline,
+		RefreshInterval: *refresh,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -154,6 +168,7 @@ func buildServeModel(name string, classes, imgHW int, expansion float64, n int, 
 type inferRequest struct {
 	Input      []float64 `json:"input,omitempty"`
 	DeadlineMs float64   `json:"deadline_ms,omitempty"`
+	Priority   int       `json:"priority,omitempty"`
 }
 
 // inferResponse is the POST /infer answer.
@@ -162,15 +177,32 @@ type inferResponse struct {
 	Pred        int       `json:"pred"`
 	Logits      []float64 `json:"logits"`
 	MACs        int64     `json:"macs"`
+	Priority    int       `json:"priority"`
 	DeadlineMet bool      `json:"deadline_met"`
 	QueueWaitMs float64   `json:"queue_wait_ms"`
 	LatencyMs   float64   `json:"latency_ms"`
 }
 
-// serveHTTP runs the JSON endpoint until SIGINT/SIGTERM, then drains
-// the HTTP server and the serving layer in order.
-func serveHTTP(srv *serve.Server, m *models.Model, addr string, seed uint64) {
+// priorityHeader is the request header carrying the priority class
+// when the JSON body doesn't (proxies and gateways set headers more
+// easily than they rewrite bodies).
+const priorityHeader = "X-Priority"
+
+// newMux builds the HTTP surface over a serving layer: POST /infer,
+// GET /stats, GET /healthz. Factored out of serveHTTP so the fuzz
+// harness can drive the exact production handler chain through
+// httptest without opening a socket.
+func newMux(srv *serve.Server, m *models.Model, seed uint64) *http.ServeMux {
 	imgLen := m.InC * m.InH * m.InW
+	// Bound the POST /infer payload — unbounded bodies are a trivial
+	// memory DoS. The cap scales with the served model's input
+	// geometry (a float64 is ≤25 JSON characters plus separator), so
+	// a full valid input always fits whatever -img/-model selects;
+	// the floor keeps room for metadata on tiny models.
+	maxBody := int64(imgLen)*32 + 4096
+	if maxBody < 1<<20 {
+		maxBody = 1 << 20
+	}
 	// net/http runs each handler on its own goroutine and tensor.RNG
 	// is not concurrency-safe; serialize the smoke-test input draws.
 	var rngMu sync.Mutex
@@ -192,18 +224,33 @@ func serveHTTP(srv *serve.Server, m *models.Model, addr string, seed uint64) {
 			return
 		}
 		var req inferRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
+		}
+		if h := r.Header.Get(priorityHeader); h != "" && req.Priority == 0 {
+			p, err := strconv.Atoi(h)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad %s header %q", priorityHeader, h), http.StatusBadRequest)
+				return
+			}
+			req.Priority = p
 		}
 		if req.Input == nil {
 			rngMu.Lock()
 			req.Input = randomInput(rng, imgLen) // smoke-test convenience
 			rngMu.Unlock()
 		}
+		// NaN/±Inf deadlines convert to garbage durations; reject them
+		// at the door rather than trusting float→int conversion.
+		if math.IsNaN(req.DeadlineMs) || math.IsInf(req.DeadlineMs, 0) {
+			http.Error(w, "deadline_ms must be finite", http.StatusBadRequest)
+			return
+		}
 		res, err := srv.Submit(serve.Request{
 			Input:    req.Input,
 			Deadline: time.Duration(req.DeadlineMs * float64(time.Millisecond)),
+			Priority: req.Priority,
 		})
 		switch {
 		case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
@@ -216,14 +263,20 @@ func serveHTTP(srv *serve.Server, m *models.Model, addr string, seed uint64) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(inferResponse{
 			Subnet: res.Subnet, Pred: res.Pred, Logits: res.Logits, MACs: res.MACs,
+			Priority:    res.Priority,
 			DeadlineMet: res.DeadlineMet,
 			QueueWaitMs: ms(res.QueueWait), LatencyMs: ms(res.Latency),
 		}); err != nil {
 			log.Printf("infer encode: %v", err)
 		}
 	})
+	return mux
+}
 
-	hs := &http.Server{Addr: addr, Handler: mux}
+// serveHTTP runs the JSON endpoint until SIGINT/SIGTERM, then drains
+// the HTTP server and the serving layer in order.
+func serveHTTP(srv *serve.Server, m *models.Model, addr string, seed uint64) {
+	hs := &http.Server{Addr: addr, Handler: newMux(srv, m, seed)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	shutdownDone := make(chan struct{})

@@ -56,17 +56,21 @@
 // # Serving
 //
 // internal/serve turns the anytime engine into a concurrent service:
-// a pool of per-worker engines behind a bounded admission queue with
-// micro-batching. Per-subnet step latencies are calibrated at startup
-// (infer.Engine.CalibrateSteps → governor.LatencyModel) and a
-// deadline-aware scheduler walks each request up the subnet ladder
-// only as far as its deadline — and a queue-pressure load-shedding
-// cap — allows, so overload degrades into narrower answers instead of
-// unbounded queuing. cmd/stepserve exposes the service over HTTP
-// (POST /infer, GET /stats) and ships a load generator
-// (stepserve -loadgen) for measuring latency percentiles and the
-// per-subnet answer distribution under configurable RPS/deadline
-// mixes.
+// a pool of per-worker engines fed by a central batch former over a
+// bounded, priority-ordered admission queue (low classes narrow and
+// shed first; high-priority deadlines stay protected under
+// overload). Per-subnet step latencies are calibrated at startup
+// (infer.Engine.CalibrateSteps → governor.LatencyModel), refreshed
+// against live step timings by a background loop (Engine.StepTimer →
+// atomic governor.ModelRef swap), and a deadline-aware scheduler
+// walks each request up the subnet ladder only as far as its
+// deadline — and its class's load-shedding cap — allows, so overload
+// degrades into narrower answers instead of unbounded queuing.
+// cmd/stepserve exposes the service over HTTP (POST /infer with a
+// priority field/header, GET /stats with per-class counters) and
+// ships a load generator (stepserve -loadgen) for measuring latency
+// percentiles and the per-subnet answer distribution under
+// configurable RPS/deadline/priority mixes.
 //
 // The benchmarks in bench_test.go regenerate each table/figure:
 //

@@ -2,6 +2,8 @@ package governor
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,8 +23,12 @@ type LatencyModel struct {
 	StepTime []time.Duration
 }
 
-// Validate reports structural errors (mismatched or empty ladders,
-// non-positive step times that would break rate estimates).
+// Validate reports structural errors: mismatched or empty ladders,
+// non-positive step times that would break rate estimates, negative
+// step MAC costs, and ladders whose cumulative sums overflow int64
+// (which would silently corrupt WalkTime and MACRate). A model that
+// passes Validate has well-defined, monotone WalkTime, BudgetFor and
+// MaxSubnetWithin (pinned by the property and fuzz tests).
 func (m LatencyModel) Validate() error {
 	switch {
 	case len(m.StepMACs) == 0:
@@ -31,10 +37,25 @@ func (m LatencyModel) Validate() error {
 		return fmt.Errorf("governor: latency model has %d MAC steps but %d time steps",
 			len(m.StepMACs), len(m.StepTime))
 	}
+	var macSum int64
+	for s, c := range m.StepMACs {
+		if c < 0 {
+			return fmt.Errorf("governor: step %d has negative MAC cost %d", s+1, c)
+		}
+		if macSum+c < macSum {
+			return fmt.Errorf("governor: cumulative MAC cost overflows at step %d", s+1)
+		}
+		macSum += c
+	}
+	var timeSum time.Duration
 	for s, d := range m.StepTime {
 		if d <= 0 {
 			return fmt.Errorf("governor: step %d has non-positive calibrated time %v", s+1, d)
 		}
+		if timeSum+d < timeSum {
+			return fmt.Errorf("governor: cumulative step time overflows at step %d", s+1)
+		}
+		timeSum += d
 	}
 	return nil
 }
@@ -54,34 +75,48 @@ func (m LatencyModel) WalkTime(s int) time.Duration {
 
 // MACRate returns the measured MAC throughput over the full ladder
 // walk, in MACs per second — the machine-specific constant that
-// converts time budgets into the paper's MAC budgets.
+// converts time budgets into the paper's MAC budgets. Degenerate
+// ladders (overflowing or non-positive sums, possible on models that
+// fail Validate) report 0 rather than a negative rate.
 func (m LatencyModel) MACRate() float64 {
 	var macs int64
 	for _, c := range m.StepMACs {
 		macs += c
 	}
 	total := m.WalkTime(m.Subnets())
-	if total <= 0 {
+	if total <= 0 || macs <= 0 {
 		return 0
 	}
 	return float64(macs) / total.Seconds()
 }
 
 // BudgetFor converts a wall-clock budget into a MAC budget at the
-// calibrated rate. Non-positive durations map to a zero budget.
+// calibrated rate. Non-positive durations map to a zero budget, and
+// the result is clamped to [0, MaxInt64] — a fast machine times a
+// long deadline must saturate, not overflow into a negative budget.
 func (m LatencyModel) BudgetFor(d time.Duration) int64 {
 	if d <= 0 {
 		return 0
 	}
-	return int64(m.MACRate() * d.Seconds())
+	b := m.MACRate() * d.Seconds()
+	switch {
+	case b <= 0 || math.IsNaN(b):
+		return 0
+	case b >= math.MaxInt64:
+		return math.MaxInt64
+	}
+	return int64(b)
 }
 
 // MaxSubnetWithin returns the deepest subnet whose full cold walk
-// (steps 1..s) fits within d, or 0 when not even subnet 1 does.
+// (steps 1..s) fits within d, or 0 when not even subnet 1 does. Like
+// WalkTime it never reads past a short StepTime slice, so it is total
+// even on models Validate rejects (a fuzz-found hardening: a
+// length-mismatched model used to panic here).
 func (m LatencyModel) MaxSubnetWithin(d time.Duration) int {
 	best := 0
 	var total time.Duration
-	for s := 1; s <= m.Subnets(); s++ {
+	for s := 1; s <= m.Subnets() && s <= len(m.StepTime); s++ {
 		total += m.StepTime[s-1]
 		if total > d {
 			break
@@ -89,6 +124,34 @@ func (m LatencyModel) MaxSubnetWithin(d time.Duration) int {
 		best = s
 	}
 	return best
+}
+
+// ModelRef is an atomically swappable reference to a LatencyModel —
+// the handoff point between a calibration refresh loop (which builds
+// a new model from live timing observations) and schedulers planning
+// against the current one. Readers Load a consistent snapshot;
+// writers Store a complete replacement. A stored model must be
+// treated as immutable: refresh loops build a fresh StepTime slice
+// per swap instead of mutating the published one. The zero ModelRef
+// holds no model (Load returns the zero LatencyModel).
+type ModelRef struct {
+	p atomic.Pointer[LatencyModel]
+}
+
+// Store publishes m as the current model. The caller must not mutate
+// m's slices afterwards.
+func (r *ModelRef) Store(m LatencyModel) {
+	r.p.Store(&m)
+}
+
+// Load returns the most recently stored model (the zero LatencyModel
+// when nothing has been stored). The returned slices are shared with
+// every other Load of the same snapshot and must not be mutated.
+func (r *ModelRef) Load() LatencyModel {
+	if m := r.p.Load(); m != nil {
+		return *m
+	}
+	return LatencyModel{}
 }
 
 // DeadlineBudget adapts a LatencyModel plus a per-tick deadline trace

@@ -1,0 +1,104 @@
+package governor
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// decodeLadder carves a fuzz payload into a LatencyModel: the first
+// byte picks the step count (0..15, deliberately allowing empty and
+// MAC/time length mismatches via truncation), then alternating int64
+// MAC costs and step times — arbitrary, including negative, zero and
+// overflow-adjacent values.
+func decodeLadder(data []byte) LatencyModel {
+	if len(data) == 0 {
+		return LatencyModel{}
+	}
+	n := int(data[0] % 16)
+	data = data[1:]
+	m := LatencyModel{}
+	for i := 0; i < n && len(data) >= 8; i++ {
+		m.StepMACs = append(m.StepMACs, int64(binary.LittleEndian.Uint64(data[:8])))
+		data = data[8:]
+		if len(data) >= 8 {
+			m.StepTime = append(m.StepTime, time.Duration(binary.LittleEndian.Uint64(data[:8])))
+			data = data[8:]
+		}
+	}
+	return m
+}
+
+// FuzzLatencyModel throws arbitrary step-cost vectors at the whole
+// LatencyModel surface: nothing may panic, budgets must never go
+// negative, MaxSubnetWithin must stay inside the ladder, and models
+// that pass Validate must additionally keep the monotonicity
+// properties the deadline scheduler relies on. The committed seed
+// corpus pins the historical trouble spots (overflowing MAC sums,
+// huge rates × huge deadlines, zero and negative step times).
+func FuzzLatencyModel(f *testing.F) {
+	seed := func(macsAndTimes ...int64) []byte {
+		b := []byte{byte(len(macsAndTimes) / 2)}
+		for _, v := range macsAndTimes {
+			b = binary.LittleEndian.AppendUint64(b, uint64(v))
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(seed(1000, int64(time.Millisecond), 2000, int64(2*time.Millisecond)))
+	f.Add(seed(-5, int64(time.Millisecond)))                             // negative MAC cost
+	f.Add(seed(1000, 0))                                                 // zero step time
+	f.Add(seed(1000, -int64(time.Hour)))                                 // negative step time
+	f.Add(seed(int64(1)<<62, 1, int64(1)<<62, 1, int64(1)<<62, 1))       // MAC sum overflow
+	f.Add(seed(int64(1)<<60, int64(1)<<62, int64(1)<<60, int64(1)<<62))  // time sum overflow
+	f.Add(seed(int64(1)<<62, 1))                                         // extreme MACs/ns rate
+	f.Add(append(seed(1000, int64(time.Millisecond)), 0xFF, 0xFF, 0xFF)) // trailing garbage
+	f.Add([]byte{15, 1, 2, 3})                                           // truncated ladder
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := decodeLadder(data)
+		err := m.Validate()
+		n := m.Subnets()
+
+		// The full read surface must be total: no panics on any input.
+		probes := []time.Duration{-time.Hour, -1, 0, 1, time.Microsecond,
+			time.Second, time.Hour, 1 << 62}
+		for s := 0; s <= n+1; s++ {
+			_ = m.WalkTime(s)
+		}
+		_ = m.MACRate()
+		for _, d := range probes {
+			if b := m.BudgetFor(d); b < 0 {
+				t.Fatalf("BudgetFor(%v) = %d negative on %+v", d, b, m)
+			}
+			if s := m.MaxSubnetWithin(d); s < 0 || s > n {
+				t.Fatalf("MaxSubnetWithin(%v) = %d outside [0,%d]", d, s, n)
+			}
+		}
+		_ = (DeadlineBudget{Model: m, Deadlines: probes}).Budget(3)
+		_ = (DeadlineBudget{Model: m}).Budget(0)
+
+		if err != nil {
+			return
+		}
+		// Valid models: the scheduler-facing monotonicity contract.
+		for s := 1; s <= n; s++ {
+			if m.WalkTime(s) < m.WalkTime(s-1) {
+				t.Fatalf("WalkTime not monotone at step %d on valid %+v", s, m)
+			}
+			if got := m.MaxSubnetWithin(m.WalkTime(s)); got < s {
+				t.Fatalf("deadline == WalkTime(%d) affords only %d on valid %+v", s, got, m)
+			}
+		}
+		for i := 1; i < len(probes); i++ {
+			lo, hi := probes[i-1], probes[i]
+			if m.MaxSubnetWithin(lo) > m.MaxSubnetWithin(hi) {
+				t.Fatalf("MaxSubnetWithin not monotone between %v and %v on valid %+v", lo, hi, m)
+			}
+			if m.BudgetFor(lo) > m.BudgetFor(hi) {
+				t.Fatalf("BudgetFor not monotone between %v and %v on valid %+v", lo, hi, m)
+			}
+		}
+	})
+}

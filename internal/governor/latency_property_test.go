@@ -1,0 +1,174 @@
+package governor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// randomValidModel draws a Validate-passing latency model: 1..8 steps
+// with positive step times and non-negative MAC costs spanning many
+// orders of magnitude.
+func randomValidModel(rng *rand.Rand) LatencyModel {
+	n := 1 + rng.Intn(8)
+	m := LatencyModel{StepMACs: make([]int64, n), StepTime: make([]time.Duration, n)}
+	for i := 0; i < n; i++ {
+		m.StepMACs[i] = rng.Int63n(1 << uint(10+rng.Intn(30)))
+		m.StepTime[i] = time.Duration(1 + rng.Int63n(int64(time.Second)<<uint(rng.Intn(8))))
+	}
+	return m
+}
+
+// TestLatencyModelProperties is the property layer over the
+// deadline→budget mapping: for any valid model,
+//
+//   - MaxSubnetWithin is monotone non-decreasing in the deadline and
+//     bounded by [0, Subnets];
+//   - WalkTime is monotone non-decreasing in the subnet (the MAC
+//     budget of a deeper walk can only grow);
+//   - BudgetFor is monotone non-decreasing in the deadline and never
+//     negative;
+//   - the two directions agree: a deadline exactly equal to
+//     WalkTime(s) always affords subnet s, and MaxSubnetWithin never
+//     claims a subnet whose walk exceeds the deadline.
+func TestLatencyModelProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x9A0BE57))
+	for trial := 0; trial < 300; trial++ {
+		m := randomValidModel(rng)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid model: %v", trial, err)
+		}
+		n := m.Subnets()
+
+		// WalkTime monotone in subnet.
+		for s := 1; s <= n; s++ {
+			if m.WalkTime(s) < m.WalkTime(s-1) {
+				t.Fatalf("trial %d: WalkTime(%d)=%v < WalkTime(%d)=%v",
+					trial, s, m.WalkTime(s), s-1, m.WalkTime(s-1))
+			}
+		}
+
+		// Probe deadlines around every step boundary plus random ones.
+		probes := []time.Duration{0, 1, time.Hour * 24 * 365}
+		for s := 1; s <= n; s++ {
+			w := m.WalkTime(s)
+			probes = append(probes, w-1, w, w+1)
+		}
+		for i := 0; i < 16; i++ {
+			probes = append(probes, time.Duration(rng.Int63n(int64(m.WalkTime(n))+2)))
+		}
+
+		prevD := time.Duration(math.MinInt64)
+		prevSub, prevBudget := -1, int64(-1)
+		// Sort-free monotonicity: walk probes in ascending order.
+		for _, d := range sortedDurations(probes) {
+			sub := m.MaxSubnetWithin(d)
+			budget := m.BudgetFor(d)
+			if sub < 0 || sub > n {
+				t.Fatalf("trial %d: MaxSubnetWithin(%v) = %d out of [0,%d]", trial, d, sub, n)
+			}
+			if budget < 0 {
+				t.Fatalf("trial %d: BudgetFor(%v) = %d negative", trial, d, budget)
+			}
+			if d >= prevD {
+				if sub < prevSub {
+					t.Fatalf("trial %d: MaxSubnetWithin not monotone: (%v)→%d after %d", trial, d, sub, prevSub)
+				}
+				if budget < prevBudget {
+					t.Fatalf("trial %d: BudgetFor not monotone: (%v)→%d after %d", trial, d, budget, prevBudget)
+				}
+			}
+			if sub > 0 && m.WalkTime(sub) > d {
+				t.Fatalf("trial %d: MaxSubnetWithin(%v)=%d but WalkTime(%d)=%v exceeds it",
+					trial, d, sub, sub, m.WalkTime(sub))
+			}
+			prevD, prevSub, prevBudget = d, sub, budget
+		}
+		for s := 1; s <= n; s++ {
+			if got := m.MaxSubnetWithin(m.WalkTime(s)); got < s {
+				t.Fatalf("trial %d: deadline == WalkTime(%d) affords only subnet %d", trial, s, got)
+			}
+		}
+	}
+}
+
+// sortedDurations returns a sorted copy (insertion sort; probe lists
+// are tiny).
+func sortedDurations(ds []time.Duration) []time.Duration {
+	out := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestModelRefSwapPreservesInvariantsMidFlight is the refresh-loop
+// contract: while one goroutine keeps swapping valid models into a
+// ModelRef (as the serving layer's calibration refresh does), every
+// concurrent reader must observe a consistent snapshot — a model that
+// passes Validate and keeps the monotonicity properties — never a
+// torn mix of two models. Run under -race in CI.
+func TestModelRefSwapPreservesInvariantsMidFlight(t *testing.T) {
+	var ref ModelRef
+	rng := rand.New(rand.NewSource(0x5AFE))
+	ref.Store(randomValidModel(rng))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the refresher
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ref.Store(randomValidModel(rng))
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		seed := int64(100 + r)
+		go func() { // schedulers
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				m := ref.Load()
+				if err := m.Validate(); err != nil {
+					t.Errorf("loaded torn/invalid model: %v", err)
+					return
+				}
+				n := m.Subnets()
+				d1 := time.Duration(rr.Int63n(int64(time.Second)))
+				d2 := d1 + time.Duration(rr.Int63n(int64(time.Second)))
+				if m.MaxSubnetWithin(d1) > m.MaxSubnetWithin(d2) {
+					t.Errorf("monotonicity broken on a swapped model")
+					return
+				}
+				if m.BudgetFor(d1) > m.BudgetFor(d2) || m.BudgetFor(d1) < 0 {
+					t.Errorf("budget monotonicity broken on a swapped model")
+					return
+				}
+				if got := m.MaxSubnetWithin(m.WalkTime(n)); got != n {
+					t.Errorf("full-walk deadline affords %d of %d on a swapped model", got, n)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The zero ModelRef is a defined (empty) model, not a nil deref.
+	var empty ModelRef
+	if got := empty.Load().Subnets(); got != 0 {
+		t.Fatalf("zero ModelRef loads %d subnets, want 0", got)
+	}
+}

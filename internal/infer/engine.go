@@ -45,6 +45,17 @@ type Engine struct {
 	// Set 1 to force the serial path.
 	Workers int
 
+	// StepTimer, when non-nil, observes every successful Step with
+	// the subnet stepped to, the batch rows walked, and the step's
+	// wall-clock duration. It is the live-timing hook a calibration
+	// refresh loop (internal/serve) feeds on: unlike the one-shot
+	// CalibrateSteps, it sees real steps under real contention, so
+	// thermal or load drift shows up in the observations. The callback
+	// runs synchronously on the stepping goroutine and must be cheap
+	// and allocation-free to preserve the walk's zero-alloc property;
+	// when nil (the default) Step takes no timestamps at all.
+	StepTimer func(subnet, rows int, d time.Duration)
+
 	pool   *tensor.Pool   // owner-goroutine scratch; backs the cache tensors
 	wpools []*tensor.Pool // per-worker scratch for the sharded path
 
@@ -101,9 +112,9 @@ func (e *Engine) Reset(x *tensor.Tensor) {
 // before the first Step).
 func (e *Engine) Current() int { return e.cur }
 
-// Network returns the network the engine walks. Callers that pool
-// engines (internal/serve) use it to validate that checked-out
-// engines all wrap the same model.
+// Network returns the network the engine walks, for callers that
+// hold only the engine and need model-level facts (layer geometry,
+// MAC ladders) about what it serves.
 func (e *Engine) Network() *nn.Network { return e.net }
 
 // TotalMACs returns the MACs executed since the last Reset.
@@ -128,12 +139,19 @@ func (e *Engine) Step(s int) (*tensor.Tensor, int64, error) {
 		sPrev = s // stepping down: reuse only units active in s
 	}
 
+	var start time.Time
+	if e.StepTimer != nil {
+		start = time.Now()
+	}
 	var stepMACs int64
 	batch := e.input.Dim(0)
 	if w := e.workers(batch); w > 1 {
 		stepMACs = e.stepParallel(s, sPrev, w)
 	} else {
 		stepMACs = e.stepSerial(s, sPrev)
+	}
+	if e.StepTimer != nil {
+		e.StepTimer(s, batch, time.Since(start))
 	}
 	e.cur = s
 	e.totalMACs += stepMACs

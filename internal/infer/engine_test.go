@@ -3,6 +3,7 @@ package infer
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
 	"steppingnet/internal/models"
 	"steppingnet/internal/nn"
@@ -296,5 +297,65 @@ func TestStepSteadyStateAllocs(t *testing.T) {
 				t.Fatalf("steady-state %s walk allocates %v times per run, want 0", tc.name, allocs)
 			}
 		})
+	}
+}
+
+// TestStepTimerObserves pins the live-timing hook the serving layer's
+// calibration refresh feeds on: an installed StepTimer sees every
+// successful Step with the right subnet and row count and a positive
+// duration — and, critically, keeps the walk zero-alloc (the hook
+// runs inside the steady-state serving path).
+func TestStepTimerObserves(t *testing.T) {
+	m := buildModel(77)
+	x := tensor.New(4, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(78), 0, 1)
+	e := NewEngine(m.Net)
+	e.Workers = 1
+	defer e.Close()
+
+	type obs struct {
+		subnet, rows int
+		d            time.Duration
+	}
+	seen := make([]obs, 0, 16)
+	e.StepTimer = func(subnet, rows int, d time.Duration) {
+		seen = append(seen, obs{subnet, rows, d})
+	}
+	e.Reset(x)
+	for s := 1; s <= 3; s++ {
+		e.MustStep(s)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("timer saw %d steps, want 3", len(seen))
+	}
+	for i, o := range seen {
+		if o.subnet != i+1 || o.rows != 4 {
+			t.Fatalf("observation %d = %+v, want subnet %d rows 4", i, o, i+1)
+		}
+		if o.d <= 0 {
+			t.Fatalf("observation %d has non-positive duration %v", i, o.d)
+		}
+	}
+	// A failed Step must not be observed (nothing ran).
+	if _, _, err := e.Step(0); err == nil {
+		t.Fatal("Step(0) must fail")
+	}
+	if len(seen) != 3 {
+		t.Fatalf("timer saw a failed step: %d observations", len(seen))
+	}
+
+	// The hook must not cost the walk its zero-alloc property.
+	e.StepTimer = func(subnet, rows int, d time.Duration) {}
+	walk := func() {
+		e.Reset(x)
+		for s := 1; s <= 3; s++ {
+			e.MustStep(s)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		walk()
+	}
+	if allocs := testing.AllocsPerRun(20, walk); allocs != 0 {
+		t.Fatalf("walk with StepTimer installed allocates %v times per run, want 0", allocs)
 	}
 }

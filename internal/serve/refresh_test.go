@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"steppingnet/internal/governor"
+	"steppingnet/internal/models"
+)
+
+// driftModel is a fabricated calibration with a cheap first step and
+// two expensive ones — deadlines between WalkTime(1) and WalkTime(3)
+// make the scheduler's narrowing decisions observable.
+func driftModel(m *models.Model, base time.Duration) governor.LatencyModel {
+	return governor.LatencyModel{
+		StepMACs: governor.StepCosts(m, 3),
+		StepTime: []time.Duration{time.Nanosecond, base, base},
+	}
+}
+
+// TestCalibrationRefreshTracksDrift is the deterministic
+// serving-hardening acceptance test for the refresh loop: after a 3×
+// artificial step-latency inflation is fed into the live sampler, one
+// refresh re-converges the latency model onto the inflated costs and
+// the scheduler's admission/narrowing decisions track the new
+// numbers — a deadline that afforded the full ladder under the stale
+// model is now answered from subnet 1.
+func TestCalibrationRefreshTracksDrift(t *testing.T) {
+	m := buildModel(40)
+	base := 40 * time.Millisecond
+	srv, err := New(Config{
+		Model: m, Subnets: 3, Workers: 1,
+		Calibration: driftModel(m, base),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	in := inputVec(41, srv.imgLen)
+
+	// Under the startup calibration a 100ms deadline affords both
+	// 40ms steps (walk time ~80ms ≪ real walk ~µs, so the answer is
+	// deterministic).
+	res, err := srv.Submit(Request{Input: in, Deadline: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subnet != 3 {
+		t.Fatalf("pre-drift answer from subnet %d, want 3", res.Subnet)
+	}
+
+	// Inject the drift: the machine now takes 3× longer per step.
+	// Feeding the EWMA identical samples converges it exactly onto
+	// the inflated value (the first observation seeds the average).
+	inflated := 3 * base
+	for i := 0; i < 64; i++ {
+		for s := 1; s <= 3; s++ {
+			srv.ref.observe(s, inflated)
+		}
+	}
+	if !srv.refreshCalibration() {
+		t.Fatal("refresh saw 64 drifted observations per step but published nothing")
+	}
+	lm := srv.Latency()
+	for s := 2; s <= 3; s++ {
+		got := lm.StepTime[s-1]
+		if got < inflated*9/10 || got > inflated*11/10 {
+			t.Fatalf("step %d re-converged to %v, want ~%v", s, got, inflated)
+		}
+	}
+	if srv.Stats().Refreshes != 1 {
+		t.Fatalf("refresh counter = %d, want 1", srv.Stats().Refreshes)
+	}
+
+	// Admission decisions now track the inflated model: the same
+	// 100ms deadline cannot afford a 120ms step, so the answer
+	// narrows to subnet 1.
+	res, err = srv.Submit(Request{Input: in, Deadline: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subnet != 1 {
+		t.Fatalf("post-drift answer from subnet %d, want 1 (deadline cannot afford inflated steps)", res.Subnet)
+	}
+
+	// A second refresh with no new drift publishes nothing.
+	if srv.refreshCalibration() {
+		t.Fatal("refresh republished an unchanged model")
+	}
+}
+
+// TestRefreshRequiresMinObservations: a lone outlier must not repoint
+// the deadline model — steps below the observation floor keep their
+// calibrated cost.
+func TestRefreshRequiresMinObservations(t *testing.T) {
+	m := buildModel(42)
+	base := 10 * time.Millisecond
+	srv, err := New(Config{Model: m, Subnets: 3, Workers: 1, Calibration: driftModel(m, base)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	srv.ref.observe(2, time.Hour) // one cold-cache outlier
+	if srv.refreshCalibration() {
+		t.Fatal("a single observation must not trigger a refresh")
+	}
+	if got := srv.Latency().StepTime[1]; got != base {
+		t.Fatalf("step 2 moved to %v on one observation, want %v", got, base)
+	}
+}
+
+// TestRefreshLoopRunsLive exercises the background path end to end:
+// with a (deliberately wrong) nanosecond injected calibration and the
+// refresh loop enabled, real served traffic feeds StepTimer
+// observations and the loop swaps in measured step costs without any
+// test intervention.
+func TestRefreshLoopRunsLive(t *testing.T) {
+	m := buildModel(43)
+	srv, err := New(Config{
+		Model: m, Subnets: 3, Workers: 1,
+		Calibration:     instantSteps(m, 3),
+		DefaultDeadline: time.Hour,
+		RefreshInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	in := inputVec(44, srv.imgLen)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Refreshes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("refresh loop never published a live-measured model")
+		}
+		if _, err := srv.Submit(Request{Input: in}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The nanosecond fiction must have been replaced by real timings.
+	if got := srv.Latency().StepTime[0]; got <= time.Nanosecond {
+		t.Fatalf("live refresh kept the injected %v step time", got)
+	}
+}

@@ -2,15 +2,19 @@
 // service: the paper's MAC-budgeted subnet ladder becomes a
 // load-management mechanism. A pool of workers — each owning one
 // infer.Engine with its persistent shard state and buffer pools —
-// drains a bounded admission queue, optionally micro-batching
-// compatible requests. A deadline-aware scheduler walks every request
-// up the ladder only as far as its deadline allows, using per-subnet
-// step latencies calibrated at startup (infer.Engine.CalibrateSteps
-// threaded through governor.LatencyModel), and a queue-pressure signal
-// caps the ladder under overload so the service degrades to narrower
-// answers instead of queuing unboundedly: the anytime property as
-// backpressure. Every answer reports which subnet produced it, the
-// MACs actually spent, and whether the deadline was met.
+// executes micro-batches that a central batch former assembles from a
+// bounded, priority-ordered admission queue. A deadline-aware
+// scheduler walks every request up the ladder only as far as its
+// deadline allows, using per-subnet step latencies calibrated at
+// startup (infer.Engine.CalibrateSteps threaded through
+// governor.LatencyModel) and kept honest by an optional background
+// calibration-refresh loop fed with live step timings. Queue-pressure
+// signals cap the ladder under overload so the service degrades to
+// narrower answers instead of queuing unboundedly — and with priority
+// classes configured, low-priority traffic narrows and sheds first,
+// protecting high-priority deadlines. Every answer reports which
+// subnet produced it, the MACs actually spent, and whether the
+// deadline was met.
 package serve
 
 import (
@@ -32,13 +36,14 @@ import (
 // drain to completion).
 var ErrClosed = errors.New("serve: server closed")
 
-// ErrOverloaded is returned by Submit when the bounded admission
-// queue is full, or when the request's deadline is already unmeetable
-// given the measured backlog (the predicted queue wait alone exceeds
-// it). It is the service's fast-fail signal: callers should back off
-// (or retry with a longer deadline) rather than pile on — serving a
-// guaranteed-late answer would only steal capacity from requests that
-// can still make their deadlines.
+// ErrOverloaded is returned by Submit when the request's priority
+// class has exhausted its share of the bounded admission queue, or
+// when the request's deadline is already unmeetable given the
+// measured backlog ahead of its class (the predicted queue wait alone
+// exceeds it). It is the service's fast-fail signal: callers should
+// back off (or retry with a longer deadline) rather than pile on —
+// serving a guaranteed-late answer would only steal capacity from
+// requests that can still make their deadlines.
 var ErrOverloaded = errors.New("serve: overloaded")
 
 // ErrBadInput is returned (wrapped) by Submit when the request input
@@ -55,14 +60,30 @@ type Config struct {
 	// Workers sets the engine-pool size (one infer.Engine per
 	// worker). 0 means GOMAXPROCS.
 	Workers int
-	// QueueDepth bounds the admission queue; a full queue rejects
-	// with ErrOverloaded. 0 means 64.
+	// QueueDepth bounds the admission queue; a class that has filled
+	// its share of the queue rejects with ErrOverloaded. 0 means 64.
 	QueueDepth int
-	// MaxBatch enables micro-batching: a worker drains up to this
-	// many queued requests and walks them as one engine batch,
-	// amortizing per-step overhead; each request still finalizes at
-	// the widest subnet its own deadline affords. 0 or 1 disables.
+	// MaxBatch enables micro-batching: the central batch former
+	// assembles up to this many queued requests (highest priority
+	// first) into one engine batch, amortizing per-step overhead;
+	// each request still finalizes at the widest subnet its own
+	// deadline and shed cap afford. 0 or 1 disables.
 	MaxBatch int
+	// BatchWindow, when positive, lets the batch former wait this
+	// long for more arrivals after popping an under-filled batch —
+	// trading a bounded latency hit for fuller batches under moderate
+	// load. 0 hands batches to workers greedily.
+	BatchWindow time.Duration
+	// PriorityClasses is the number of request priority classes
+	// (Request.Priority is clamped to 0..PriorityClasses-1, higher is
+	// more important). Class c may occupy at most the nested share
+	// QueueDepth·(c+1)/PriorityClasses of the queue, the batch former
+	// serves higher classes first, and both the shed cap and the
+	// admission controller measure only the backlog at or above a
+	// request's own class — so under overload, low-priority traffic
+	// narrows and sheds first while high-priority deadlines stay
+	// protected. 0 or 1 means a single class (every request equal).
+	PriorityClasses int
 	// DefaultDeadline applies to requests that carry none. 0 means
 	// 50ms.
 	DefaultDeadline time.Duration
@@ -81,6 +102,15 @@ type Config struct {
 	// Calibration, when non-zero, supplies a pre-measured latency
 	// model and skips startup calibration (tests, warm restarts).
 	Calibration governor.LatencyModel
+	// RefreshInterval, when positive, runs the calibration refresh
+	// loop: worker engines time every live ladder step
+	// (infer.Engine.StepTimer), a per-step EWMA absorbs the
+	// observations, and every interval the server swaps in a latency
+	// model rebuilt from them — so thermal or contention drift cannot
+	// silently invalidate the deadline→MAC-budget mapping the
+	// scheduler and admission controller plan with. 0 disables (the
+	// startup calibration is trusted forever).
+	RefreshInterval time.Duration
 
 	// serveDelay, when positive, stalls each batch walk — an
 	// in-package test hook that makes overload scenarios
@@ -105,6 +135,19 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1
 	}
+	if c.BatchWindow < 0 {
+		return c, fmt.Errorf("serve: negative BatchWindow %v", c.BatchWindow)
+	}
+	if c.PriorityClasses < 0 {
+		return c, fmt.Errorf("serve: negative PriorityClasses %d", c.PriorityClasses)
+	}
+	if c.PriorityClasses == 0 {
+		c.PriorityClasses = 1
+	}
+	if c.PriorityClasses > c.QueueDepth {
+		return c, fmt.Errorf("serve: %d priority classes cannot share a %d-deep queue",
+			c.PriorityClasses, c.QueueDepth)
+	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 50 * time.Millisecond
 	}
@@ -120,6 +163,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CalibrationReps <= 0 {
 		c.CalibrationReps = 3
 	}
+	if c.RefreshInterval < 0 {
+		return c, fmt.Errorf("serve: negative RefreshInterval %v", c.RefreshInterval)
+	}
 	return c, nil
 }
 
@@ -132,6 +178,11 @@ type Request struct {
 	// (queue wait counts against it). 0 selects
 	// Config.DefaultDeadline.
 	Deadline time.Duration
+	// Priority is the request's class, 0 (lowest) to
+	// Config.PriorityClasses-1 (highest); out-of-range values are
+	// clamped. Under overload, higher classes keep wider answers and
+	// shed last.
+	Priority int
 }
 
 // Result is the anytime answer: the widest completed subnet's output
@@ -148,6 +199,9 @@ type Result struct {
 	// MACs is the per-image MAC count actually executed for this
 	// request — the incremental walk cost, not the from-scratch cost.
 	MACs int64
+	// Priority is the (clamped) priority class the request was
+	// admitted and scheduled under.
+	Priority int
 	// DeadlineMet reports whether the answer was produced within the
 	// request's deadline.
 	DeadlineMet bool
@@ -169,12 +223,18 @@ type response struct {
 // pending is a request in flight through the queue and scheduler.
 type pending struct {
 	input     []float64
+	class     int
 	submitted time.Time
 	deadline  time.Time
 	done      chan response
 
+	// ladderCap is the widest subnet this request may be walked to,
+	// assigned from its class's shed cap when the batch former pops
+	// it.
+	ladderCap int
+
 	// Worker-owned while being served.
-	started  time.Time // when a worker popped it (queue wait ends)
+	started  time.Time // when a worker picked it up (queue wait ends)
 	macs     int64
 	answered bool
 }
@@ -187,11 +247,28 @@ type Server struct {
 
 	inC, inH, inW int
 	imgLen        int
-	classes       int
+	classes       int // model output classes
+	priorities    int // priority-class count (Config.PriorityClasses)
 
-	lat   governor.LatencyModel
-	queue chan *pending
+	// lat is the latency model the scheduler and admission
+	// controller plan with — atomically swappable so the calibration
+	// refresh loop can republish it mid-flight without a lock on the
+	// serving path.
+	lat   governor.ModelRef
+	ref   *refresher
 	stats *Stats
+
+	// The priority admission queue: one FIFO lane per class, guarded
+	// by qmu. qcond signals the batch former on arrivals and close.
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	lanes  [][]*pending
+	qtotal int
+	closed bool
+
+	// batches hands formed micro-batches from the central former to
+	// the worker pool (unbuffered: a send is a worker handoff).
+	batches chan []*pending
 
 	// svcNs is an EWMA of per-request service time in nanoseconds,
 	// updated by workers after every batch. It feeds the admission
@@ -199,14 +276,14 @@ type Server struct {
 	// completes (admission control off while cold).
 	svcNs atomic.Int64
 
-	mu     sync.RWMutex // guards closed against concurrent Submit/Close
-	closed bool
-	wg     sync.WaitGroup
+	stopRefresh chan struct{}
+	wg          sync.WaitGroup
 }
 
 // New builds a Server: it calibrates per-subnet step latencies on one
 // throwaway engine (unless Config.Calibration is supplied), then
-// starts the worker pool. The returned server is ready for Submit.
+// starts the batch former, the worker pool and (when configured) the
+// calibration refresh loop. The returned server is ready for Submit.
 func New(cfg Config) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -216,30 +293,43 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg: cfg, n: cfg.Subnets,
 		inC: m.InC, inH: m.InH, inW: m.InW,
-		imgLen:  m.InC * m.InH * m.InW,
-		classes: m.Classes,
-		queue:   make(chan *pending, cfg.QueueDepth),
-		stats:   newStats(cfg.Subnets),
-	}
+		imgLen:     m.InC * m.InH * m.InW,
+		classes:    m.Classes,
+		priorities: cfg.PriorityClasses,
+		lanes:      make([][]*pending, cfg.PriorityClasses),
+		batches:    make(chan []*pending),
+		ref:        newRefresher(cfg.Subnets),
+		stats:      newStats(cfg.Subnets, cfg.PriorityClasses),
 
-	s.lat = cfg.Calibration
-	if s.lat.Subnets() == 0 {
+		stopRefresh: make(chan struct{}),
+	}
+	s.qcond = sync.NewCond(&s.qmu)
+
+	lat := cfg.Calibration
+	if lat.Subnets() == 0 {
 		times, err := calibrate(m, cfg.Subnets, cfg.CalibrationReps)
 		if err != nil {
 			return nil, err
 		}
-		s.lat = governor.LatencyModel{StepMACs: governor.StepCosts(m, cfg.Subnets), StepTime: times}
+		lat = governor.LatencyModel{StepMACs: governor.StepCosts(m, cfg.Subnets), StepTime: times}
 	}
-	if err := s.lat.Validate(); err != nil {
+	if err := lat.Validate(); err != nil {
 		return nil, err
 	}
-	if s.lat.Subnets() != cfg.Subnets {
-		return nil, fmt.Errorf("serve: latency model covers %d subnets, want %d", s.lat.Subnets(), cfg.Subnets)
+	if lat.Subnets() != cfg.Subnets {
+		return nil, fmt.Errorf("serve: latency model covers %d subnets, want %d", lat.Subnets(), cfg.Subnets)
 	}
+	s.lat.Store(lat)
 
+	s.wg.Add(1)
+	go s.former()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.RefreshInterval > 0 {
+		s.wg.Add(1)
+		go s.refreshLoop()
 	}
 	return s, nil
 }
@@ -254,21 +344,25 @@ func calibrate(m *models.Model, n, reps int) ([]time.Duration, error) {
 	return e.CalibrateSteps(x, n, reps)
 }
 
-// Latency exposes the calibrated latency model the scheduler plans
-// with (for logging and load generators).
-func (s *Server) Latency() governor.LatencyModel { return s.lat }
+// Latency exposes the latency model the scheduler currently plans
+// with — the startup calibration, or the latest refresh-loop swap
+// (for logging and load generators).
+func (s *Server) Latency() governor.LatencyModel { return s.lat.Load() }
 
 // Stats returns a point-in-time snapshot of the serving counters,
 // including queue gauges and the calibration constants.
 func (s *Server) Stats() Snapshot {
 	snap := s.stats.snapshot()
-	snap.QueueLen = len(s.queue)
-	snap.QueueCap = cap(s.queue)
+	s.qmu.Lock()
+	snap.QueueLen = s.qtotal
+	s.qmu.Unlock()
+	snap.QueueCap = s.cfg.QueueDepth
 	snap.Workers = s.cfg.Workers
 	snap.ServiceEwmaMs = float64(s.svcNs.Load()) / float64(time.Millisecond)
-	snap.MACRate = s.lat.MACRate()
+	lat := s.lat.Load()
+	snap.MACRate = lat.MACRate()
 	snap.StepTimeMs = make([]float64, s.n)
-	for i, d := range s.lat.StepTime {
+	for i, d := range lat.StepTime {
 		snap.StepTimeMs[i] = float64(d) / float64(time.Millisecond)
 	}
 	return snap
@@ -277,9 +371,10 @@ func (s *Server) Stats() Snapshot {
 // Submit runs one request through the service and blocks until its
 // answer is ready (bounded by deadline handling: under pressure the
 // answer comes back early from a narrower subnet). It returns
-// ErrClosed after Close, ErrOverloaded (wrapped) when the admission
-// queue is full or the deadline is unmeetable at the measured
-// backlog, and a wrapped ErrBadInput for geometry mismatches.
+// ErrClosed after Close, ErrOverloaded (wrapped) when the request's
+// class has filled its queue share or the deadline is unmeetable at
+// the measured backlog, and a wrapped ErrBadInput for geometry
+// mismatches.
 func (s *Server) Submit(req Request) (Result, error) {
 	if len(req.Input) != s.imgLen {
 		return Result{}, fmt.Errorf("%w: input length %d, model wants %d (%d×%d×%d)",
@@ -289,104 +384,110 @@ func (s *Server) Submit(req Request) (Result, error) {
 	if d <= 0 {
 		d = s.cfg.DefaultDeadline
 	}
+	class := req.Priority
+	if class < 0 {
+		class = 0
+	}
+	if class >= s.priorities {
+		class = s.priorities - 1
+	}
 	now := time.Now()
 	p := &pending{
 		input:     req.Input,
+		class:     class,
 		submitted: now,
 		deadline:  now.Add(d),
 		done:      make(chan response, 1),
 	}
+	minWalk := s.lat.Load().WalkTime(s.cfg.MinSubnet)
 
-	s.mu.RLock()
+	s.qmu.Lock()
 	if s.closed {
 		// Before any counter moves, so Submitted = Served + Rejected
 		// stays an invariant at quiescence.
-		s.mu.RUnlock()
+		s.qmu.Unlock()
 		return Result{}, ErrClosed
 	}
-	s.stats.recordSubmitted()
-	// Deadline-aware admission: when the measured backlog alone makes
-	// this deadline unmeetable, fail fast instead of serving late.
-	if wait := s.predictedWait(); wait > 0 && d < wait+s.lat.WalkTime(s.cfg.MinSubnet) {
-		s.mu.RUnlock()
-		s.stats.recordRejected()
+	s.stats.recordSubmitted(class)
+	// Deadline-aware admission: when the backlog at or above this
+	// class alone makes the deadline unmeetable, fail fast instead of
+	// serving late. Lower-class queue contents don't count — the
+	// former serves this request first.
+	if wait := s.predictedWaitLocked(class); wait > 0 && d < wait+minWalk {
+		s.stats.recordRejected(class)
+		s.qmu.Unlock()
 		return Result{}, fmt.Errorf("%w: predicted queue wait %v exceeds deadline %v", ErrOverloaded, wait, d)
 	}
-	select {
-	case s.queue <- p:
-		s.mu.RUnlock()
-	default:
-		s.mu.RUnlock()
-		s.stats.recordRejected()
-		return Result{}, fmt.Errorf("%w: admission queue full", ErrOverloaded)
+	// Weighted admission: class c owns the nested queue share
+	// depth·(c+1)/classes, so when the queue fills, low classes
+	// reject first while the top class can always use the whole
+	// queue.
+	if s.qtotal >= s.admitCap(class) {
+		s.stats.recordRejected(class)
+		s.qmu.Unlock()
+		return Result{}, fmt.Errorf("%w: admission queue full for priority class %d", ErrOverloaded, class)
 	}
+	s.lanes[class] = append(s.lanes[class], p)
+	s.qtotal++
+	s.qcond.Signal()
+	s.qmu.Unlock()
 
 	r := <-p.done
 	return r.res, r.err
 }
 
 // Close stops admission (Submit returns ErrClosed), drains every
-// already-queued and in-flight request to a real answer, waits for
-// the workers to exit and releases their engines. It is idempotent
-// and safe to call concurrently with Submit.
+// already-queued and in-flight request to a real answer, stops the
+// refresh loop, waits for the batch former and workers to exit and
+// releases their engines. It is idempotent and safe to call
+// concurrently with Submit and with itself.
 func (s *Server) Close() {
-	s.mu.Lock()
+	s.qmu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.qmu.Unlock()
 		s.wg.Wait()
 		return
 	}
 	s.closed = true
-	close(s.queue)
-	s.mu.Unlock()
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
+	close(s.stopRefresh)
 	s.wg.Wait()
 }
 
-// worker owns one engine and serves queue batches until the queue
-// closes and drains.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	e := infer.NewEngine(s.cfg.Model.Net)
-	// Concurrency comes from the worker pool; a nested batch-parallel
-	// fan-out per engine would oversubscribe the CPUs.
-	e.Workers = 1
-	defer e.Close()
-
-	bufs := make(map[int]*tensor.Tensor) // batch size → reused input tensor
-	batch := make([]*pending, 0, s.cfg.MaxBatch)
-	for p := range s.queue {
-		batch = append(batch[:0], p)
-		batch = s.drainInto(batch)
-		s.runBatch(e, bufs, batch)
+// admitCap returns how full the queue may be for class c to still be
+// admitted: the nested share depth·(c+1)/classes, floored at 1 so no
+// class is configured out of existence. With one class this is the
+// full queue depth — the plain bounded queue.
+func (s *Server) admitCap(c int) int {
+	capc := s.cfg.QueueDepth * (c + 1) / s.priorities
+	if capc < 1 {
+		capc = 1
 	}
+	return capc
 }
 
-// drainInto micro-batches: it non-blockingly pulls up to MaxBatch-1
-// additional queued requests to ride along with the one just popped.
-func (s *Server) drainInto(batch []*pending) []*pending {
-	for len(batch) < s.cfg.MaxBatch {
-		select {
-		case p, ok := <-s.queue:
-			if !ok {
-				return batch // closed and drained
-			}
-			batch = append(batch, p)
-		default:
-			return batch
-		}
+// occAtOrAboveLocked counts queued requests of class ≥ c — the
+// backlog actually ahead of a class-c request under priority-ordered
+// batch formation. Callers hold qmu.
+func (s *Server) occAtOrAboveLocked(c int) int {
+	occ := 0
+	for k := c; k < s.priorities; k++ {
+		occ += len(s.lanes[k])
 	}
-	return batch
+	return occ
 }
 
-// predictedWait estimates how long a request admitted now would sit
-// in the queue: occupancy × the EWMA per-request service time, spread
-// over the worker pool. Zero while the EWMA is cold.
-func (s *Server) predictedWait() time.Duration {
+// predictedWaitLocked estimates how long a class-c request admitted
+// now would sit in the queue: the occupancy at or above its class ×
+// the EWMA per-request service time, spread over the worker pool.
+// Zero while the EWMA is cold. Callers hold qmu.
+func (s *Server) predictedWaitLocked(c int) time.Duration {
 	svc := time.Duration(s.svcNs.Load())
 	if svc <= 0 {
 		return 0
 	}
-	return time.Duration(len(s.queue)) * svc / time.Duration(s.cfg.Workers)
+	return time.Duration(s.occAtOrAboveLocked(c)) * svc / time.Duration(s.cfg.Workers)
 }
 
 // observeService folds one batch's per-request service time into the
@@ -404,65 +505,195 @@ func (s *Server) observeService(perReq time.Duration) {
 	}
 }
 
-// shedCap maps current queue pressure to the widest subnet the
-// scheduler may walk to: an empty queue allows the full ladder, a
-// full queue caps at MinSubnet, linear (ceiling) in between. This is
-// the global load-shedding signal — under overload every answer gets
-// narrower, each request costs fewer MACs, and the queue drains
-// faster instead of growing.
-func (s *Server) shedCap() int {
-	depth := cap(s.queue)
-	if depth == 0 {
-		return s.n
-	}
+// shedCapLocked maps the queue pressure a class actually feels — the
+// occupancy at or above it — to the widest subnet its requests may be
+// walked to: no backlog allows the full ladder, a backlog at the full
+// queue depth caps at MinSubnet, linear (ceiling) in between. This is
+// the load-shedding signal: under overload answers get narrower, each
+// request costs fewer MACs, and the queue drains faster instead of
+// growing — and because a high class only sees the (small) backlog of
+// its peers and above, narrowing concentrates in the low classes.
+// Callers hold qmu.
+func (s *Server) shedCapLocked(class int) int {
+	depth := s.cfg.QueueDepth
 	span := s.n - s.cfg.MinSubnet
-	c := s.n - (len(s.queue)*span+depth-1)/depth
+	c := s.n - (s.occAtOrAboveLocked(class)*span+depth-1)/depth
 	if c < s.cfg.MinSubnet {
 		c = s.cfg.MinSubnet
 	}
 	return c
 }
 
+// popLocked moves up to max requests from the lanes into batch,
+// highest class first, FIFO within a class, and stamps each with its
+// class's shed cap at pop time. Callers hold qmu.
+func (s *Server) popLocked(batch []*pending, max int) []*pending {
+	for c := s.priorities - 1; c >= 0 && len(batch) < max; c-- {
+		lane := s.lanes[c]
+		for len(lane) > 0 && len(batch) < max {
+			p := lane[0]
+			lane[0] = nil // free the slot for GC; the lane slice is reused
+			lane = lane[1:]
+			s.qtotal--
+			batch = append(batch, p)
+		}
+		s.lanes[c] = lane
+	}
+	for _, p := range batch {
+		if p.ladderCap == 0 {
+			p.ladderCap = s.shedCapLocked(p.class)
+		}
+	}
+	return batch
+}
+
+// popBatch blocks until at least one request is queued (or the server
+// is closed and drained, returning nil), then pops up to max requests
+// in priority order.
+func (s *Server) popBatch(max int) []*pending {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for s.qtotal == 0 && !s.closed {
+		s.qcond.Wait()
+	}
+	if s.qtotal == 0 {
+		return nil // closed and drained
+	}
+	return s.popLocked(make([]*pending, 0, max), max)
+}
+
+// topUp non-blockingly extends an under-filled batch with whatever
+// has arrived since it was popped.
+func (s *Server) topUp(batch []*pending, max int) []*pending {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.popLocked(batch, max)
+}
+
+// former is the central batch-formation goroutine: it assembles
+// micro-batches from the shared priority queue — seeing arrivals from
+// every submitter, not just whatever one worker's pop happened to
+// catch — and hands them to idle workers. Under backlog it forms full
+// MaxBatch batches in strict priority order; with BatchWindow set it
+// briefly holds an under-filled batch open for late arrivals. It
+// exits (closing the worker feed) once the server is closed and the
+// queue drained.
+func (s *Server) former() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	for {
+		batch := s.popBatch(s.cfg.MaxBatch)
+		if batch == nil {
+			return
+		}
+		if w := s.cfg.BatchWindow; w > 0 && len(batch) < s.cfg.MaxBatch {
+			// Hold an under-filled batch open only when no worker is
+			// idle: stalling a ready worker would trade real capacity
+			// for batch fullness (and cap throughput at MaxBatch per
+			// window). An immediate handoff wins if one is waiting.
+			select {
+			case s.batches <- batch:
+				continue
+			default:
+			}
+			time.Sleep(w)
+			batch = s.topUp(batch, s.cfg.MaxBatch)
+		}
+		s.batches <- batch
+	}
+}
+
+// worker owns one engine and serves formed batches until the former
+// closes the feed.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	e := infer.NewEngine(s.cfg.Model.Net)
+	// Concurrency comes from the worker pool; a nested batch-parallel
+	// fan-out per engine would oversubscribe the CPUs.
+	e.Workers = 1
+	if s.cfg.RefreshInterval > 0 {
+		e.StepTimer = s.observeStep
+	}
+	defer e.Close()
+
+	bufs := make(map[int]*tensor.Tensor) // batch size → reused input tensor
+	for batch := range s.batches {
+		s.runBatch(e, bufs, batch)
+	}
+}
+
+// observeStep feeds one live step timing into the refresh sampler,
+// normalized to the calibration's batch-1 scale (step cost is linear
+// in rows on a CPU-bound walk). Installed as infer.Engine.StepTimer
+// on every worker engine when the refresh loop is enabled.
+func (s *Server) observeStep(subnet, rows int, d time.Duration) {
+	if rows > 0 {
+		s.ref.observe(subnet, d/time.Duration(rows))
+	}
+}
+
+// refreshLoop periodically folds the live step-timing EWMAs into a
+// fresh latency model and publishes it, until Close.
+func (s *Server) refreshLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.RefreshInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopRefresh:
+			return
+		case <-t.C:
+			s.refreshCalibration()
+		}
+	}
+}
+
 // stepEstimate predicts the wall-clock cost of stepping a b-row batch
 // to subnet next: the calibrated batch-1 step time scales linearly in
 // rows on a CPU-bound walk, plus the configured safety margin.
-func (s *Server) stepEstimate(next, b int) time.Duration {
-	return time.Duration(b)*s.lat.StepTime[next-1] + s.cfg.Margin
+func (s *Server) stepEstimate(lat governor.LatencyModel, next, b int) time.Duration {
+	return time.Duration(b)*lat.StepTime[next-1] + s.cfg.Margin
 }
 
 // runBatch walks one micro-batch up the subnet ladder. Every request
 // is stepped to at least MinSubnet; beyond that, a step is taken only
-// while (a) the load-shedding cap allows it and (b) at least one
-// still-pending request's deadline affords the step's estimated cost.
-// After each step, requests that cannot afford the next one finalize
-// immediately at the current subnet — so within one batch, tight
-// deadlines answer narrow while generous ones keep climbing.
+// while (a) some request's per-class shed cap allows it and (b) at
+// least one still-pending request's deadline affords the step's
+// estimated cost. After each step, requests that have reached their
+// own shed cap or cannot afford the next step finalize immediately at
+// the current subnet — so within one batch, tight deadlines and
+// low-priority requests answer narrow while generous, high-priority
+// ones keep climbing.
 func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []*pending) {
 	started := time.Now()
 	if s.cfg.serveDelay > 0 {
 		time.Sleep(s.cfg.serveDelay)
 	}
+	lat := s.lat.Load() // one consistent model per batch, swap-safe
 	b := len(batch)
 	x := bufs[b]
 	if x == nil {
 		x = tensor.New(b, s.inC, s.inH, s.inW)
 		bufs[b] = x
 	}
+	batchCap := s.cfg.MinSubnet
 	for i, p := range batch {
 		p.started = started
+		if p.ladderCap > batchCap {
+			batchCap = p.ladderCap
+		}
 		copy(x.Data()[i*s.imgLen:(i+1)*s.imgLen], p.input)
 	}
 	e.Reset(x)
 
-	ladderCap := s.shedCap()
 	var out *tensor.Tensor
 	cur := 0
 	for next := 1; next <= s.n; next++ {
 		if next > s.cfg.MinSubnet {
-			if next > ladderCap {
+			if next > batchCap {
 				break // load shedding: answer from what we have
 			}
-			if !s.anyAffords(batch, next, b) {
+			if !s.anyAffords(lat, batch, next, b) {
 				break // no pending deadline can pay for this step
 			}
 		}
@@ -477,14 +708,18 @@ func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []
 				p.macs += macs
 			}
 		}
-		// Requests that cannot afford the next rung answer now; the
-		// rest of the batch keeps climbing. Never finalize below the
-		// MinSubnet floor — those rungs are walked unconditionally.
-		if next >= s.cfg.MinSubnet && next < s.n && next < ladderCap {
+		// Requests that have hit their own shed cap or cannot afford
+		// the next rung answer now; the rest of the batch keeps
+		// climbing. Never finalize below the MinSubnet floor — those
+		// rungs are walked unconditionally.
+		if next >= s.cfg.MinSubnet && next < s.n && next < batchCap {
 			now := time.Now()
-			est := s.stepEstimate(next+1, b)
+			est := s.stepEstimate(lat, next+1, b)
 			for i, p := range batch {
-				if !p.answered && p.deadline.Sub(now) < est {
+				if p.answered {
+					continue
+				}
+				if next >= p.ladderCap || p.deadline.Sub(now) < est {
 					s.finish(p, out, i, cur)
 				}
 			}
@@ -498,13 +733,14 @@ func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []
 	s.observeService(time.Since(started) / time.Duration(b))
 }
 
-// anyAffords reports whether any still-pending request's remaining
-// deadline covers the estimated cost of stepping the batch to next.
-func (s *Server) anyAffords(batch []*pending, next, b int) bool {
-	est := s.stepEstimate(next, b)
+// anyAffords reports whether any still-pending request whose shed cap
+// reaches next has a remaining deadline covering the estimated cost
+// of stepping the batch there.
+func (s *Server) anyAffords(lat governor.LatencyModel, batch []*pending, next, b int) bool {
+	est := s.stepEstimate(lat, next, b)
 	now := time.Now()
 	for _, p := range batch {
-		if !p.answered && p.deadline.Sub(now) >= est {
+		if !p.answered && next <= p.ladderCap && p.deadline.Sub(now) >= est {
 			return true
 		}
 	}
@@ -527,6 +763,7 @@ func (s *Server) finish(p *pending, out *tensor.Tensor, i, subnet int) {
 		Pred:        pred,
 		Logits:      logits,
 		MACs:        p.macs,
+		Priority:    p.class,
 		DeadlineMet: !now.After(p.deadline),
 		QueueWait:   p.started.Sub(p.submitted),
 		Latency:     now.Sub(p.submitted),
@@ -538,11 +775,14 @@ func (s *Server) finish(p *pending, out *tensor.Tensor, i, subnet int) {
 
 // failBatch answers every still-pending request with err (engine
 // failures are programming errors — a bad subnet index — but the
-// callers blocked in Submit must still be released).
+// callers blocked in Submit must still be released). Each failed
+// request is recorded as rejected so the Submitted = Served +
+// Rejected invariant survives even this path.
 func (s *Server) failBatch(batch []*pending, err error) {
 	for _, p := range batch {
 		if !p.answered {
 			p.answered = true
+			s.stats.recordRejected(p.class)
 			p.done <- response{err: err}
 		}
 	}

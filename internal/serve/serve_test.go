@@ -249,21 +249,18 @@ func TestMicroBatchingCorrectness(t *testing.T) {
 }
 
 // TestShedCap pins the pressure→ladder-cap mapping as a pure function
-// of queue occupancy.
+// of the queue occupancy a class sees (requests at or above it).
 func TestShedCap(t *testing.T) {
-	m := buildModel(9)
 	s := &Server{
-		cfg:   Config{MinSubnet: 1},
-		n:     4,
-		queue: make(chan *pending, 8),
+		cfg:        Config{MinSubnet: 1, QueueDepth: 8},
+		n:          4,
+		priorities: 1,
+		lanes:      make([][]*pending, 1),
 	}
-	_ = m
 	fill := func(k int) {
-		for len(s.queue) > 0 {
-			<-s.queue
-		}
+		s.lanes[0] = s.lanes[0][:0]
 		for i := 0; i < k; i++ {
-			s.queue <- &pending{}
+			s.lanes[0] = append(s.lanes[0], &pending{})
 		}
 	}
 	cases := []struct{ queued, want int }{
@@ -275,9 +272,152 @@ func TestShedCap(t *testing.T) {
 	}
 	for _, tc := range cases {
 		fill(tc.queued)
-		if got := s.shedCap(); got != tc.want {
+		if got := s.shedCapLocked(0); got != tc.want {
 			t.Fatalf("shedCap with %d/8 queued = %d, want %d", tc.queued, got, tc.want)
 		}
+	}
+}
+
+// TestShedCapClassAware pins the priority dimension of the shed cap:
+// with the same total queue contents, a high-priority class — which
+// only feels the backlog at or above itself — keeps a wider ladder
+// than the low class drowning under it.
+func TestShedCapClassAware(t *testing.T) {
+	s := &Server{
+		cfg:        Config{MinSubnet: 1, QueueDepth: 8},
+		n:          4,
+		priorities: 2,
+		lanes:      make([][]*pending, 2),
+	}
+	// 7 low-priority queued, 1 high.
+	for i := 0; i < 7; i++ {
+		s.lanes[0] = append(s.lanes[0], &pending{})
+	}
+	s.lanes[1] = append(s.lanes[1], &pending{})
+	if got := s.shedCapLocked(0); got != 1 {
+		t.Fatalf("low class sees 8/8 backlog, shed cap = %d, want 1", got)
+	}
+	if got := s.shedCapLocked(1); got != 3 {
+		t.Fatalf("high class sees 1/8 backlog, shed cap = %d, want 3", got)
+	}
+}
+
+// TestAdmitCap pins the nested queue shares of weighted admission:
+// the top class always owns the whole queue, lower classes fill
+// proportionally smaller prefixes, and no share rounds down to zero.
+func TestAdmitCap(t *testing.T) {
+	s := &Server{cfg: Config{QueueDepth: 64}, priorities: 4}
+	for c, want := range map[int]int{0: 16, 1: 32, 2: 48, 3: 64} {
+		if got := s.admitCap(c); got != want {
+			t.Fatalf("admitCap(%d) = %d, want %d", c, got, want)
+		}
+	}
+	// Single class: the plain bounded queue.
+	s = &Server{cfg: Config{QueueDepth: 8}, priorities: 1}
+	if got := s.admitCap(0); got != 8 {
+		t.Fatalf("single-class admitCap = %d, want 8", got)
+	}
+	// Tiny queue: every class keeps at least one slot.
+	s = &Server{cfg: Config{QueueDepth: 3}, priorities: 3}
+	if got := s.admitCap(0); got != 1 {
+		t.Fatalf("floor admitCap = %d, want 1", got)
+	}
+}
+
+// TestPriorityProtectsHighClassUnderOverload is the serving-hardening
+// acceptance test: a sustained low-priority overload (dozens of
+// closed-loop submitters against one deliberately slowed worker —
+// well past 12× capacity) must not touch the high-priority class.
+// Every high-priority request is admitted (never shed), served from
+// the full ladder (never narrowed), and meets its deadline, while the
+// rejections and narrowed answers concentrate entirely in the low
+// class.
+func TestPriorityProtectsHighClassUnderOverload(t *testing.T) {
+	m := buildModel(30)
+	srv, err := New(Config{
+		Model: m, Subnets: 3, Workers: 1, QueueDepth: 32, MaxBatch: 4,
+		PriorityClasses: 2,
+		Calibration:     instantSteps(m, 3), DefaultDeadline: time.Hour,
+		// 2ms per batch makes one worker's capacity ~2k req/s at full
+		// batching; 40 closed-loop low submitters offer far beyond it.
+		serveDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	in := inputVec(31, srv.imgLen)
+
+	// Sustained low-priority pressure: closed-loop submitters that
+	// immediately resubmit on any outcome until told to stop.
+	const lowWorkers = 40
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < lowWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				srv.Submit(Request{Input: in, Priority: 0, Deadline: 50 * time.Millisecond}) //nolint:errcheck — outcomes read from stats
+			}
+		}()
+	}
+	// Wait until the low tide is actually pressing on the queue.
+	waitUntil := time.Now().Add(5 * time.Second)
+	for srv.Stats().QueueLen < 8 {
+		if time.Now().After(waitUntil) {
+			t.Fatal("low-priority backlog never built up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The protected class: sequential submits (≈10% of the mix) with
+	// a deadline that only requires jumping the low-priority queue.
+	const highReqs = 15
+	for i := 0; i < highReqs; i++ {
+		res, err := srv.Submit(Request{Input: in, Priority: 1, Deadline: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("high-priority request %d rejected under low-priority overload: %v", i, err)
+		}
+		if res.Priority != 1 {
+			t.Fatalf("high-priority request %d served as class %d", i, res.Priority)
+		}
+		if res.Subnet != 3 {
+			t.Fatalf("high-priority request %d narrowed to subnet %d, want full ladder 3", i, res.Subnet)
+		}
+		if !res.DeadlineMet {
+			t.Fatalf("high-priority request %d missed its deadline (latency %v)", i, res.Latency)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	snap := srv.Stats()
+	high, low := snap.Classes[1], snap.Classes[0]
+	if high.Served != highReqs || high.Rejected != 0 {
+		t.Fatalf("high class: served %d rejected %d, want %d served, 0 rejected", high.Served, high.Rejected, highReqs)
+	}
+	if high.DeadlineHitRate < 0.99 {
+		t.Fatalf("high-priority deadline hit rate %.3f, want ≥0.99", high.DeadlineHitRate)
+	}
+	if high.BySubnet[2] != highReqs {
+		t.Fatalf("high-priority subnet distribution %v, want all %d at subnet 3", high.BySubnet, highReqs)
+	}
+	if low.Rejected == 0 {
+		t.Fatal("a 40-submitter overload must shed low-priority traffic")
+	}
+	narrowedLow := low.BySubnet[0] + low.BySubnet[1]
+	if narrowedLow == 0 {
+		t.Fatal("overload must narrow low-priority answers below the full ladder")
+	}
+	// Global counters must still reconcile with the class breakdown.
+	if low.Served+high.Served != snap.Served || low.Rejected+high.Rejected != snap.Rejected {
+		t.Fatalf("class counters don't sum to globals: %+v", snap)
 	}
 }
 

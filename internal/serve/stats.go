@@ -1,16 +1,57 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
 )
 
-// latRingSize bounds the latency reservoir the percentile estimates
-// are computed from: large enough that p99 over recent traffic is
-// meaningful, small enough that a Snapshot sort stays off any hot
-// path's critical section.
+// latRingSize bounds the global latency reservoir the percentile
+// estimates are computed from: large enough that p99 over recent
+// traffic is meaningful, small enough that a Snapshot sort stays off
+// any hot path's critical section.
 const latRingSize = 4096
+
+// classRingSize bounds the per-priority-class latency reservoirs
+// (smaller than the global ring — per-class percentiles cover a
+// narrower slice of traffic).
+const classRingSize = 1024
+
+// latRing is a fixed-size reservoir of recent latency samples.
+type latRing struct {
+	buf   []time.Duration
+	idx   int
+	count int
+}
+
+func newLatRing(size int) latRing {
+	return latRing{buf: make([]time.Duration, size)}
+}
+
+// push records one sample, overwriting the oldest once full.
+func (r *latRing) push(d time.Duration) {
+	r.buf[r.idx] = d
+	r.idx = (r.idx + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// samples copies out the valid window (unordered; callers sort).
+func (r *latRing) samples() []time.Duration {
+	return append([]time.Duration(nil), r.buf[:r.count]...)
+}
+
+// classCounters accumulates the per-priority-class serving counters.
+type classCounters struct {
+	submitted   int64
+	rejected    int64
+	served      int64
+	deadlineMet int64
+	bySubnet    []int64
+	lats        latRing
+}
 
 // Stats accumulates serving counters. One instance per Server; all
 // methods are safe for concurrent use.
@@ -20,46 +61,103 @@ type Stats struct {
 	rejected    int64
 	served      int64
 	deadlineMet int64
+	refreshes   int64
 	totalMACs   int64
 	bySubnet    []int64 // answers per subnet, index s-1
-
-	latRing  []time.Duration // ring buffer of recent end-to-end latencies
-	latIdx   int
-	latCount int
+	byClass     []classCounters
+	lats        latRing // recent end-to-end latencies, all classes
 }
 
-func newStats(n int) *Stats {
-	return &Stats{bySubnet: make([]int64, n), latRing: make([]time.Duration, latRingSize)}
+func newStats(n, priorities int) *Stats {
+	st := &Stats{
+		bySubnet: make([]int64, n),
+		byClass:  make([]classCounters, priorities),
+		lats:     newLatRing(latRingSize),
+	}
+	for c := range st.byClass {
+		st.byClass[c].bySubnet = make([]int64, n)
+		st.byClass[c].lats = newLatRing(classRingSize)
+	}
+	return st
 }
 
-func (st *Stats) recordSubmitted() {
+// class clamps a priority into the tracked range (Submit clamps too;
+// this keeps the stats layer safe standalone).
+func (st *Stats) class(c int) *classCounters {
+	if c < 0 {
+		c = 0
+	}
+	if c >= len(st.byClass) {
+		c = len(st.byClass) - 1
+	}
+	return &st.byClass[c]
+}
+
+func (st *Stats) recordSubmitted(class int) {
 	st.mu.Lock()
 	st.submitted++
+	st.class(class).submitted++
 	st.mu.Unlock()
 }
 
-func (st *Stats) recordRejected() {
+func (st *Stats) recordRejected(class int) {
 	st.mu.Lock()
 	st.rejected++
+	st.class(class).rejected++
+	st.mu.Unlock()
+}
+
+func (st *Stats) recordRefresh() {
+	st.mu.Lock()
+	st.refreshes++
 	st.mu.Unlock()
 }
 
 func (st *Stats) recordServed(res Result) {
 	st.mu.Lock()
 	st.served++
+	cc := st.class(res.Priority)
+	cc.served++
 	if res.DeadlineMet {
 		st.deadlineMet++
+		cc.deadlineMet++
 	}
 	st.totalMACs += res.MACs
 	if res.Subnet >= 1 && res.Subnet <= len(st.bySubnet) {
 		st.bySubnet[res.Subnet-1]++
+		cc.bySubnet[res.Subnet-1]++
 	}
-	st.latRing[st.latIdx] = res.Latency
-	st.latIdx = (st.latIdx + 1) % len(st.latRing)
-	if st.latCount < len(st.latRing) {
-		st.latCount++
-	}
+	st.lats.push(res.Latency)
+	cc.lats.push(res.Latency)
 	st.mu.Unlock()
+}
+
+// ClassSnapshot is the per-priority-class slice of a Snapshot: the
+// counters that show whether overload is being absorbed by the right
+// traffic (low classes shed and narrow first, high classes keep their
+// deadline hit rate and subnet distribution).
+type ClassSnapshot struct {
+	// Priority is the class index (0 = lowest).
+	Priority int `json:"priority"`
+	// Submitted counts this class's admission attempts.
+	Submitted int64 `json:"submitted"`
+	// Rejected counts this class's error answers (ErrOverloaded
+	// fast-fails, plus worker-surfaced engine failures).
+	Rejected int64 `json:"rejected"`
+	// Served counts this class's answered requests.
+	Served int64 `json:"served"`
+	// DeadlineMet counts this class's answers delivered in time.
+	DeadlineMet int64 `json:"deadline_met"`
+	// DeadlineHitRate is DeadlineMet/Served (0 when nothing served).
+	DeadlineHitRate float64 `json:"deadline_hit_rate"`
+	// BySubnet histograms this class's answers over the ladder,
+	// index s-1.
+	BySubnet []int64 `json:"by_subnet"`
+	// P50Ms is this class's median end-to-end latency over its
+	// recent window, in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	// P99Ms is the 99th-percentile latency of the same window.
+	P99Ms float64 `json:"p99_ms"`
 }
 
 // Snapshot is a point-in-time copy of the serving counters, shaped
@@ -67,7 +165,10 @@ func (st *Stats) recordServed(res Result) {
 type Snapshot struct {
 	// Submitted counts admission attempts (accepted + rejected).
 	Submitted int64 `json:"submitted"`
-	// Rejected counts the ErrOverloaded fast-fails at a full queue.
+	// Rejected counts requests answered with an error: ErrOverloaded
+	// fast-fails (class queue share exhausted or deadline unmeetable
+	// at the measured backlog) and, in the pathological case, engine
+	// failures surfaced by a worker.
 	Rejected int64 `json:"rejected"`
 	// Served counts answered requests.
 	Served int64 `json:"served"`
@@ -78,8 +179,15 @@ type Snapshot struct {
 	// BySubnet histograms answers over the ladder, index s-1 — the
 	// distribution that shifts toward narrow subnets under overload.
 	BySubnet []int64 `json:"by_subnet"`
+	// Classes breaks the counters down per priority class, index =
+	// priority (one entry, mirroring the globals, when priorities are
+	// not configured).
+	Classes []ClassSnapshot `json:"classes"`
 	// TotalMACs sums the per-request MACs actually executed.
 	TotalMACs int64 `json:"total_macs"`
+	// Refreshes counts calibration-refresh swaps of the latency
+	// model since startup (0 with the refresh loop disabled).
+	Refreshes int64 `json:"refreshes"`
 	// P50Ms is the median end-to-end latency (queue wait + walk)
 	// over the most recent window of served requests, in
 	// milliseconds.
@@ -101,7 +209,9 @@ type Snapshot struct {
 	// MACRate is the calibrated throughput (MACs/second) the
 	// deadline scheduler plans with.
 	MACRate float64 `json:"mac_rate"`
-	// StepTimeMs lists the calibrated per-step latencies, index s-1.
+	// StepTimeMs lists the per-step latencies of the latency model
+	// currently planned with (startup calibration or the latest
+	// refresh), index s-1.
 	StepTimeMs []float64 `json:"step_time_ms"`
 }
 
@@ -113,10 +223,25 @@ func (st *Stats) snapshot() Snapshot {
 		Rejected:    st.rejected,
 		Served:      st.served,
 		DeadlineMet: st.deadlineMet,
+		Refreshes:   st.refreshes,
 		TotalMACs:   st.totalMACs,
 		BySubnet:    append([]int64(nil), st.bySubnet...),
+		Classes:     make([]ClassSnapshot, len(st.byClass)),
 	}
-	lats := append([]time.Duration(nil), st.latRing[:st.latCount]...)
+	lats := st.lats.samples()
+	classLats := make([][]time.Duration, len(st.byClass))
+	for c := range st.byClass {
+		cc := &st.byClass[c]
+		snap.Classes[c] = ClassSnapshot{
+			Priority:    c,
+			Submitted:   cc.submitted,
+			Rejected:    cc.rejected,
+			Served:      cc.served,
+			DeadlineMet: cc.deadlineMet,
+			BySubnet:    append([]int64(nil), cc.bySubnet...),
+		}
+		classLats[c] = cc.lats.samples()
+	}
 	st.mu.Unlock()
 
 	if snap.Served > 0 {
@@ -126,18 +251,29 @@ func (st *Stats) snapshot() Snapshot {
 	snap.P50Ms = PercentileMs(lats, 0.50)
 	snap.P90Ms = PercentileMs(lats, 0.90)
 	snap.P99Ms = PercentileMs(lats, 0.99)
+	for c := range snap.Classes {
+		cs := &snap.Classes[c]
+		if cs.Served > 0 {
+			cs.DeadlineHitRate = float64(cs.DeadlineMet) / float64(cs.Served)
+		}
+		cl := classLats[c]
+		sort.Slice(cl, func(i, j int) bool { return cl[i] < cl[j] })
+		cs.P50Ms = PercentileMs(cl, 0.50)
+		cs.P99Ms = PercentileMs(cl, 0.99)
+	}
 	return snap
 }
 
 // PercentileMs returns the p-quantile of an ascending latency slice
-// in milliseconds (nearest-rank), or 0 for an empty slice. Exported
-// for load generators and monitoring code that aggregate their own
-// latency samples alongside the server's Snapshot.
+// in milliseconds, using the nearest-rank method (the ⌈p·n⌉-th
+// smallest sample), or 0 for an empty slice. Exported for load
+// generators and monitoring code that aggregate their own latency
+// samples alongside the server's Snapshot.
 func PercentileMs(sorted []time.Duration, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(p*float64(len(sorted))+0.5) - 1
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPercentileMsTable pins the nearest-rank definition — the
+// ⌈p·n⌉-th smallest sample — across the edge cases that bit the old
+// implementation (it *rounded* the rank, so quantiles whose exact
+// rank had a fractional part below .5 reported one sample too low,
+// e.g. p99 over a full 4096-ring).
+func TestPercentileMsTable(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	ascending := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = ms(i + 1) // 1ms, 2ms, ... n ms
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   float64 // milliseconds
+	}{
+		{"empty", nil, 0.50, 0},
+		{"single_p50", ascending(1), 0.50, 1},
+		{"single_p99", ascending(1), 0.99, 1},
+		{"two_p50_lower_median", ascending(2), 0.50, 1},
+		{"two_p99", ascending(2), 0.99, 2},
+		{"ten_p50", ascending(10), 0.50, 5},
+		{"ten_p90", ascending(10), 0.90, 9},
+		{"ten_p99_ceils_to_max", ascending(10), 0.99, 10},
+		{"hundred_p99", ascending(100), 0.99, 99},
+		{"p0_clamps_to_min", ascending(10), 0, 1},
+		{"p1_is_max", ascending(10), 1, 10},
+		// The regression: 0.99·4096 = 4055.04, nearest rank is the
+		// 4056th sample, not the rounded-down 4055th.
+		{"full_ring_p99", ascending(latRingSize), 0.99, 4056},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := PercentileMs(tc.sorted, tc.p); got != tc.want {
+				t.Fatalf("PercentileMs(n=%d, p=%g) = %g, want %g", len(tc.sorted), tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestStatsSnapshotEmptyRing: a snapshot before any traffic reports
+// zero percentiles and empty histograms rather than garbage.
+func TestStatsSnapshotEmptyRing(t *testing.T) {
+	st := newStats(3, 2)
+	snap := st.snapshot()
+	if snap.P50Ms != 0 || snap.P90Ms != 0 || snap.P99Ms != 0 {
+		t.Fatalf("empty ring percentiles: %+v", snap)
+	}
+	if snap.Served != 0 || snap.DeadlineHitRate != 0 {
+		t.Fatalf("empty counters: %+v", snap)
+	}
+	if len(snap.Classes) != 2 {
+		t.Fatalf("want 2 class snapshots, got %d", len(snap.Classes))
+	}
+	for _, cs := range snap.Classes {
+		if cs.P50Ms != 0 || cs.P99Ms != 0 || cs.Served != 0 {
+			t.Fatalf("empty class snapshot: %+v", cs)
+		}
+	}
+}
+
+// TestStatsSnapshotSingleSample: one served request defines every
+// percentile.
+func TestStatsSnapshotSingleSample(t *testing.T) {
+	st := newStats(3, 1)
+	st.recordServed(Result{Subnet: 2, Latency: 7 * time.Millisecond, DeadlineMet: true})
+	snap := st.snapshot()
+	if snap.P50Ms != 7 || snap.P90Ms != 7 || snap.P99Ms != 7 {
+		t.Fatalf("single-sample percentiles: p50=%g p90=%g p99=%g", snap.P50Ms, snap.P90Ms, snap.P99Ms)
+	}
+	if snap.BySubnet[1] != 1 || snap.Classes[0].BySubnet[1] != 1 {
+		t.Fatalf("histograms: %+v", snap)
+	}
+	if snap.DeadlineHitRate != 1 || snap.Classes[0].DeadlineHitRate != 1 {
+		t.Fatalf("hit rates: %+v", snap)
+	}
+}
+
+// TestStatsRingWrap: after far more samples than the ring holds, the
+// percentiles reflect only the most recent window — old samples age
+// out completely.
+func TestStatsRingWrap(t *testing.T) {
+	st := newStats(1, 1)
+	// Fill the ring twice over with 1ms, then exactly once with 5ms:
+	// the window must contain only 5ms samples.
+	for i := 0; i < 2*latRingSize; i++ {
+		st.recordServed(Result{Subnet: 1, Latency: time.Millisecond})
+	}
+	for i := 0; i < latRingSize; i++ {
+		st.recordServed(Result{Subnet: 1, Latency: 5 * time.Millisecond})
+	}
+	snap := st.snapshot()
+	if snap.P50Ms != 5 || snap.P99Ms != 5 {
+		t.Fatalf("post-wrap percentiles p50=%g p99=%g, want 5/5", snap.P50Ms, snap.P99Ms)
+	}
+	if snap.Served != 3*latRingSize {
+		t.Fatalf("served %d, want %d (counters never age out)", snap.Served, 3*latRingSize)
+	}
+	// Partial wrap: ring count must clamp at capacity, not grow.
+	st2 := newStats(1, 1)
+	for i := 0; i < latRingSize+7; i++ {
+		st2.recordServed(Result{Subnet: 1, Latency: time.Millisecond})
+	}
+	if st2.lats.count != latRingSize {
+		t.Fatalf("ring count %d, want %d", st2.lats.count, latRingSize)
+	}
+}
+
+// TestStatsConcurrentSnapshot hammers recordServed/recordRejected
+// from many goroutines while snapshots are taken concurrently: every
+// snapshot must be internally consistent (no torn counters), and the
+// final counts exact. Run under -race in CI.
+func TestStatsConcurrentSnapshot(t *testing.T) {
+	st := newStats(3, 2)
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				st.recordSubmitted(w % 2)
+				if i%10 == 0 {
+					st.recordRejected(w % 2)
+				} else {
+					st.recordServed(Result{
+						Subnet: 1 + i%3, Priority: w % 2,
+						Latency: time.Duration(1+i%9) * time.Millisecond, DeadlineMet: true,
+					})
+				}
+			}
+		}()
+	}
+	snapsDone := make(chan struct{})
+	go func() {
+		defer close(snapsDone)
+		for i := 0; i < 50; i++ {
+			snap := st.snapshot()
+			var histo int64
+			for _, c := range snap.BySubnet {
+				histo += c
+			}
+			if histo != snap.Served {
+				t.Errorf("torn snapshot: histogram %d != served %d", histo, snap.Served)
+				return
+			}
+			if snap.Submitted < snap.Served+snap.Rejected {
+				t.Errorf("torn snapshot: submitted %d < served+rejected %d",
+					snap.Submitted, snap.Served+snap.Rejected)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-snapsDone
+
+	snap := st.snapshot()
+	if snap.Submitted != writers*perWriter {
+		t.Fatalf("submitted %d, want %d", snap.Submitted, writers*perWriter)
+	}
+	if snap.Submitted != snap.Served+snap.Rejected {
+		t.Fatalf("final invariant: %+v", snap)
+	}
+	if snap.P50Ms <= 0 || snap.P99Ms < snap.P50Ms {
+		t.Fatalf("percentiles p50=%g p99=%g", snap.P50Ms, snap.P99Ms)
+	}
+}
