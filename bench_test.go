@@ -1,6 +1,8 @@
 package steppingnet
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -218,6 +220,56 @@ func BenchmarkForwardLeNet3C1LNoPool(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Forward(x, ctx)
+	}
+}
+
+// BenchmarkForwardLeNetB1 is the batch-1 forward — the latency a
+// single request pays per decision — reported per worker count: the
+// sub-benchmarks vary GOMAXPROCS, which bounds the tensor arena's
+// intra-op fan-out (im2col row sharding, sub-threshold GEMM row
+// splits, the batch-1 dense column split). On a single-CPU box every
+// worker count degrades to the same serial path; with real cores the
+// spread shows the intra-layer scaling the ROADMAP's batch-1 item
+// targets.
+func BenchmarkForwardLeNetB1(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(w))
+			net, _ := benchNet()
+			x := tensor.New(1, 3, 16, 16)
+			x.FillNormal(tensor.NewRNG(4), 0, 1)
+			ctx := nn.Eval(4)
+			ctx.Scratch = tensor.NewPool()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Scratch.Put(net.Forward(x, ctx))
+			}
+		})
+	}
+}
+
+// BenchmarkAnytimeWalkB1 is the engine-level twin: a batch-1 ladder
+// walk per worker count, exercising the cooperative layer-sharding
+// mode (engine workers splitting conv rows, dense units and pooling
+// planes inside each step) when cores allow.
+func BenchmarkAnytimeWalkB1(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(w))
+			net, _ := benchNet()
+			x := tensor.New(1, 3, 16, 16)
+			x.FillNormal(tensor.NewRNG(4), 0, 1)
+			e := infer.NewEngine(net)
+			e.Workers = w
+			defer e.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Reset(x)
+				for s := 1; s <= 4; s++ {
+					e.MustStep(s)
+				}
+			}
+		})
 	}
 }
 

@@ -65,17 +65,29 @@ go test -count=1 -run TestExportedIdentifiersDocumented ./internal/serve
 echo "== go build (purego fallback) =="
 go build -tags purego ./...
 
+# One pass per backend; the scalar pass additionally runs with
+# -shuffle=on so test-order dependencies (leaked GOMAXPROCS tweaks,
+# stale package-level thresholds, order-sensitive goroutine counts)
+# surface in-repo instead of flaking on someone else's machine.
 if [[ "$QUICK" == 1 ]]; then
     echo "== go test (no race) =="
     go test ./...
-    echo "== go test, scalar backend (no race) =="
-    STEPPINGNET_NOSIMD=1 go test -count=1 ./...
+    echo "== go test, scalar backend, shuffled (no race) =="
+    STEPPINGNET_NOSIMD=1 go test -count=1 -shuffle=on ./...
 else
     echo "== go test -race =="
     go test -race ./...
-    echo "== go test -race, scalar backend =="
-    STEPPINGNET_NOSIMD=1 go test -race -count=1 ./...
+    echo "== go test -race, scalar backend, shuffled =="
+    STEPPINGNET_NOSIMD=1 go test -race -count=1 -shuffle=on ./...
 fi
+
+echo "== intra-layer sharding equivalence (both backends) =="
+# The cross-worker-count bitwise gate, run explicitly on both GEMM
+# backends: the sharded paths must produce bit-identical outputs at
+# every worker count regardless of which kernels dispatch selects.
+SHARD_TESTS='TestIntraLayerParallelMatchesSerial|TestRowShardBitwiseInvariance|TestColumnShardBitwiseInvariance|TestParallelIm2ColMatchesSerial|TestBatch1WorkerSetMatchesSerial'
+go test -count=1 -run "$SHARD_TESTS" ./internal/tensor ./internal/infer ./internal/serve
+STEPPINGNET_NOSIMD=1 go test -count=1 -run "$SHARD_TESTS" ./internal/tensor ./internal/infer ./internal/serve
 
 echo "== fuzz smoke =="
 # Ten seconds per fuzz target on top of the committed seed corpora:
@@ -106,4 +118,7 @@ STEPPINGNET_NOSIMD=1 go run ./cmd/stepserve -loadgen -rps 300 -duration 1s -work
 echo "== perf baseline =="
 trap 'rm -f BENCH_new.json' EXIT # the gate's scratch file, never committed
 go run ./cmd/stepbench -bench BENCH_new.json
-go run ./cmd/stepbench -compare ${UPDATE_ARGS[@]+"${UPDATE_ARGS[@]}"} BENCH_baseline.json BENCH_new.json
+# -strict: a NEW zero-alloc benchmark missing from the committed
+# baseline fails the gate, so added zero-alloc paths must enter the
+# baseline (and its alloc protection) in the same PR that adds them.
+go run ./cmd/stepbench -compare -strict ${UPDATE_ARGS[@]+"${UPDATE_ARGS[@]}"} BENCH_baseline.json BENCH_new.json

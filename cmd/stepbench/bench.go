@@ -141,6 +141,26 @@ func writeBenchBaseline(path string) error {
 			}
 		}
 	})
+	// The batch-1 ladder walk — the engine-level twin of
+	// forward_lenet3c1l_b1: a lone request climbing all four rungs.
+	// With spare cores this is the cooperative intra-layer sharding
+	// path; on a single-CPU box it degrades to the serial walk. Either
+	// way it must stay at 0 allocs/op.
+	record(results, "anytime_walk_lenet3c1l_b1", 0, func(b *testing.B) {
+		net, _ := newNet()
+		r := tensor.NewRNG(4)
+		x := tensor.New(1, 3, 16, 16)
+		x.FillNormal(r, 0, 1)
+		e := infer.NewEngine(net)
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Reset(x)
+			for s := 1; s <= 4; s++ {
+				e.MustStep(s)
+			}
+		}
+	})
 	// Single-request serving latency through the full internal/serve
 	// path — admission, scheduling, the 4-step ladder walk and the
 	// answer channel — with a deadline generous enough to always reach

@@ -27,8 +27,14 @@ const compareNoiseThreshold = 0.15
 //   - benchmarks missing from the new file fail (a silently dropped
 //     benchmark is how perf contracts rot).
 //
-// New benchmarks absent from the old baseline are reported but never
-// fail, so adding coverage stays cheap.
+// New benchmarks absent from the old baseline are reported and, when
+// allocating, never fail, so adding coverage stays cheap. New
+// ZERO-ALLOC benchmarks, however, are warned about — and fail under
+// strict — because a zero-alloc path that never enters the committed
+// baseline is a path the alloc gate silently does not protect: the
+// next PR could regress it to an allocating one without tripping
+// anything. Strict mode (ci.sh) forces the author of a new zero-alloc
+// benchmark to refresh the committed baseline in the same PR.
 //
 // With update set, a passing comparison replaces the old baseline
 // file with the new one — but only when both were produced by the
@@ -39,7 +45,7 @@ const compareNoiseThreshold = 0.15
 // last, none ever failing — whereas gating against a pinned
 // committed reference makes the drift visible in review when the
 // baseline is intentionally refreshed.
-func compareBaselines(oldPath, newPath string, update bool) error {
+func compareBaselines(oldPath, newPath string, update, strict bool) error {
 	oldBase, err := readBaseline(oldPath)
 	if err != nil {
 		return err
@@ -76,7 +82,17 @@ func compareBaselines(oldPath, newPath string, update bool) error {
 			failures = append(failures, fmt.Sprintf("%s: missing from %s", name, newPath))
 			continue
 		case !haveOld:
-			fmt.Printf("%-28s %12s %12d %8s  new benchmark\n", name, "-", n.NsPerOp, "-")
+			if n.AllocsPerOp == 0 {
+				fmt.Printf("%-28s %12s %12d %8s  new ZERO-ALLOC benchmark missing from baseline\n", name, "-", n.NsPerOp, "-")
+				msg := fmt.Sprintf("%s: new zero-alloc benchmark not in %s — refresh the baseline or its alloc contract is ungated", name, oldPath)
+				if strict {
+					failures = append(failures, msg)
+				} else {
+					fmt.Printf("WARNING: %s\n", msg)
+				}
+			} else {
+				fmt.Printf("%-28s %12s %12d %8s  new benchmark\n", name, "-", n.NsPerOp, "-")
+			}
 			continue
 		}
 

@@ -9,6 +9,7 @@
 //	stepbench -exp fig6,reuse -scale tiny
 //	stepbench -bench BENCH_baseline.json
 //	stepbench -compare BENCH_baseline.json BENCH_new.json
+//	stepbench -compare -strict BENCH_baseline.json BENCH_new.json
 package main
 
 import (
@@ -33,13 +34,14 @@ func main() {
 	benchOut := flag.String("bench", "", "run the substrate perf benchmarks, write the JSON baseline to this file and exit")
 	compare := flag.Bool("compare", false, "compare two baseline JSON files (old new), exit non-zero on regressions")
 	update := flag.Bool("update", false, "with -compare: replace the old baseline with the new one after a passing, same-backend comparison")
+	strict := flag.Bool("strict", false, "with -compare: also fail on new zero-alloc benchmarks missing from the old baseline (otherwise warn), so added paths cannot dodge the alloc gate")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
 			log.Fatalf("-compare needs exactly two baseline files, got %d args", flag.NArg())
 		}
-		if err := compareBaselines(flag.Arg(0), flag.Arg(1), *update); err != nil {
+		if err := compareBaselines(flag.Arg(0), flag.Arg(1), *update, *strict); err != nil {
 			log.Fatalf("compare: %v", err)
 		}
 		return

@@ -23,12 +23,18 @@
 //
 // All MACs funnel through three raw-slice kernels in internal/tensor
 // (Gemm, GemmTransA, GemmTransB): register-tiled 2×4 micro-kernels
-// that skip all-zero panels of masked weight matrices, with a
-// work-stealing row scheduler that fans large products out across
-// GOMAXPROCS goroutines (small shapes stay on the serial path; see
-// gemmMinParFlops). Convolution is im2col plus one compact matmul per
-// image over a transposed gather of the subnet's active filters, so a
-// small subnet pays only for its own width.
+// that skip all-zero panels of masked weight matrices, fanned out
+// over a persistent, allocation-free worker arena (internal/tensor/
+// parallel.go) — rows for multi-row products, columns for the
+// batch-1 dense shape, plus a sharded im2col gather — with splits
+// aligned so parallel results stay bitwise identical to serial at
+// any worker count (tiny shapes stay serial; see gemmMinParFlops and
+// gemmMinParColFlops). A single GOMAXPROCS-1 helper budget is shared
+// with the inference engine's intra-layer sharding, so stacked
+// parallelism degrades to serial instead of oversubscribing.
+// Convolution is im2col plus one compact matmul per image over a
+// transposed gather of the subnet's active filters, so a small
+// subnet pays only for its own width.
 //
 // The kernels come in two backends behind a dispatch layer
 // (internal/tensor/gemm_dispatch.go). On amd64, AVX2+FMA assembly

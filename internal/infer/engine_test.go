@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"runtime"
 	"testing"
 	"testing/quick"
 	"time"
@@ -265,20 +266,36 @@ func TestBatchParallelOddShards(t *testing.T) {
 // TestStepSteadyStateAllocs pins the zero-allocation claim for the
 // anytime walk: once the pools and the engine-owned shard state are
 // warm, stepping allocates nothing at all — no activation buffers,
-// no contexts, no shard bookkeeping — on the serial AND the
-// batch-parallel path. Any allocation here is a regression (a dropped
-// Put, an escaping context, per-step shard slices).
+// no contexts, no shard bookkeeping — on the serial, the
+// batch-parallel (image-sharding) AND the batch-1 intra-layer
+// (layer-sharding) paths. Any allocation here is a regression (a
+// dropped Put, an escaping context, per-step shard slices, a
+// zero-width pool Get).
 func TestStepSteadyStateAllocs(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
 		workers int
+		batch   int
 	}{
-		{"serial", 1},
-		{"parallel", 4},
+		{"serial", 1, 8},
+		{"parallel", 4, 8},
+		{"intra", 4, 1}, // batch-1: cooperative layer sharding
 	} {
 		t.Run(tc.name, func(t *testing.T) {
+			if tc.batch == 1 {
+				// Force the layer-sharded path even on a single-CPU box:
+				// helpers come from the GOMAXPROCS-1 budget, and the tiny
+				// test model sits below the default shard-worthiness bar.
+				oldProcs := runtime.GOMAXPROCS(4)
+				oldMin := nn.ShardMinOps
+				nn.ShardMinOps = 0
+				defer func() {
+					runtime.GOMAXPROCS(oldProcs)
+					nn.ShardMinOps = oldMin
+				}()
+			}
 			m := buildModel(41)
-			x := tensor.New(8, 1, 8, 8)
+			x := tensor.New(tc.batch, 1, 8, 8)
 			x.FillNormal(tensor.NewRNG(42), 0, 1)
 			e := NewEngine(m.Net)
 			e.Workers = tc.workers

@@ -46,41 +46,60 @@ func (g ConvGeom) Validate() error {
 // becomes a matmul against the (OutC)×(InC*K*K) filter matrix.
 // col must have length ColRows()*ColCols().
 func (g ConvGeom) Im2Col(img, col []float64) {
-	outH, outW, k := g.OutH(), g.OutW(), g.K
-	cols := g.ColCols()
+	g.checkIm2Col(img, col, 0, g.ColRows())
+	g.Im2ColRange(img, col, 0, g.ColRows())
+}
+
+// checkIm2Col validates an im2col gather of rows [r0,r1) into col.
+func (g ConvGeom) checkIm2Col(img, col []float64, r0, r1 int) {
 	if len(img) != g.InC*g.InH*g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col image length %d, want %d", len(img), g.InC*g.InH*g.InW))
 	}
-	if len(col) != g.ColRows()*cols {
-		panic(fmt.Sprintf("tensor: Im2Col buffer length %d, want %d", len(col), g.ColRows()*cols))
+	if len(col) != (r1-r0)*g.ColCols() {
+		panic(fmt.Sprintf("tensor: Im2Col buffer length %d, want %d", len(col), (r1-r0)*g.ColCols()))
 	}
-	for oy := 0; oy < outH; oy++ {
-		for ox := 0; ox < outW; ox++ {
-			row := col[(oy*outW+ox)*cols : (oy*outW+ox+1)*cols]
-			idx := 0
-			for c := 0; c < g.InC; c++ {
-				base := c * g.InH * g.InW
-				for ky := 0; ky < k; ky++ {
-					iy := oy*g.Stride + ky - g.Pad
-					if iy < 0 || iy >= g.InH {
-						for kx := 0; kx < k; kx++ {
-							row[idx] = 0
-							idx++
-						}
-						continue
-					}
-					rowBase := base + iy*g.InW
+}
+
+// Im2ColRange gathers output positions [r0,r1) — row p of the full
+// im2col matrix is output pixel (p/OutW, p%OutW) — into col, whose
+// first row corresponds to position r0 (len (r1-r0)·ColCols()). It is
+// the shardable core of Im2Col: disjoint ranges touch disjoint parts
+// of col, so cooperating workers (the arena's ParallelIm2Col, the
+// engine's intra-layer shards) gather one image concurrently. No
+// bounds validation; exported callers go through Im2Col or
+// ParallelIm2Col, and the engine shard path validates once per layer.
+func (g ConvGeom) Im2ColRange(img, col []float64, r0, r1 int) {
+	outW, k := g.OutW(), g.K
+	cols := g.ColCols()
+	oy, ox := r0/outW, r0%outW
+	for p := r0; p < r1; p++ {
+		row := col[(p-r0)*cols : (p-r0+1)*cols]
+		idx := 0
+		for c := 0; c < g.InC; c++ {
+			base := c * g.InH * g.InW
+			for ky := 0; ky < k; ky++ {
+				iy := oy*g.Stride + ky - g.Pad
+				if iy < 0 || iy >= g.InH {
 					for kx := 0; kx < k; kx++ {
-						ix := ox*g.Stride + kx - g.Pad
-						if ix < 0 || ix >= g.InW {
-							row[idx] = 0
-						} else {
-							row[idx] = img[rowBase+ix]
-						}
+						row[idx] = 0
 						idx++
 					}
+					continue
+				}
+				rowBase := base + iy*g.InW
+				for kx := 0; kx < k; kx++ {
+					ix := ox*g.Stride + kx - g.Pad
+					if ix < 0 || ix >= g.InW {
+						row[idx] = 0
+					} else {
+						row[idx] = img[rowBase+ix]
+					}
+					idx++
 				}
 			}
+		}
+		if ox++; ox == outW {
+			ox, oy = 0, oy+1
 		}
 	}
 }

@@ -1,9 +1,6 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-)
+import "fmt"
 
 // This file holds the matrix-multiply substrate: three raw-slice
 // kernels (Gemm, GemmTransA, GemmTransB) and the Tensor-level
@@ -108,17 +105,17 @@ func transBDims(a, b *Tensor) (m, k, n int) {
 // k×n, C is m×n. When accumulate is false C is overwritten. Layers
 // call this directly on sub-slices (e.g. one image of a batch) to
 // stay allocation-free; the Tensor wrappers above add shape checks.
+// Products past gemmMinParFlops fan their rows out over the worker
+// arena (parallel.go); the split preserves bitwise equality with the
+// serial kernel at every worker count.
 func Gemm(c, a, b []float64, m, k, n int, accumulate bool) {
 	if m == 0 || n == 0 {
 		return // empty product; nothing to write
 	}
-	if m*k*n < gemmMinParFlops || runtime.GOMAXPROCS(0) <= 1 {
-		gemmRowsImpl(c, a, b, 0, m, k, n, accumulate)
+	if m*k*n >= gemmMinParFlops && gemmRowsParallel(arenaGemmRows, c, a, b, m, k, n, accumulate) {
 		return
 	}
-	parallelRows(m, func(i0, i1 int) {
-		gemmRowsImpl(c, a, b, i0, i1, k, n, accumulate)
-	})
+	gemmRowsImpl(c, a, b, 0, m, k, n, accumulate)
 }
 
 // GemmTransA computes C (+)= Aᵀ·B on raw slices: A is k×m, B is k×n,
@@ -127,28 +124,31 @@ func GemmTransA(c, a, b []float64, k, m, n int, accumulate bool) {
 	if m == 0 || n == 0 {
 		return // empty product; nothing to write
 	}
-	if m*k*n < gemmMinParFlops || runtime.GOMAXPROCS(0) <= 1 {
-		gemmTransARowsImpl(c, a, b, 0, m, m, k, n, accumulate)
+	if m*k*n >= gemmMinParFlops && gemmRowsParallel(arenaGemmTransARows, c, a, b, m, k, n, accumulate) {
 		return
 	}
-	parallelRows(m, func(i0, i1 int) {
-		gemmTransARowsImpl(c, a, b, i0, i1, m, k, n, accumulate)
-	})
+	gemmTransARowsImpl(c, a, b, 0, m, m, k, n, accumulate)
 }
 
 // GemmTransB computes C (+)= A·Bᵀ on raw slices: A is m×k, B is n×k,
-// C is m×n.
+// C is m×n. Multi-row products past gemmMinParFlops split by output
+// rows; the single-row shape (a batch-1 dense layer, where row
+// splitting can never help) splits by output columns instead, at the
+// lower gemmMinParColFlops threshold — each worker computes whole
+// four-column dot-product tiles, so this split too is bitwise
+// identical to the serial kernel at every worker count.
 func GemmTransB(c, a, b []float64, m, k, n int, accumulate bool) {
 	if m == 0 || n == 0 {
 		return // empty product; nothing to write
 	}
-	if m*k*n < gemmMinParFlops || runtime.GOMAXPROCS(0) <= 1 {
-		gemmTransBRowsImpl(c, a, b, 0, m, k, n, accumulate)
+	if m > 1 {
+		if m*k*n >= gemmMinParFlops && gemmRowsParallel(arenaGemmTransBRows, c, a, b, m, k, n, accumulate) {
+			return
+		}
+	} else if k*n >= gemmMinParColFlops && gemmColsParallel(c, a, b, k, n, accumulate) {
 		return
 	}
-	parallelRows(m, func(i0, i1 int) {
-		gemmTransBRowsImpl(c, a, b, i0, i1, k, n, accumulate)
-	})
+	gemmTransBRowsImpl(c, a, b, 0, m, k, n, accumulate)
 }
 
 // gemmRows is the serial ikj kernel over output rows [i0,i1). Rows
