@@ -106,6 +106,36 @@ go test -race -count=1 -run TestChaosRandomizedLifecycles ./internal/serve
 echo "== chaos (scalar backend) =="
 STEPPINGNET_NOSIMD=1 go test -race -count=1 -run TestChaosRandomizedLifecycles ./internal/serve
 
+echo "== cluster chaos (default backend) =="
+# The distributed tier's fault storms always run under the race
+# detector and under both GEMM backends: replica death, seeded random
+# faults and router failover are exactly where backend-dependent step
+# timings shake out different interleavings.
+go test -race -count=1 -run 'TestClusterChaosKillOneReplica|TestExactlyOneAnswerUnderRandomFaults' ./internal/cluster
+echo "== cluster chaos (scalar backend) =="
+STEPPINGNET_NOSIMD=1 go test -race -count=1 -run 'TestClusterChaosKillOneReplica|TestExactlyOneAnswerUnderRandomFaults' ./internal/cluster
+
+echo "== router e2e smoke =="
+# Stand up two real replica processes and a router over them, then
+# drive multi-target HTTP load (router plus one replica directly, with
+# a couple of slow-loris connections against the router) and shut
+# everything down with SIGTERM so the graceful-drain path executes.
+# The subshell keeps the process cleanup trap local.
+(
+    E2E_TMP=$(mktemp -d)
+    trap 'kill $(jobs -p) 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$E2E_TMP"' EXIT
+    go build -o "$E2E_TMP/stepserve" ./cmd/stepserve
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18081 -workers 1 -queue 16 -batch 4 -refresh 0 &
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18082 -workers 1 -queue 16 -batch 4 -refresh 0 &
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18080 -route http://127.0.0.1:18081,http://127.0.0.1:18082 &
+    # The load generator waits for a healthy target itself, so no sleep
+    # is needed between replica startup and the drive.
+    "$E2E_TMP/stepserve" -loadgen -targets http://127.0.0.1:18080,http://127.0.0.1:18081 \
+        -rps 150 -duration 2s -deadlines 5ms:0.8,50ms:0.2:hi -slow 2
+    kill -TERM $(jobs -p)
+    wait
+)
+
 echo "== serve smoke-run (default backend) =="
 # Drive the anytime serving layer briefly through the load generator:
 # calibration, admission, deadline scheduling, micro-batching and

@@ -45,7 +45,9 @@ func fuzzMux(t testing.TB) *http.ServeMux {
 		// The server (and its goroutines) lives for the whole fuzz
 		// process; the OS reaps it — Close here would race the final
 		// executions.
-		fuzzEnv.mux = newMux(srv, m, 7)
+		a := newApp(7)
+		a.setReady(srv, m)
+		fuzzEnv.mux = newMux(a)
 	})
 	if fuzzEnv.err != nil {
 		t.Fatal(fuzzEnv.err)

@@ -1,9 +1,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -11,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"steppingnet/internal/cluster"
 	"steppingnet/internal/models"
 	"steppingnet/internal/serve"
 	"steppingnet/internal/tensor"
@@ -82,8 +90,18 @@ func pickClass(mix []deadlineClass, rng *tensor.RNG) int {
 
 // classStats accumulates per-deadline-class outcomes.
 type classStats struct {
-	sent, served, rejected, dropped, met int
-	lats                                 []time.Duration
+	sent, served, rejected, transport, dropped, met int
+	lats                                            []time.Duration
+}
+
+// loadTarget is one destination the generator spreads requests over —
+// the in-process server, a replica URL or a router URL — plus its
+// client-side outcome counters (guarded by the run's mutex).
+type loadTarget struct {
+	name   string
+	submit func(serve.Request) (serve.Result, error)
+
+	sent, ok, rejected, transport int
 }
 
 // maxInflight caps the load generator's concurrent requests. Ticks
@@ -93,32 +111,19 @@ type classStats struct {
 // service really has.
 const maxInflight = 256
 
-// runLoadgen offers an open-loop request stream at the given rate for
-// the given duration, then prints the serving report: per-class
-// latency percentiles and deadline hit rates, and the global
-// per-subnet answer distribution — the observable form of the anytime
-// property under load.
-func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.Duration, mix []deadlineClass, seed uint64) {
-	if rps <= 0 {
-		log.Fatal("loadgen: -rps must be positive")
-	}
-	imgLen := m.InC * m.InH * m.InW
-	// A fixed pool of seeded inputs: the generator must not spend its
-	// tick budget on RNG work.
-	const inputPool = 64
-	inputs := make([][]float64, inputPool)
-	rng := tensor.NewRNG(seed ^ 0x10ADF5)
-	for i := range inputs {
-		inputs[i] = randomInput(rng, imgLen)
-	}
-
-	n := srv.Latency().Subnets()
-	log.Printf("loadgen: %.0f rps for %v, deadline mix %s", rps, duration, mixString(mix))
-
+// driveLoad offers an open-loop request stream at the given rate for
+// the given duration, spreading requests round-robin over the targets
+// and classifying every outcome client-side: served (with latency),
+// rejected (typed overload shed), transport error (unreachable, torn
+// or draining target), or dropped before send (in-flight cap). A nil
+// input pool sends input-less requests — remote replicas synthesize
+// their own seeded image, keeping the generator's CPU out of the
+// measurement.
+func driveLoad(tgs []*loadTarget, rps float64, duration time.Duration, mix []deadlineClass, inputs [][]float64, rng *tensor.RNG) ([]classStats, []int64, int) {
 	var (
 		mu       sync.Mutex
 		perClass = make([]classStats, len(mix))
-		bySubnet = make([]int64, n)
+		bySubnet []int64
 		wg       sync.WaitGroup
 		inflight atomic.Int64
 	)
@@ -140,42 +145,57 @@ func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.D
 	fire := func() {
 		offered++
 		ci := pickClass(mix, rng)
+		tg := tgs[offered%len(tgs)]
 		st := &perClass[ci]
 		st.sent++
+		tg.sent++
 		if inflight.Load() >= maxInflight {
 			st.dropped++
 			return
 		}
 		inflight.Add(1)
-		in := inputs[offered%inputPool]
+		var in []float64
+		if inputs != nil {
+			in = inputs[offered%len(inputs)]
+		}
 		wg.Add(1)
-		go func(ci int) {
+		go func(ci int, tg *loadTarget) {
 			defer wg.Done()
 			defer inflight.Add(-1)
 			// Latencies below are service latency (admission→answer),
 			// the serving layer's SLO; client-side time would mostly
 			// measure this co-located generator's own goroutine
 			// scheduling on a shared CPU.
-			res, err := srv.Submit(serve.Request{Input: in, Deadline: mix[ci].d, Priority: mix[ci].prio})
+			res, err := tg.submit(serve.Request{Input: in, Deadline: mix[ci].d, Priority: mix[ci].prio})
 			mu.Lock()
 			defer mu.Unlock()
 			st := &perClass[ci]
 			switch {
-			case errors.Is(err, serve.ErrOverloaded):
+			case errors.Is(err, serve.ErrOverloaded), errors.Is(err, cluster.ErrNoReplicas):
 				st.rejected++
+				tg.rejected++
+			case errors.Is(err, cluster.ErrTransport), errors.Is(err, serve.ErrClosed):
+				st.transport++
+				tg.transport++
 			case err != nil:
 				log.Printf("loadgen: submit: %v", err)
+				st.transport++
+				tg.transport++
 			default:
 				st.served++
+				tg.ok++
 				if res.DeadlineMet {
 					st.met++
 				}
 				st.lats = append(st.lats, res.Latency)
-				if res.Subnet >= 1 && res.Subnet <= n {
+				for res.Subnet > len(bySubnet) {
+					bySubnet = append(bySubnet, 0)
+				}
+				if res.Subnet >= 1 {
 					bySubnet[res.Subnet-1]++
 				}
 			}
-		}(ci)
+		}(ci, tg)
 	}
 
 loop:
@@ -190,10 +210,15 @@ loop:
 		}
 	}
 	wg.Wait()
+	return perClass, bySubnet, offered
+}
 
+// printClassReport renders the per-class table and the subnet-ladder
+// answer distribution every loadgen mode shares.
+func printClassReport(mix []deadlineClass, perClass []classStats, bySubnet []int64, offered int, rps float64, duration time.Duration) {
 	fmt.Printf("\noffered %d requests (%.0f rps × %v)\n", offered, rps, duration)
-	fmt.Printf("%-10s %4s %7s %7s %7s %7s %9s %9s %9s  %s\n",
-		"deadline", "prio", "sent", "served", "reject", "drop", "p50", "p95", "p99", "hit-rate")
+	fmt.Printf("%-10s %4s %7s %7s %7s %7s %7s %9s %9s %9s  %s\n",
+		"deadline", "prio", "sent", "served", "reject", "xport", "drop", "p50", "p95", "p99", "hit-rate")
 	for i, c := range mix {
 		st := perClass[i]
 		sort.Slice(st.lats, func(a, b int) bool { return st.lats[a] < st.lats[b] })
@@ -201,8 +226,8 @@ loop:
 		if st.served > 0 {
 			hit = float64(st.met) / float64(st.served)
 		}
-		fmt.Printf("%-10v %4d %7d %7d %7d %7d %8.2fm %8.2fm %8.2fm  %6.1f%%\n",
-			c.d, c.prio, st.sent, st.served, st.rejected, st.dropped,
+		fmt.Printf("%-10v %4d %7d %7d %7d %7d %7d %8.2fm %8.2fm %8.2fm  %6.1f%%\n",
+			c.d, c.prio, st.sent, st.served, st.rejected, st.transport, st.dropped,
 			serve.PercentileMs(st.lats, 0.50), serve.PercentileMs(st.lats, 0.95), serve.PercentileMs(st.lats, 0.99),
 			100*hit)
 	}
@@ -212,26 +237,230 @@ loop:
 		served += c
 	}
 	fmt.Printf("\nanswer distribution over the subnet ladder (%d served):\n", served)
-	for s := 1; s <= n; s++ {
+	for s := 1; s <= len(bySubnet); s++ {
 		frac := 0.0
 		if served > 0 {
 			frac = float64(bySubnet[s-1]) / float64(served)
 		}
 		fmt.Printf("  subnet %d %7d  %5.1f%%  %s\n", s, bySubnet[s-1], 100*frac, bar(frac, 40))
 	}
+}
+
+// printTargetReport renders the client-side per-target outcome
+// breakdown.
+func printTargetReport(tgs []*loadTarget) {
+	fmt.Printf("\nper-target outcomes (client view):\n")
+	fmt.Printf("  %-28s %7s %7s %7s %7s\n", "target", "sent", "ok", "reject", "xport")
+	for _, tg := range tgs {
+		fmt.Printf("  %-28s %7d %7d %7d %7d\n", tg.name, tg.sent, tg.ok, tg.rejected, tg.transport)
+	}
+}
+
+// runLoadgen drives the in-process serving layer (the original mode:
+// no HTTP between generator and server) and prints the serving
+// report, including the server's own per-priority protection summary.
+func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.Duration, mix []deadlineClass, seed uint64) {
+	if rps <= 0 {
+		log.Fatal("loadgen: -rps must be positive")
+	}
+	imgLen := m.InC * m.InH * m.InW
+	// A fixed pool of seeded inputs: the generator must not spend its
+	// tick budget on RNG work.
+	const inputPool = 64
+	inputs := make([][]float64, inputPool)
+	rng := tensor.NewRNG(seed ^ 0x10ADF5)
+	for i := range inputs {
+		inputs[i] = randomInput(rng, imgLen)
+	}
+
+	log.Printf("loadgen: %.0f rps for %v, deadline mix %s", rps, duration, mixString(mix))
+	tg := &loadTarget{name: "in-process", submit: srv.Submit}
+	perClass, bySubnet, offered := driveLoad([]*loadTarget{tg}, rps, duration, mix, inputs, rng)
+	printClassReport(mix, perClass, bySubnet, offered, rps, duration)
+
 	snap := srv.Stats()
 	fmt.Printf("\nserver: served %d, rejected %d, deadline hit-rate %.1f%%, mean %.0f kMAC/answer, %d calibration refreshes\n",
 		snap.Served, snap.Rejected, 100*snap.DeadlineHitRate, meanKMAC(snap), snap.Refreshes)
-	if len(snap.Classes) > 1 {
-		fmt.Printf("per-priority protection (server view):\n")
-		for _, cs := range snap.Classes {
-			if cs.Submitted == 0 {
-				continue
-			}
-			fmt.Printf("  prio %d: served %5d  rejected %5d  hit-rate %5.1f%%  p99 %6.2fms  subnets %v\n",
-				cs.Priority, cs.Served, cs.Rejected, 100*cs.DeadlineHitRate, cs.P99Ms, cs.BySubnet)
-		}
+	printClassProtection(snap)
+}
+
+// runRemoteLoadgen drives one or more replica/router URLs over HTTP:
+// requests round-robin across the targets, outcomes are classified
+// per target, and after the run each target's own /stats view is
+// fetched and summarized (a router target additionally reports its
+// retry/hedge counters and per-replica breakdown). With slowConns >
+// 0, that many slow-loris connections run against the first target
+// for the whole window, demonstrating the -hdr-timeout defense.
+func runRemoteLoadgen(targets []string, rps float64, duration time.Duration, mix []deadlineClass, seed uint64, slowConns int) {
+	if rps <= 0 {
+		log.Fatal("loadgen: -rps must be positive")
 	}
+	rng := tensor.NewRNG(seed ^ 0x10ADF5)
+	var (
+		tgs      []*loadTarget
+		backends []*cluster.Remote
+	)
+	for _, u := range targets {
+		b := cluster.NewRemote(u)
+		backends = append(backends, b)
+		tgs = append(tgs, &loadTarget{name: b.Target(), submit: func(req serve.Request) (serve.Result, error) {
+			// Transport budget: the request deadline plus slack for
+			// queue-jump scheduling and the hop itself. The serving
+			// layer answers within the deadline by construction; the
+			// slack only catches wedged connections.
+			ctx, cancel := context.WithTimeout(context.Background(), req.Deadline+2*time.Second)
+			defer cancel()
+			return b.Submit(ctx, req)
+		}})
+	}
+	defer func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+
+	// Refuse to measure a dead cluster: wait (briefly) until at least
+	// one target probes healthy.
+	waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		healthy := 0
+		for _, b := range backends {
+			if b.Health(waitCtx) == nil {
+				healthy++
+			}
+		}
+		if healthy > 0 {
+			log.Printf("loadgen: %d/%d targets healthy", healthy, len(targets))
+			break
+		}
+		if waitCtx.Err() != nil {
+			log.Fatalf("loadgen: no healthy target among %v", targets)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	stopSlow := startSlowLoris(targets[0], slowConns)
+
+	log.Printf("loadgen: %.0f rps for %v over %d targets, deadline mix %s", rps, duration, len(targets), mixString(mix))
+	// nil input pool: replicas synthesize their own seeded images, so
+	// the generator's CPU stays out of the measurement.
+	perClass, bySubnet, offered := driveLoad(tgs, rps, duration, mix, nil, rng)
+	printClassReport(mix, perClass, bySubnet, offered, rps, duration)
+	printTargetReport(tgs)
+
+	if opened, closed := stopSlow(); opened > 0 {
+		fmt.Printf("\nslow-loris: %d connections opened, %d closed by the server during the run\n", opened, closed)
+	}
+	for _, u := range targets {
+		printRemoteView(u)
+	}
+}
+
+// printRemoteView fetches one target's /stats and prints its own view
+// of the run — a replica's serving counters, or a router's routing
+// breakdown (retries, hedges, per-replica outcomes).
+func printRemoteView(target string) {
+	resp, err := http.Get(strings.TrimRight(target, "/") + "/stats")
+	if err != nil {
+		fmt.Printf("\n%s: stats unavailable (%v)\n", target, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		fmt.Printf("\n%s: stats unavailable (status %d)\n", target, resp.StatusCode)
+		return
+	}
+
+	// A router's payload is recognizable by its replica breakdown.
+	var rst cluster.RouterStats
+	if json.Unmarshal(body, &rst) == nil && len(rst.Replicas) > 0 {
+		fmt.Printf("\n%s (router view): submitted %d, served %d, failed %d, retries %d, hedges %d, %d/%d available\n",
+			target, rst.Submitted, rst.Served, rst.Failed, rst.Retries, rst.Hedges, rst.Available, len(rst.Replicas))
+		for _, rs := range rst.Replicas {
+			fmt.Printf("  %-28s up=%-5v breaker=%-9s ok=%-6d reject=%-6d xport=%-5d retried=%-5d hedged=%d\n",
+				rs.Target, rs.Up, rs.Breaker, rs.Success, rs.Rejected, rs.TransportErrors, rs.Retried, rs.Hedged)
+		}
+		return
+	}
+	var snap serve.Snapshot
+	if json.Unmarshal(body, &snap) != nil {
+		fmt.Printf("\n%s: unrecognized stats payload\n", target)
+		return
+	}
+	fmt.Printf("\n%s (server view): served %d, rejected %d, deadline hit-rate %.1f%%, mean %.0f kMAC/answer\n",
+		target, snap.Served, snap.Rejected, 100*snap.DeadlineHitRate, meanKMAC(snap))
+	printClassProtection(snap)
+}
+
+// printClassProtection renders a server snapshot's per-priority
+// summary when priorities are configured.
+func printClassProtection(snap serve.Snapshot) {
+	if len(snap.Classes) <= 1 {
+		return
+	}
+	fmt.Printf("per-priority protection (server view):\n")
+	for _, cs := range snap.Classes {
+		if cs.Submitted == 0 {
+			continue
+		}
+		fmt.Printf("  prio %d: served %5d  rejected %5d  hit-rate %5.1f%%  p99 %6.2fms  subnets %v\n",
+			cs.Priority, cs.Served, cs.Rejected, 100*cs.DeadlineHitRate, cs.P99Ms, cs.BySubnet)
+	}
+}
+
+// startSlowLoris opens n connections to the target that send request
+// headers one byte per second — the classic attack a missing
+// ReadHeaderTimeout leaves open forever. Returns a report function
+// yielding (opened, closed-by-server) counts; a hardened server
+// closes every connection within its -hdr-timeout while an unhardened
+// one holds them all.
+func startSlowLoris(target string, n int) func() (opened, closed int) {
+	if n <= 0 {
+		return func() (int, int) { return 0, 0 }
+	}
+	u, err := url.Parse(target)
+	if err != nil {
+		log.Fatalf("slow-loris: bad target %q: %v", target, err)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Host, "80")
+	}
+
+	var opened, closed atomic.Int64
+	for i := 0; i < n; i++ {
+		go func() {
+			conn, err := net.DialTimeout("tcp", host, 5*time.Second)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			opened.Add(1)
+			if _, err := fmt.Fprintf(conn, "POST /infer HTTP/1.1\r\nHost: %s\r\nX-Drip", u.Host); err != nil {
+				closed.Add(1)
+				return
+			}
+			for {
+				time.Sleep(time.Second)
+				// The write only surfaces the server-side close once the
+				// kernel buffer drains/resets, so also watch for EOF with
+				// a short read.
+				conn.SetReadDeadline(time.Now().Add(10 * time.Millisecond)) //nolint:errcheck — best-effort probe
+				var b [1]byte
+				if _, err := conn.Read(b[:]); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
+					closed.Add(1)
+					return
+				}
+				if _, err := conn.Write([]byte("p")); err != nil {
+					closed.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	return func() (int, int) { return int(opened.Load()), int(closed.Load()) }
 }
 
 // mixString renders the class mix for the log line.

@@ -1,6 +1,8 @@
 // Command stepserve exposes the anytime-inference serving layer
-// (internal/serve) over HTTP, and doubles as a load generator for
-// measuring how the service degrades under pressure.
+// (internal/serve) over HTTP, scales it out as a fault-tolerant
+// router over multiple replicas (internal/cluster), and doubles as a
+// load generator for measuring how the service degrades under
+// pressure.
 //
 // Server mode builds a stepping model (by default an untrained one
 // with a seeded random unit→subnet spread — the serving data path is
@@ -17,18 +19,40 @@
 // missing input is replaced by a seeded random image (handy for smoke
 // tests). The answer reports which subnet produced it, the MACs
 // spent, and whether the deadline was met. GET /stats returns the
-// serve.Snapshot counters including the per-priority breakdown; GET
-// /healthz returns 200 once serving. The -refresh interval keeps the
-// deadline calibration tracking live step timings (thermal or
-// contention drift) instead of trusting startup numbers forever.
+// serve.Snapshot counters including the per-priority breakdown. GET
+// /healthz reports real readiness: 503 while the model is still
+// building and calibrating at startup, 200 while serving, 503 again
+// the moment a SIGTERM starts the drain — so a router (or any load
+// balancer) stops sending work before in-flight requests are cut
+// off. The listener itself is hardened: -hdr-timeout bounds how long
+// a connection may dribble its headers (slow-loris), with read and
+// idle timeouts alongside. The -refresh interval keeps the deadline
+// calibration tracking live step timings (thermal or contention
+// drift) instead of trusting startup numbers forever.
 //
-// Load-generator mode drives the same in-process service at a
-// configurable request rate and class mix (deadline:weight, with an
-// optional :hi/:lo/:N priority field), then prints per-class latency
-// percentiles, the per-subnet answer distribution and the server's
-// per-priority protection summary:
+// Router mode (-route) serves the same /infer contract by spreading
+// requests over N replica URLs, least predicted backlog first, with
+// active health probing, per-replica circuit breakers, and
+// deadline-aware retry/hedging (see internal/cluster):
+//
+//	stepserve -route http://host1:8081,http://host2:8082 -addr :8080
+//
+// GET /stats in router mode returns the cluster.RouterStats
+// breakdown; GET /healthz is 200 while at least one replica is
+// admitted.
+//
+// Load-generator mode drives either an in-process service or — with
+// -targets — remote replicas/routers over HTTP at a configurable
+// request rate and class mix (deadline:weight, with an optional
+// :hi/:lo/:N priority field), then prints per-class latency
+// percentiles, the per-target outcome breakdown, the per-subnet
+// answer distribution and each server's own protection summary:
 //
 //	stepserve -loadgen -rps 400 -duration 5s -deadlines 4ms:0.9,12ms:0.1:hi
+//	stepserve -loadgen -targets http://host1:8081,http://host2:8082 -rps 400
+//
+// The -slow flag adds slow-loris connections to the first target,
+// demonstrating the -hdr-timeout defense end to end.
 package main
 
 import (
@@ -44,10 +68,13 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"steppingnet/internal/cluster"
 	"steppingnet/internal/core"
 	"steppingnet/internal/data"
 	"steppingnet/internal/models"
@@ -68,53 +95,121 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	train := flag.Bool("train", false, "run the full construction+distillation pipeline instead of a random subnet spread (slow)")
 
-	addr := flag.String("addr", ":8080", "HTTP listen address (server mode)")
+	addr := flag.String("addr", ":8080", "HTTP listen address (server and router modes)")
 	workers := flag.Int("workers", 0, "engine-pool size (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 64, "admission queue bound")
 	maxBatch := flag.Int("batch", 4, "micro-batch size (1 disables batching)")
 	deadline := flag.Duration("deadline", 20*time.Millisecond, "default per-request deadline")
 	priorities := flag.Int("priorities", 2, "number of request priority classes (1 disables priorities)")
 	refresh := flag.Duration("refresh", 2*time.Second, "calibration refresh interval (0 trusts startup calibration forever)")
+	hdrTimeout := flag.Duration("hdr-timeout", 5*time.Second, "how long a connection may take to send its request headers before it is closed (slow-loris defense)")
 
-	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of the HTTP server")
+	route := flag.String("route", "", "comma-separated replica base URLs: run as a fault-tolerant router over them instead of serving a model")
+	hedge := flag.Bool("hedge", false, "router: race a second replica for requests exceeding their class's observed p99")
+
+	loadgen := flag.Bool("loadgen", false, "run the load generator instead of the HTTP server")
+	targets := flag.String("targets", "", "loadgen: comma-separated replica/router base URLs to drive over HTTP instead of an in-process server")
 	rps := flag.Float64("rps", 200, "loadgen: offered requests per second")
 	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
 	deadlineMix := flag.String("deadlines", "", "loadgen: class mix like 4ms:0.5,12ms:0.5:hi — deadline:weight with an optional :hi marking the high-priority class (default: the -deadline flag at weight 1)")
+	slowConns := flag.Int("slow", 0, "loadgen: also open this many slow-loris connections against the first target (demonstrates -hdr-timeout)")
 	flag.Parse()
 
-	m, err := buildServeModel(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train)
-	if err != nil {
-		log.Fatal(err)
+	if *route != "" && *loadgen {
+		log.Fatal("-route and -loadgen are mutually exclusive")
 	}
 
-	srv, err := serve.New(serve.Config{
-		Model: m, Subnets: *subnets,
-		Workers: *workers, QueueDepth: *queueDepth, MaxBatch: *maxBatch,
-		PriorityClasses: *priorities,
-		DefaultDeadline: *deadline,
-		RefreshInterval: *refresh,
-	})
-	if err != nil {
-		log.Fatal(err)
+	if *route != "" {
+		serveRouter(splitTargets(*route), *addr, *deadline, *hedge, *hdrTimeout)
+		return
 	}
-	lm := srv.Latency()
-	log.Printf("model %s, %d subnets, backend %s", m.Name, *subnets, tensor.Backend())
-	for s := 1; s <= lm.Subnets(); s++ {
-		log.Printf("  step %d: %8.3f ms  (+%d MACs, ladder so far %.3f ms)",
-			s, ms(lm.StepTime[s-1]), lm.StepMACs[s-1], ms(lm.WalkTime(s)))
-	}
-	log.Printf("calibrated rate: %.1f MMAC/s", lm.MACRate()/1e6)
 
 	if *loadgen {
 		mix, err := parseDeadlineMix(*deadlineMix, *deadline)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *targets != "" {
+			runRemoteLoadgen(splitTargets(*targets), *rps, *duration, mix, *seed, *slowConns)
+			return
+		}
+		m, srv := mustBuildServing(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train,
+			*workers, *queueDepth, *maxBatch, *deadline, *priorities, *refresh)
 		runLoadgen(srv, m, *rps, *duration, mix, *seed)
 		srv.Close()
 		return
 	}
-	serveHTTP(srv, m, *addr, *seed)
+
+	// Server mode: listen first, build and calibrate in the
+	// background. /healthz answers 503 until the model is ready, so a
+	// router's probes (and orchestrator readiness checks) see an
+	// honest starting state instead of a connection-refused window.
+	serveHTTP(*addr, *seed, *hdrTimeout, func() (*serve.Server, *models.Model, error) {
+		m, err := buildServeModel(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := serve.New(serve.Config{
+			Model: m, Subnets: *subnets,
+			Workers: *workers, QueueDepth: *queueDepth, MaxBatch: *maxBatch,
+			PriorityClasses: *priorities,
+			DefaultDeadline: *deadline,
+			RefreshInterval: *refresh,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		logCalibration(srv, m, *subnets)
+		return srv, m, nil
+	})
+}
+
+// mustBuildServing is the synchronous build path for in-process
+// loadgen runs: model, serving layer and calibration log, or exit.
+func mustBuildServing(modelName string, classes, imgHW int, expansion float64, subnets int, seed uint64, train bool,
+	workers, queueDepth, maxBatch int, deadline time.Duration, priorities int, refresh time.Duration) (*models.Model, *serve.Server) {
+	m, err := buildServeModel(modelName, classes, imgHW, expansion, subnets, seed, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Model: m, Subnets: subnets,
+		Workers: workers, QueueDepth: queueDepth, MaxBatch: maxBatch,
+		PriorityClasses: priorities,
+		DefaultDeadline: deadline,
+		RefreshInterval: refresh,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	logCalibration(srv, m, subnets)
+	return m, srv
+}
+
+// logCalibration prints the calibrated ladder the scheduler plans
+// with.
+func logCalibration(srv *serve.Server, m *models.Model, subnets int) {
+	lm := srv.Latency()
+	log.Printf("model %s, %d subnets, backend %s", m.Name, subnets, tensor.Backend())
+	for s := 1; s <= lm.Subnets(); s++ {
+		log.Printf("  step %d: %8.3f ms  (+%d MACs, ladder so far %.3f ms)",
+			s, ms(lm.StepTime[s-1]), lm.StepMACs[s-1], ms(lm.WalkTime(s)))
+	}
+	log.Printf("calibrated rate: %.1f MMAC/s", lm.MACRate()/1e6)
+}
+
+// splitTargets parses a comma-separated URL list, dropping empties.
+func splitTargets(spec string) []string {
+	var out []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		log.Fatal("empty target list")
+	}
+	return out
 }
 
 // buildServeModel constructs the model to serve. Without -train the
@@ -164,55 +259,88 @@ func buildServeModel(name string, classes, imgHW int, expansion float64, n int, 
 	return m, nil
 }
 
-// inferRequest is the POST /infer payload.
-type inferRequest struct {
-	Input      []float64 `json:"input,omitempty"`
-	DeadlineMs float64   `json:"deadline_ms,omitempty"`
-	Priority   int       `json:"priority,omitempty"`
-}
-
-// inferResponse is the POST /infer answer.
-type inferResponse struct {
-	Subnet      int       `json:"subnet"`
-	Pred        int       `json:"pred"`
-	Logits      []float64 `json:"logits"`
-	MACs        int64     `json:"macs"`
-	Priority    int       `json:"priority"`
-	DeadlineMet bool      `json:"deadline_met"`
-	QueueWaitMs float64   `json:"queue_wait_ms"`
-	LatencyMs   float64   `json:"latency_ms"`
-}
-
 // priorityHeader is the request header carrying the priority class
 // when the JSON body doesn't (proxies and gateways set headers more
 // easily than they rewrite bodies).
 const priorityHeader = "X-Priority"
 
-// newMux builds the HTTP surface over a serving layer: POST /infer,
-// GET /stats, GET /healthz. Factored out of serveHTTP so the fuzz
-// harness can drive the exact production handler chain through
-// httptest without opening a socket.
-func newMux(srv *serve.Server, m *models.Model, seed uint64) *http.ServeMux {
-	imgLen := m.InC * m.InH * m.InW
-	// Bound the POST /infer payload — unbounded bodies are a trivial
-	// memory DoS. The cap scales with the served model's input
-	// geometry (a float64 is ≤25 JSON characters plus separator), so
-	// a full valid input always fits whatever -img/-model selects;
-	// the floor keeps room for metadata on tiny models.
-	maxBody := int64(imgLen)*32 + 4096
-	if maxBody < 1<<20 {
-		maxBody = 1 << 20
-	}
+// Readiness states of a serving process. /healthz answers 200 only
+// in appReady — a starting process (model still building,
+// calibration still running) and a draining one (SIGTERM received,
+// in-flight work finishing) both refuse new work with a 503, which
+// is what pulls them out of a router's rotation.
+const (
+	appStarting int32 = iota
+	appReady
+	appDraining
+)
+
+// app is the serving process's readiness state machine plus the
+// handles the HTTP handlers need. The server and model land via
+// setReady once the background build finishes; until then every
+// endpoint answers 503.
+type app struct {
+	state atomic.Int32
+	srv   atomic.Pointer[serve.Server]
+	m     atomic.Pointer[models.Model]
+
 	// net/http runs each handler on its own goroutine and tensor.RNG
 	// is not concurrency-safe; serialize the smoke-test input draws.
-	var rngMu sync.Mutex
-	rng := tensor.NewRNG(seed ^ 0xD06F00D)
+	rngMu sync.Mutex
+	rng   *tensor.RNG
+}
 
+func newApp(seed uint64) *app {
+	return &app{rng: tensor.NewRNG(seed ^ 0xD06F00D)}
+}
+
+// setReady publishes the built serving stack and flips starting →
+// ready. If the process is already draining (a SIGTERM raced the
+// build), the state stays draining — the server is still stored so
+// teardown closes it.
+func (a *app) setReady(srv *serve.Server, m *models.Model) {
+	a.m.Store(m)
+	a.srv.Store(srv)
+	a.state.CompareAndSwap(appStarting, appReady)
+}
+
+// setDraining flips the process to its terminal state; /healthz goes
+// 503 immediately, before the HTTP server stops accepting, so
+// routers stop picking this replica while in-flight work finishes.
+func (a *app) setDraining() { a.state.Store(appDraining) }
+
+// notReady returns the 503 message for the current state, or "" when
+// the app is serving.
+func (a *app) notReady() string {
+	switch a.state.Load() {
+	case appStarting:
+		return "starting: model build and calibration in progress"
+	case appDraining:
+		return "draining"
+	}
+	return ""
+}
+
+// newMux builds the HTTP surface over a serving app: POST /infer,
+// GET /stats, GET /healthz, every endpoint gated on readiness.
+// Factored out of serveHTTP so the fuzz harness and the readiness
+// tests can drive the exact production handler chain through
+// httptest without opening a socket.
+func newMux(a *app) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if msg := a.notReady(); msg != "" {
+			http.Error(w, msg, http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		srv := a.srv.Load()
+		if srv == nil {
+			http.Error(w, a.notReady(), http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(srv.Stats()); err != nil {
 			log.Printf("stats encode: %v", err)
@@ -223,7 +351,23 @@ func newMux(srv *serve.Server, m *models.Model, seed uint64) *http.ServeMux {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		var req inferRequest
+		if msg := a.notReady(); msg != "" {
+			http.Error(w, msg, http.StatusServiceUnavailable)
+			return
+		}
+		srv, m := a.srv.Load(), a.m.Load()
+		imgLen := m.InC * m.InH * m.InW
+		// Bound the POST /infer payload — unbounded bodies are a
+		// trivial memory DoS. The cap scales with the served model's
+		// input geometry (a float64 is ≤25 JSON characters plus
+		// separator), so a full valid input always fits whatever
+		// -img/-model selects; the floor keeps room for metadata on
+		// tiny models.
+		maxBody := int64(imgLen)*32 + 4096
+		if maxBody < 1<<20 {
+			maxBody = 1 << 20
+		}
+		var req cluster.InferRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -237,9 +381,9 @@ func newMux(srv *serve.Server, m *models.Model, seed uint64) *http.ServeMux {
 			req.Priority = p
 		}
 		if req.Input == nil {
-			rngMu.Lock()
-			req.Input = randomInput(rng, imgLen) // smoke-test convenience
-			rngMu.Unlock()
+			a.rngMu.Lock()
+			req.Input = randomInput(a.rng, imgLen) // smoke-test convenience
+			a.rngMu.Unlock()
 		}
 		// NaN/±Inf deadlines convert to garbage durations; reject them
 		// at the door rather than trusting float→int conversion.
@@ -261,28 +405,59 @@ func newMux(srv *serve.Server, m *models.Model, seed uint64) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(inferResponse{
-			Subnet: res.Subnet, Pred: res.Pred, Logits: res.Logits, MACs: res.MACs,
-			Priority:    res.Priority,
-			DeadlineMet: res.DeadlineMet,
-			QueueWaitMs: ms(res.QueueWait), LatencyMs: ms(res.Latency),
-		}); err != nil {
+		if err := json.NewEncoder(w).Encode(cluster.WireResponse(res)); err != nil {
 			log.Printf("infer encode: %v", err)
 		}
 	})
 	return mux
 }
 
-// serveHTTP runs the JSON endpoint until SIGINT/SIGTERM, then drains
-// the HTTP server and the serving layer in order.
-func serveHTTP(srv *serve.Server, m *models.Model, addr string, seed uint64) {
-	hs := &http.Server{Addr: addr, Handler: newMux(srv, m, seed)}
+// newHTTPServer applies the hardening every listening mode shares:
+// ReadHeaderTimeout closes slow-loris connections that dribble their
+// headers, ReadTimeout bounds a whole request read, IdleTimeout reaps
+// parked keep-alive connections. WriteTimeout stays 0 deliberately —
+// an /infer response legitimately waits out queue time plus the
+// anytime walk, and the serving layer already bounds that by the
+// request deadline.
+func newHTTPServer(addr string, h http.Handler, hdrTimeout time.Duration) *http.Server {
+	return &http.Server{
+		Addr: addr, Handler: h,
+		ReadHeaderTimeout: hdrTimeout,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// serveHTTP runs the JSON endpoint until SIGINT/SIGTERM: the listener
+// comes up immediately answering 503s, the serving stack builds in
+// the background (build runs model construction plus calibration) and
+// flips /healthz to 200 when done, and a signal drains in order —
+// readiness down first, then the HTTP server, then the serving layer,
+// so in-flight handlers never see ErrClosed.
+func serveHTTP(addr string, seed uint64, hdrTimeout time.Duration, build func() (*serve.Server, *models.Model, error)) {
+	a := newApp(seed)
+	hs := newHTTPServer(addr, newMux(a), hdrTimeout)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	initErr := make(chan error, 1)
+	go func() {
+		srv, m, err := build()
+		if err != nil {
+			initErr <- err
+			stop() // tear the listener down; a replica that cannot build must not sit at 503 forever
+			return
+		}
+		a.setReady(srv, m)
+		log.Printf("ready")
+		initErr <- nil
+	}()
+
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
+		a.setDraining()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
@@ -294,12 +469,139 @@ func serveHTTP(srv *serve.Server, m *models.Model, addr string, seed uint64) {
 		log.Fatal(err)
 	}
 	// ListenAndServe returns the moment Shutdown starts; wait for
-	// Shutdown itself (it blocks until active handlers finish) before
-	// closing the serving layer, so in-flight handlers never see
-	// ErrClosed.
+	// Shutdown itself (it blocks until active handlers finish), then
+	// for the build (it may still be running), before closing the
+	// serving layer.
 	<-shutdownDone
-	srv.Close()
-	log.Printf("drained; final stats: %+v", srv.Stats())
+	err := <-initErr
+	if srv := a.srv.Load(); srv != nil {
+		srv.Close()
+		log.Printf("drained; final stats: %+v", srv.Stats())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serveRouter runs the fault-tolerant router mode: the same /infer
+// contract, served by spreading requests over the replica URLs with
+// health probing, circuit breaking and deadline-aware retry/hedging
+// (see internal/cluster.Router).
+func serveRouter(targets []string, addr string, defaultDeadline time.Duration, hedge bool, hdrTimeout time.Duration) {
+	backends := make([]cluster.Backend, 0, len(targets))
+	for _, tgt := range targets {
+		backends = append(backends, cluster.NewRemote(tgt))
+	}
+	ro, err := cluster.NewRouter(cluster.RouterConfig{
+		Backends:        backends,
+		DefaultDeadline: defaultDeadline,
+		Hedge:           hedge,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var draining atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if n := ro.Available(); n > 0 {
+			fmt.Fprintf(w, "ok (%d/%d replicas)\n", n, len(targets))
+			return
+		}
+		http.Error(w, "no replica available", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(ro.Stats()); err != nil {
+			log.Printf("stats encode: %v", err)
+		}
+	})
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		var req cluster.InferRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if h := r.Header.Get(priorityHeader); h != "" && req.Priority == 0 {
+			p, err := strconv.Atoi(h)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad %s header %q", priorityHeader, h), http.StatusBadRequest)
+				return
+			}
+			req.Priority = p
+		}
+		if math.IsNaN(req.DeadlineMs) || math.IsInf(req.DeadlineMs, 0) {
+			http.Error(w, "deadline_ms must be finite", http.StatusBadRequest)
+			return
+		}
+		// Input passes through untouched (nil lets the chosen replica
+		// synthesize its seeded smoke-test image).
+		res, err := ro.Submit(serve.Request{
+			Input:    req.Input,
+			Deadline: time.Duration(req.DeadlineMs * float64(time.Millisecond)),
+			Priority: req.Priority,
+		})
+		switch {
+		case err == nil:
+		case errors.Is(err, serve.ErrBadInput):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		case errors.Is(err, serve.ErrOverloaded), errors.Is(err, cluster.ErrNoReplicas),
+			errors.Is(err, serve.ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, cluster.ErrTransport):
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(cluster.WireResponse(res)); err != nil {
+			log.Printf("infer encode: %v", err)
+		}
+	})
+
+	hs := newHTTPServer(addr, mux, hdrTimeout)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		draining.Store(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+	log.Printf("routing %d replicas on %s", len(targets), addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-shutdownDone
+	ro.Close()
+	st := ro.Stats()
+	log.Printf("drained; routed %d (served %d, failed %d, retries %d, hedges %d)",
+		st.Submitted, st.Served, st.Failed, st.Retries, st.Hedges)
+	for _, rs := range st.Replicas {
+		log.Printf("  %s: up=%v breaker=%s success=%d rejected=%d transport=%d retried=%d hedged=%d",
+			rs.Target, rs.Up, rs.Breaker, rs.Success, rs.Rejected, rs.TransportErrors, rs.Retried, rs.Hedged)
+	}
 }
 
 // randomInput draws a standard-normal image, the same distribution

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"steppingnet/internal/governor"
+	"steppingnet/internal/serve"
+)
+
+// TestReadinessGating pins the /healthz lifecycle satellite: the
+// process answers 503 while the model is still building (starting),
+// 200 once calibration is injected and the server is live, and 503
+// again the moment draining begins — so a router or load balancer
+// stops sending work before the listener actually goes away.
+func TestReadinessGating(t *testing.T) {
+	a := newApp(7)
+	mux := newMux(a)
+
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code, rec.Body.String()
+	}
+	post := func(path, body string) int {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		mux.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	// Starting: every endpoint refuses, with a reason a human can read.
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("starting /healthz: got %d %q, want 503 mentioning starting", code, body)
+	}
+	if code := post("/infer", `{"deadline_ms":5}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("starting /infer: got %d, want 503", code)
+	}
+	if code, _ := get("/stats"); code != http.StatusServiceUnavailable {
+		t.Fatalf("starting /stats: got %d, want 503", code)
+	}
+
+	// Ready: build a tiny server with injected calibration and flip.
+	m, err := buildServeModel("lenet3c1l", 4, 8, 1.5, 3, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := governor.LatencyModel{
+		StepMACs: governor.StepCosts(m, 3),
+		StepTime: []time.Duration{time.Nanosecond, time.Nanosecond, time.Nanosecond},
+	}
+	srv, err := serve.New(serve.Config{
+		Model: m, Subnets: 3, Workers: 1, QueueDepth: 16,
+		PriorityClasses: 2, Calibration: cal,
+		DefaultDeadline: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	a.setReady(srv, m)
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("ready /healthz: got %d, want 200", code)
+	}
+	if code := post("/infer", `{"deadline_ms":50,"priority":1}`); code != http.StatusOK {
+		t.Fatalf("ready /infer: got %d, want 200", code)
+	}
+	if code, _ := get("/stats"); code != http.StatusOK {
+		t.Fatalf("ready /stats: got %d, want 200", code)
+	}
+
+	// Draining: health flips before the server is torn down, and stays
+	// down even if a late setReady races the shutdown.
+	a.setDraining()
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining /healthz: got %d %q, want 503 mentioning draining", code, body)
+	}
+	if code := post("/infer", `{"deadline_ms":5}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /infer: got %d, want 503", code)
+	}
+	a.setReady(srv, m) // CAS must not resurrect a draining process
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatal("setReady after setDraining must not flip the process back to ready")
+	}
+}

@@ -1,0 +1,142 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"steppingnet/internal/cluster"
+	"steppingnet/internal/serve"
+)
+
+// fakeReplica is an httptest stand-in for a stepserve replica: it
+// speaks the same three endpoints with the shared wire types, and the
+// test flips its mode to exercise every status the Remote client must
+// map back to a typed error.
+type fakeReplica struct {
+	mode string // "ok", "overloaded", "draining", "badinput", "boom", "garbage", "slow"
+}
+
+func (f *fakeReplica) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
+		var req cluster.InferRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch f.mode {
+		case "overloaded":
+			http.Error(w, serve.ErrOverloaded.Error(), http.StatusServiceUnavailable)
+		case "draining":
+			http.Error(w, "draining: "+serve.ErrClosed.Error(), http.StatusServiceUnavailable)
+		case "badinput":
+			http.Error(w, serve.ErrBadInput.Error(), http.StatusBadRequest)
+		case "boom":
+			http.Error(w, "internal", http.StatusInternalServerError)
+		case "garbage":
+			w.Write([]byte("{not json")) //nolint:errcheck — test fixture
+		case "slow":
+			time.Sleep(200 * time.Millisecond)
+			w.WriteHeader(http.StatusOK)
+			json.NewEncoder(w).Encode(cluster.InferResponse{}) //nolint:errcheck — test fixture
+		default:
+			json.NewEncoder(w).Encode(cluster.WireResponse(serve.Result{ //nolint:errcheck — test fixture
+				Subnet: 2, Pred: 1, Logits: []float64{0, 1}, MACs: 42,
+				Priority: req.Priority, DeadlineMet: true,
+				QueueWait: time.Millisecond, Latency: 2 * time.Millisecond,
+			}))
+		}
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serve.Snapshot{ //nolint:errcheck — test fixture
+			Served: 7, MinSubnet: 2, StepTimeMs: []float64{1, 2, 3},
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if f.mode == "draining" {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok")) //nolint:errcheck — test fixture
+	})
+	return mux
+}
+
+// TestRemoteBackend pins the HTTP client's error taxonomy: every
+// replica status maps to the same typed error the in-process backend
+// would return, so the router's retry/breaker logic is
+// transport-blind.
+func TestRemoteBackend(t *testing.T) {
+	f := &fakeReplica{mode: "ok"}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+	b := cluster.NewRemote(ts.URL + "/") // trailing slash tolerated
+	defer b.Close()
+	ctx := t.Context()
+
+	req := serve.Request{Input: []float64{1, 2}, Deadline: 50 * time.Millisecond, Priority: 1}
+	res, err := b.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("ok submit: %v", err)
+	}
+	if res.Subnet != 2 || res.Pred != 1 || res.MACs != 42 || !res.DeadlineMet ||
+		res.Priority != 1 || res.QueueWait != time.Millisecond || res.Latency != 2*time.Millisecond {
+		t.Fatalf("round-tripped result mangled: %+v", res)
+	}
+
+	snap, err := b.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if snap.Served != 7 || snap.MinSubnet != 2 || len(snap.StepTimeMs) != 3 {
+		t.Fatalf("round-tripped snapshot mangled: %+v", snap)
+	}
+	if err := b.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	cases := []struct {
+		mode string
+		want error
+	}{
+		{"overloaded", serve.ErrOverloaded},
+		{"draining", serve.ErrClosed},
+		{"badinput", serve.ErrBadInput},
+		{"boom", cluster.ErrTransport},
+		{"garbage", cluster.ErrTransport},
+	}
+	for _, tc := range cases {
+		f.mode = tc.mode
+		if _, err := b.Submit(ctx, req); !errors.Is(err, tc.want) {
+			t.Fatalf("mode %q: got %v, want %v", tc.mode, err, tc.want)
+		}
+	}
+
+	f.mode = "draining"
+	if err := b.Health(ctx); err == nil {
+		t.Fatal("draining replica's /healthz 503 must probe unhealthy")
+	}
+
+	// A slow replica against a short context deadline is a transport
+	// failure — the seam the router's AttemptGrace budget leans on.
+	f.mode = "slow"
+	sctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := b.Submit(sctx, req); !errors.Is(err, cluster.ErrTransport) {
+		t.Fatalf("timed-out submit: got %v, want ErrTransport", err)
+	}
+
+	// A dead target: connection refused is a transport failure too.
+	ts.Close()
+	if _, err := b.Submit(ctx, req); !errors.Is(err, cluster.ErrTransport) {
+		t.Fatalf("dead target: got %v, want ErrTransport", err)
+	}
+	if err := b.Health(ctx); !errors.Is(err, cluster.ErrTransport) {
+		t.Fatalf("dead target health: got %v, want ErrTransport", err)
+	}
+}

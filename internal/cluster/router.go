@@ -1,0 +1,804 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"steppingnet/internal/serve"
+)
+
+// Breaker states: a replica's circuit starts closed (requests flow),
+// opens after BreakerThreshold consecutive failures (requests stop),
+// and half-opens after BreakerCooldown — one trial request probes the
+// replica, closing the circuit on success and re-opening it on
+// failure.
+const (
+	brClosed = iota
+	brOpen
+	brHalfOpen
+)
+
+// hedgeClassMax bounds how many priority classes get their own
+// latency ring for the hedge trigger (higher classes share the top
+// ring, mirroring serve's clamping).
+const hedgeClassMax = 8
+
+// hedgeRingSize is the per-class latency reservoir backing the p99
+// hedge trigger.
+const hedgeRingSize = 512
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Backends are the replicas to route over. Required, ≥ 1. The
+	// router owns them: Router.Close closes each.
+	Backends []Backend
+	// DefaultDeadline applies to requests that carry none (the same
+	// meaning as serve.Config.DefaultDeadline, but enforced router-
+	// side so retry budgeting works even for defaulted requests).
+	// 0 means 50ms.
+	DefaultDeadline time.Duration
+	// ProbeInterval is the base health-probe cadence per replica. A
+	// failing replica's probes back off exponentially from here up to
+	// ProbeBackoffMax. 0 means 500ms; negative disables the probe
+	// loops entirely (deterministic tests drive probes by hand).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health+stats probe exchange. 0 means 1s.
+	ProbeTimeout time.Duration
+	// ProbeBackoffMax caps the exponential probe backoff on a failing
+	// replica. 0 means 8× ProbeInterval.
+	ProbeBackoffMax time.Duration
+	// DownAfter is how many consecutive probe failures eject a
+	// replica from the rotation. 0 means 2.
+	DownAfter int
+	// ReadmitAfter is how many consecutive probe successes a
+	// previously-down replica needs before it is re-admitted — one
+	// lucky probe against a still-flapping replica must not send real
+	// traffic back. 0 means 3.
+	ReadmitAfter int
+	// BreakerThreshold is how many consecutive failed submits open a
+	// replica's circuit breaker. 0 means 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before
+	// half-opening for a trial request. 0 means 2s.
+	BreakerCooldown time.Duration
+	// RetryMargin pads the affordability check: a retry (or hedge) is
+	// dispatched to a replica only when the remaining deadline covers
+	// that replica's calibrated MinSubnet walk plus this margin.
+	// 0 means 1ms.
+	RetryMargin time.Duration
+	// MaxAttempts bounds the dispatches per request (first try +
+	// retries + hedges). 0 means one attempt per replica.
+	MaxAttempts int
+	// Hedge enables tail hedging: when a first attempt has been in
+	// flight longer than its class's observed p99, a second attempt
+	// is raced on another replica (deadline-affordability gated, like
+	// a retry) and the first answer wins.
+	Hedge bool
+	// HedgeMinSamples is how many latencies a class must have
+	// observed before its p99 is trusted as a hedge trigger. 0 means
+	// 64.
+	HedgeMinSamples int
+	// AttemptGrace extends each attempt's transport deadline beyond
+	// the request deadline: an anytime replica legitimately finishes
+	// its MinSubnet walk (and answers, marked late) slightly after
+	// the deadline, and canceling that answer would turn it into a
+	// spurious transport error. 0 means 100ms.
+	AttemptGrace time.Duration
+}
+
+// withDefaults fills zero fields and validates the rest.
+func (c RouterConfig) withDefaults() (RouterConfig, error) {
+	if len(c.Backends) == 0 {
+		return c, fmt.Errorf("cluster: RouterConfig.Backends is required")
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 50 * time.Millisecond
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ProbeBackoffMax <= 0 {
+		base := c.ProbeInterval
+		if base < 0 {
+			base = 500 * time.Millisecond
+		}
+		c.ProbeBackoffMax = 8 * base
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 2
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = 3
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.RetryMargin <= 0 {
+		c.RetryMargin = time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = len(c.Backends)
+	}
+	if c.HedgeMinSamples <= 0 {
+		c.HedgeMinSamples = 64
+	}
+	if c.AttemptGrace <= 0 {
+		c.AttemptGrace = 100 * time.Millisecond
+	}
+	return c, nil
+}
+
+// replica is one Backend plus the router-side state that decides
+// whether and when it receives traffic.
+type replica struct {
+	b Backend
+
+	// mu guards the prober and breaker state below.
+	mu           sync.Mutex
+	up           bool
+	probeFails   int           // consecutive probe failures
+	probeOKs     int           // consecutive probe successes
+	backoff      time.Duration // current probe backoff (0 = base cadence)
+	lastProbeErr error
+
+	brState     int
+	brFails     int // consecutive submit failures
+	brOpenUntil time.Time
+	brTrialBusy bool // a half-open trial request is in flight
+
+	// Cached routing signals, refreshed by every successful probe.
+	snap    atomic.Pointer[serve.Snapshot]
+	floorNs atomic.Int64 // calibrated MinSubnet walk cost
+
+	inflight atomic.Int64
+
+	// Outcome counters for RouterStats.
+	success        atomic.Int64
+	rejected       atomic.Int64
+	transport      atomic.Int64
+	retried        atomic.Int64 // attempts on this replica that were retries
+	hedged         atomic.Int64 // hedge attempts landed here
+	probeFailTotal atomic.Int64
+}
+
+// storeSnap caches a fresh snapshot and the derived MinSubnet walk
+// floor the retry policy prices against.
+func (r *replica) storeSnap(snap serve.Snapshot) {
+	r.snap.Store(&snap)
+	r.floorNs.Store(int64(walkFloor(snap)))
+}
+
+// backlogScore estimates the wall-clock backlog a new request would
+// queue behind on this replica: (queued + in flight from this router)
+// × the replica's service-time EWMA, spread over its workers. Lower
+// is better; replicas without a snapshot yet score on raw in-flight
+// count so they still order sensibly.
+func (r *replica) backlogScore() float64 {
+	occ := float64(r.inflight.Load())
+	ewma, workers := 0.05, 1.0 // pre-snapshot: order by in-flight alone
+	if snap := r.snap.Load(); snap != nil {
+		occ += float64(snap.QueueLen)
+		if snap.ServiceEwmaMs > ewma {
+			ewma = snap.ServiceEwmaMs
+		}
+		if snap.Workers > 1 {
+			workers = float64(snap.Workers)
+		}
+	}
+	return occ * ewma / workers
+}
+
+// affordable reports whether the remaining deadline still covers this
+// replica's calibrated cheapest answer (its MinSubnet walk) plus the
+// configured margin — the gate every retry and hedge must pass. A
+// replica with no calibration cached yet is presumed affordable (the
+// replica's own admission control is the backstop).
+func (r *replica) affordable(remaining, margin time.Duration) bool {
+	return remaining >= time.Duration(r.floorNs.Load())+margin
+}
+
+// brCanAllow reports (without mutating) whether the breaker would let
+// a request through now. Callers hold mu.
+func (r *replica) brCanAllowLocked(now time.Time) bool {
+	switch r.brState {
+	case brClosed:
+		return true
+	case brOpen:
+		return !now.Before(r.brOpenUntil)
+	default: // half-open: one trial at a time
+		return !r.brTrialBusy
+	}
+}
+
+// brAcquire claims the right to send one request through the breaker,
+// transitioning open→half-open when the cooldown has elapsed. Returns
+// false when the circuit is open or a half-open trial is already in
+// flight.
+func (r *replica) brAcquire(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.brState {
+	case brClosed:
+		return true
+	case brOpen:
+		if now.Before(r.brOpenUntil) {
+			return false
+		}
+		r.brState = brHalfOpen
+		r.brTrialBusy = true
+		return true
+	default:
+		if r.brTrialBusy {
+			return false
+		}
+		r.brTrialBusy = true
+		return true
+	}
+}
+
+// brReport folds one submit outcome into the breaker: success closes
+// the circuit and clears the failure run; failure re-opens a
+// half-open circuit immediately and opens a closed one once the
+// consecutive-failure run reaches the threshold.
+func (r *replica) brReport(ok bool, now time.Time, threshold int, cooldown time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.brTrialBusy = false
+	if ok {
+		r.brState = brClosed
+		r.brFails = 0
+		return
+	}
+	r.brFails++
+	if r.brState == brHalfOpen || r.brFails >= threshold {
+		r.brState = brOpen
+		r.brOpenUntil = now.Add(cooldown)
+	}
+}
+
+// latRing is a small mutex-guarded latency reservoir backing the
+// per-class p99 hedge trigger.
+type latRing struct {
+	mu    sync.Mutex
+	buf   [hedgeRingSize]time.Duration
+	idx   int
+	count int
+}
+
+func (lr *latRing) push(d time.Duration) {
+	lr.mu.Lock()
+	lr.buf[lr.idx] = d
+	lr.idx = (lr.idx + 1) % len(lr.buf)
+	if lr.count < len(lr.buf) {
+		lr.count++
+	}
+	lr.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile sample, or 0 while fewer than
+// minSamples have been observed.
+func (lr *latRing) p99(minSamples int) time.Duration {
+	lr.mu.Lock()
+	n := lr.count
+	samples := append([]time.Duration(nil), lr.buf[:n]...)
+	lr.mu.Unlock()
+	if n < minSamples {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return time.Duration(serve.PercentileMs(samples, 0.99) * float64(time.Millisecond))
+}
+
+// Router spreads requests over a set of replicas, least backlog
+// first, keeping each replica behind a health prober and a circuit
+// breaker, and re-dispatching failed or tail-slow attempts under a
+// deadline-aware budget. Create with NewRouter, submit with Submit,
+// stop with Close.
+type Router struct {
+	cfg      RouterConfig
+	replicas []*replica
+
+	// Router-level outcome counters.
+	submitted atomic.Int64
+	served    atomic.Int64
+	failed    atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+
+	rr atomic.Int64 // rotation offset for backlog ties
+
+	classLats [hedgeClassMax]latRing
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewRouter builds a Router over the configured backends and starts
+// one health-probe loop per replica (unless ProbeInterval is
+// negative). Replicas start admitted — the first probe demotes dead
+// ones within a probe interval, and Submit's retry path covers the
+// window in between.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ro := &Router{cfg: cfg, stop: make(chan struct{})}
+	for _, b := range cfg.Backends {
+		ro.replicas = append(ro.replicas, &replica{b: b, up: true})
+	}
+	if cfg.ProbeInterval > 0 {
+		for _, r := range ro.replicas {
+			ro.wg.Add(1)
+			go ro.probeLoop(r)
+		}
+	}
+	return ro, nil
+}
+
+// Close stops the probe loops and closes every backend. Idempotent.
+func (ro *Router) Close() {
+	ro.closeOnce.Do(func() {
+		close(ro.stop)
+	})
+	ro.wg.Wait()
+	for _, r := range ro.replicas {
+		r.b.Close()
+	}
+}
+
+// probeLoop drives one replica's health probes until Close: base
+// cadence while healthy, exponential backoff while failing.
+func (ro *Router) probeLoop(r *replica) {
+	defer ro.wg.Done()
+	t := time.NewTimer(0) // probe immediately at startup
+	defer t.Stop()
+	for {
+		select {
+		case <-ro.stop:
+			return
+		case <-t.C:
+		}
+		ro.probeOnce(r)
+		r.mu.Lock()
+		next := ro.cfg.ProbeInterval
+		if r.backoff > 0 {
+			next = r.backoff
+		}
+		r.mu.Unlock()
+		t.Reset(next)
+	}
+}
+
+// probeOnce runs one health+stats exchange against a replica and
+// folds the outcome into its admission state: consecutive failures
+// demote it (and stretch the probe backoff), and a demoted replica is
+// re-admitted only after ReadmitAfter consecutive successes — with
+// its breaker reset, since the health evidence is fresher than the
+// failure run that opened it.
+func (ro *Router) probeOnce(r *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), ro.cfg.ProbeTimeout)
+	err := r.b.Health(ctx)
+	var snap serve.Snapshot
+	var serr error
+	if err == nil {
+		snap, serr = r.b.Stats(ctx)
+	}
+	cancel()
+
+	r.mu.Lock()
+	if err != nil {
+		r.probeOKs = 0
+		r.probeFails++
+		r.probeFailTotal.Add(1)
+		r.lastProbeErr = err
+		if r.probeFails >= ro.cfg.DownAfter {
+			r.up = false
+		}
+		if r.backoff == 0 {
+			// Seed from the probe cadence; when background probing is
+			// disabled (negative interval, tests driving probeOnce by
+			// hand) fall back to the default cadence so the backoff
+			// arithmetic still behaves.
+			r.backoff = ro.cfg.ProbeInterval
+			if r.backoff <= 0 {
+				r.backoff = 500 * time.Millisecond
+			}
+		}
+		r.backoff *= 2
+		if r.backoff > ro.cfg.ProbeBackoffMax {
+			r.backoff = ro.cfg.ProbeBackoffMax
+		}
+	} else {
+		r.probeFails = 0
+		r.probeOKs++
+		r.lastProbeErr = nil
+		r.backoff = 0
+		if !r.up && r.probeOKs >= ro.cfg.ReadmitAfter {
+			r.up = true
+			r.brState = brClosed
+			r.brFails = 0
+			r.brTrialBusy = false
+		}
+	}
+	r.mu.Unlock()
+	if err == nil && serr == nil {
+		r.storeSnap(snap)
+	}
+}
+
+// Available counts replicas currently admitted (up, breaker not
+// open) — what a load generator waits on before starting, and what a
+// router-mode /healthz reports.
+func (ro *Router) Available() int {
+	now := time.Now()
+	n := 0
+	for _, r := range ro.replicas {
+		r.mu.Lock()
+		if r.up && r.brCanAllowLocked(now) {
+			n++
+		}
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// pick selects the admitted, untried replica with the least predicted
+// backlog (breaking ties with a rotating offset so equal replicas
+// share first-attempt load), claiming its breaker slot. Retries
+// additionally require the remaining deadline to afford the
+// candidate's calibrated MinSubnet walk. Returns nil when no replica
+// qualifies.
+func (ro *Router) pick(tried []*replica, isRetry bool, absDeadline time.Time) *replica {
+	now := time.Now()
+	remaining := absDeadline.Sub(now)
+	type cand struct {
+		r     *replica
+		score float64
+	}
+	var cands []cand
+	offset := int(ro.rr.Add(1))
+	n := len(ro.replicas)
+	for i := 0; i < n; i++ {
+		r := ro.replicas[(offset+i)%n]
+		if contains(tried, r) {
+			continue
+		}
+		r.mu.Lock()
+		ok := r.up && r.brCanAllowLocked(now)
+		r.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if isRetry && !r.affordable(remaining, ro.cfg.RetryMargin) {
+			continue
+		}
+		cands = append(cands, cand{r, r.backlogScore()})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	for _, c := range cands {
+		if c.r.brAcquire(now) {
+			return c.r
+		}
+	}
+	return nil
+}
+
+func contains(s []*replica, r *replica) bool {
+	for _, x := range s {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// attemptResult carries one dispatch outcome between the attempt
+// goroutine and Submit.
+type attemptResult struct {
+	res serve.Result
+	err error
+	r   *replica
+}
+
+// dispatch runs one attempt against a replica, updating its breaker
+// and counters. The context deadline is the request deadline plus
+// AttemptGrace (see RouterConfig.AttemptGrace).
+func (ro *Router) dispatch(r *replica, req serve.Request, absDeadline time.Time, isRetry, isHedge bool) attemptResult {
+	if isRetry {
+		r.retried.Add(1)
+		ro.retries.Add(1)
+	}
+	if isHedge {
+		r.hedged.Add(1)
+		ro.hedges.Add(1)
+	}
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	ctx, cancel := context.WithDeadline(context.Background(), absDeadline.Add(ro.cfg.AttemptGrace))
+	defer cancel()
+	res, err := r.b.Submit(ctx, req)
+	now := time.Now()
+	switch {
+	case err == nil:
+		r.success.Add(1)
+		r.brReport(true, now, ro.cfg.BreakerThreshold, ro.cfg.BreakerCooldown)
+	case errors.Is(err, serve.ErrOverloaded):
+		// A typed refusal: the replica is alive and defending itself.
+		// Not breaker evidence — an overloaded-but-healthy replica
+		// must not be ejected, that would dogpile its peers.
+		r.rejected.Add(1)
+		r.brReport(true, now, ro.cfg.BreakerThreshold, ro.cfg.BreakerCooldown)
+	case errors.Is(err, serve.ErrBadInput):
+		// The request's own fault; says nothing about the replica.
+		r.brReport(true, now, ro.cfg.BreakerThreshold, ro.cfg.BreakerCooldown)
+	default:
+		// Transport failure, timeout, or a draining replica
+		// (ErrClosed): all evidence this replica should stop
+		// receiving work.
+		r.transport.Add(1)
+		r.brReport(false, now, ro.cfg.BreakerThreshold, ro.cfg.BreakerCooldown)
+	}
+	return attemptResult{res: res, err: err, r: r}
+}
+
+// hedgeDelay returns how long a class's first attempt may run before
+// a hedge fires: the class's observed p99, or 0 (no hedging) while
+// the sample base is thin.
+func (ro *Router) hedgeDelay(class int) time.Duration {
+	if class < 0 {
+		class = 0
+	}
+	if class >= hedgeClassMax {
+		class = hedgeClassMax - 1
+	}
+	return ro.classLats[class].p99(ro.cfg.HedgeMinSamples)
+}
+
+// observeLatency feeds a served request's latency into its class's
+// hedge-trigger ring.
+func (ro *Router) observeLatency(class int, d time.Duration) {
+	if class < 0 {
+		class = 0
+	}
+	if class >= hedgeClassMax {
+		class = hedgeClassMax - 1
+	}
+	ro.classLats[class].push(d)
+}
+
+// Submit routes one request through the cluster and blocks until an
+// answer or a typed error: it picks the least-backlogged admitted
+// replica, optionally hedges a tail-slow first attempt, and retries
+// failed attempts on different replicas while the remaining deadline
+// still affords their calibrated minimum walk. Every call resolves to
+// exactly one outcome; errors pass through typed
+// (serve.ErrOverloaded, serve.ErrBadInput, ErrTransport-wrapped
+// failures) or ErrNoReplicas when nothing could take the request.
+func (ro *Router) Submit(req serve.Request) (serve.Result, error) {
+	ro.submitted.Add(1)
+	d := req.Deadline
+	if d <= 0 {
+		d = ro.cfg.DefaultDeadline
+		req.Deadline = d
+	}
+	start := time.Now()
+	absDeadline := start.Add(d)
+
+	var (
+		tried   []*replica
+		lastErr error
+	)
+	attempts := 0
+	for attempts < ro.cfg.MaxAttempts {
+		r := ro.pick(tried, attempts > 0, absDeadline)
+		if r == nil {
+			break
+		}
+		tried = append(tried, r)
+		first := attempts == 0
+		attempts++
+
+		var out attemptResult
+		if first && ro.cfg.Hedge {
+			var hedgedAttempt bool
+			out, hedgedAttempt = ro.dispatchHedged(r, req, absDeadline, &tried)
+			if hedgedAttempt {
+				attempts++
+			}
+		} else {
+			out = ro.dispatch(r, req, absDeadline, !first, false)
+		}
+
+		switch {
+		case out.err == nil:
+			ro.served.Add(1)
+			ro.observeLatency(req.Priority, time.Since(start))
+			return out.res, nil
+		case errors.Is(out.err, serve.ErrBadInput):
+			ro.failed.Add(1)
+			return serve.Result{}, out.err
+		default:
+			lastErr = out.err
+		}
+	}
+	ro.failed.Add(1)
+	if lastErr != nil {
+		return serve.Result{}, lastErr
+	}
+	return serve.Result{}, fmt.Errorf("%w: %d replicas configured, deadline %v",
+		ErrNoReplicas, len(ro.replicas), d)
+}
+
+// dispatchHedged races a first attempt against a tail hedge: the
+// primary runs immediately; if it is still in flight when the class's
+// p99 elapses, a second attempt starts on another (affordable,
+// untried) replica and the first answer to arrive wins — a slow
+// primary's eventual answer is discarded, not duplicated. Reports
+// whether a hedge was actually launched (the hedged replica is
+// appended to tried either way it resolves).
+func (ro *Router) dispatchHedged(r *replica, req serve.Request, absDeadline time.Time, tried *[]*replica) (attemptResult, bool) {
+	delay := ro.hedgeDelay(req.Priority)
+	primary := make(chan attemptResult, 1)
+	go func() { primary <- ro.dispatch(r, req, absDeadline, false, false) }()
+	if delay <= 0 {
+		return <-primary, false
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case out := <-primary:
+		return out, false
+	case <-timer.C:
+	}
+	h := ro.pick(*tried, true, absDeadline)
+	if h == nil {
+		return <-primary, false
+	}
+	*tried = append(*tried, h)
+	secondary := make(chan attemptResult, 1)
+	go func() { secondary <- ro.dispatch(h, req, absDeadline, false, true) }()
+
+	// First success wins; a failure waits for the other leg. Both
+	// channels are buffered, so the losing goroutine never blocks and
+	// its breaker/counter bookkeeping always completes.
+	var firstFail attemptResult
+	select {
+	case out := <-primary:
+		if out.err == nil {
+			return out, true
+		}
+		firstFail = out
+		out = <-secondary
+		if out.err == nil {
+			return out, true
+		}
+		_ = firstFail
+		return out, true
+	case out := <-secondary:
+		if out.err == nil {
+			return out, true
+		}
+		firstFail = out
+		out = <-primary
+		if out.err == nil {
+			return out, true
+		}
+		_ = firstFail
+		return out, true
+	}
+}
+
+// ReplicaStats is one replica's slice of RouterStats.
+type ReplicaStats struct {
+	// Target names the replica.
+	Target string `json:"target"`
+	// Up reports the health prober's current admission verdict.
+	Up bool `json:"up"`
+	// Breaker is the circuit state: "closed", "open" or "half-open".
+	Breaker string `json:"breaker"`
+	// Success counts answered dispatches to this replica.
+	Success int64 `json:"success"`
+	// Rejected counts typed overload refusals from this replica.
+	Rejected int64 `json:"rejected"`
+	// TransportErrors counts failed exchanges (timeouts, refused or
+	// torn connections, draining replies).
+	TransportErrors int64 `json:"transport_errors"`
+	// Retried counts dispatches to this replica that were retries of
+	// an attempt failed elsewhere.
+	Retried int64 `json:"retried"`
+	// Hedged counts hedge attempts landed on this replica.
+	Hedged int64 `json:"hedged"`
+	// ProbeFails counts health-probe failures since startup.
+	ProbeFails int64 `json:"probe_fails"`
+	// InFlight gauges this router's dispatches currently running on
+	// the replica.
+	InFlight int64 `json:"in_flight"`
+	// QueueLen is the replica's admission-queue occupancy at its last
+	// successful probe.
+	QueueLen int `json:"queue_len"`
+	// ServiceEwmaMs is the replica's smoothed per-request service
+	// time at its last successful probe.
+	ServiceEwmaMs float64 `json:"service_ewma_ms"`
+	// WalkFloorMs is the replica's calibrated MinSubnet walk cost —
+	// the retry-affordability floor — in milliseconds.
+	WalkFloorMs float64 `json:"walk_floor_ms"`
+	// LastProbeError is the most recent probe failure ("" when the
+	// last probe succeeded).
+	LastProbeError string `json:"last_probe_error,omitempty"`
+}
+
+// RouterStats is a point-in-time snapshot of the router's outcome
+// counters and per-replica states (the /stats payload in router
+// mode).
+type RouterStats struct {
+	// Submitted counts Submit calls.
+	Submitted int64 `json:"submitted"`
+	// Served counts Submits answered successfully.
+	Served int64 `json:"served"`
+	// Failed counts Submits that returned an error.
+	Failed int64 `json:"failed"`
+	// Retries counts re-dispatches after a failed attempt.
+	Retries int64 `json:"retries"`
+	// Hedges counts tail-hedge attempts launched.
+	Hedges int64 `json:"hedges"`
+	// Available counts replicas currently admitted.
+	Available int `json:"available"`
+	// Replicas breaks the counters down per replica.
+	Replicas []ReplicaStats `json:"replicas"`
+}
+
+// Stats snapshots the router's counters and per-replica states.
+func (ro *Router) Stats() RouterStats {
+	st := RouterStats{
+		Submitted: ro.submitted.Load(),
+		Served:    ro.served.Load(),
+		Failed:    ro.failed.Load(),
+		Retries:   ro.retries.Load(),
+		Hedges:    ro.hedges.Load(),
+	}
+	now := time.Now()
+	for _, r := range ro.replicas {
+		r.mu.Lock()
+		rs := ReplicaStats{
+			Target: r.b.Target(),
+			Up:     r.up,
+			Breaker: map[int]string{
+				brClosed: "closed", brOpen: "open", brHalfOpen: "half-open",
+			}[r.brState],
+			ProbeFails: r.probeFailTotal.Load(),
+		}
+		if r.up && r.brCanAllowLocked(now) {
+			st.Available++
+		}
+		if r.lastProbeErr != nil {
+			rs.LastProbeError = r.lastProbeErr.Error()
+		}
+		r.mu.Unlock()
+		rs.Success = r.success.Load()
+		rs.Rejected = r.rejected.Load()
+		rs.TransportErrors = r.transport.Load()
+		rs.Retried = r.retried.Load()
+		rs.Hedged = r.hedged.Load()
+		rs.InFlight = r.inflight.Load()
+		rs.WalkFloorMs = float64(r.floorNs.Load()) / float64(time.Millisecond)
+		if snap := r.snap.Load(); snap != nil {
+			rs.QueueLen = snap.QueueLen
+			rs.ServiceEwmaMs = snap.ServiceEwmaMs
+		}
+		st.Replicas = append(st.Replicas, rs)
+	}
+	return st
+}

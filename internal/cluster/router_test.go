@@ -1,0 +1,424 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"steppingnet/internal/serve"
+)
+
+// fakeBackend is a fully scripted Backend: tests flip its health and
+// submit behavior to drive the router's prober, breaker, retry and
+// hedge paths deterministically, with no model, engine or clock
+// dependence.
+type fakeBackend struct {
+	name string
+
+	mu          sync.Mutex
+	healthErr   error
+	submitErr   error
+	submitDelay time.Duration
+	snap        serve.Snapshot
+
+	submits atomic.Int64
+	closed  atomic.Bool
+}
+
+func (f *fakeBackend) setHealth(err error)      { f.mu.Lock(); f.healthErr = err; f.mu.Unlock() }
+func (f *fakeBackend) setSubmitErr(err error)   { f.mu.Lock(); f.submitErr = err; f.mu.Unlock() }
+func (f *fakeBackend) setDelay(d time.Duration) { f.mu.Lock(); f.submitDelay = d; f.mu.Unlock() }
+
+func (f *fakeBackend) Submit(_ context.Context, req serve.Request) (serve.Result, error) {
+	f.submits.Add(1)
+	f.mu.Lock()
+	d, err := f.submitDelay, f.submitErr
+	f.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if err != nil {
+		return serve.Result{}, err
+	}
+	return serve.Result{
+		Subnet: 1, Pred: 0, Logits: []float64{1, 0},
+		Priority: req.Priority, DeadlineMet: true,
+	}, nil
+}
+
+func (f *fakeBackend) Stats(context.Context) (serve.Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snap, nil
+}
+
+func (f *fakeBackend) Health(context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.healthErr
+}
+
+func (f *fakeBackend) Target() string { return f.name }
+func (f *fakeBackend) Close()         { f.closed.Store(true) }
+
+// snap fabricates a routing snapshot: queueLen orders the backlog
+// scores (so tests pin which replica a first attempt picks) and
+// stepMs fixes the calibrated walk floor the retry-affordability gate
+// prices against.
+func snap(queueLen int, stepMs ...float64) serve.Snapshot {
+	return serve.Snapshot{
+		QueueLen: queueLen, Workers: 1, ServiceEwmaMs: 1,
+		MinSubnet: 1, StepTimeMs: stepMs,
+	}
+}
+
+func TestWalkFloor(t *testing.T) {
+	if got := walkFloor(serve.Snapshot{}); got != 0 {
+		t.Fatalf("uncalibrated floor = %v, want 0", got)
+	}
+	// MinSubnet 2 over steps {1ms, 2ms, 3ms}: the cheapest answer
+	// walks steps 1 and 2 → 3ms.
+	s := serve.Snapshot{StepTimeMs: []float64{1, 2, 3}, MinSubnet: 2}
+	if got := walkFloor(s); got != 3*time.Millisecond {
+		t.Fatalf("floor = %v, want 3ms", got)
+	}
+	// Out-of-range MinSubnet clamps to the ladder.
+	s.MinSubnet = 99
+	if got := walkFloor(s); got != 6*time.Millisecond {
+		t.Fatalf("clamped-high floor = %v, want 6ms", got)
+	}
+	s.MinSubnet = 0
+	if got := walkFloor(s); got != time.Millisecond {
+		t.Fatalf("clamped-low floor = %v, want 1ms", got)
+	}
+}
+
+// newTestRouter builds a probe-less router over the given fakes with
+// fast, deterministic settings; tests drive probeOnce by hand.
+func newTestRouter(t *testing.T, cfg RouterConfig, fakes ...*fakeBackend) *Router {
+	t.Helper()
+	for _, f := range fakes {
+		cfg.Backends = append(cfg.Backends, f)
+	}
+	cfg.ProbeInterval = -1 // no background probing: tests own the clock
+	ro, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ro.Close)
+	return ro
+}
+
+// TestRetryDeadlineAware pins the acceptance property "never retry a
+// request whose remaining deadline cannot afford the target replica's
+// minimum walk" with injected calibration: replica A always fails
+// with a transport error; replica B succeeds. While B's calibrated
+// floor is cheap, a failed attempt on A is retried on B and served;
+// when B's cached calibration says even its narrowest answer costs
+// 10 s, the same failure is NOT retried — the router returns A's
+// transport error instead of wasting B's capacity on a guaranteed
+// miss.
+func TestRetryDeadlineAware(t *testing.T) {
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	a.setSubmitErr(fmt.Errorf("%w: synthetic", ErrTransport))
+	ro := newTestRouter(t, RouterConfig{}, a, b)
+
+	// A scores 0 (empty queue) so every first attempt lands there; B's
+	// fabricated backlog keeps it the retry target only.
+	ro.replicas[0].storeSnap(snap(0, 0.001))
+	ro.replicas[1].storeSnap(snap(10, 0.001))
+
+	res, err := ro.Submit(serve.Request{Deadline: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("cheap-floor retry failed: %v", err)
+	}
+	if res.Subnet != 1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if got := ro.retries.Load(); got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+	if got := b.submits.Load(); got != 1 {
+		t.Fatalf("replica b submits = %d, want 1", got)
+	}
+
+	// Same failure, but B's calibration now prices its cheapest walk
+	// at 10s — far past the 50ms deadline. No retry may fire.
+	ro.replicas[1].storeSnap(snap(10, 10_000))
+	_, err = ro.Submit(serve.Request{Deadline: 50 * time.Millisecond})
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("unaffordable retry: got %v, want the original transport error", err)
+	}
+	if got := ro.retries.Load(); got != 1 {
+		t.Fatalf("retries = %d after unaffordable case, want still 1", got)
+	}
+	if got := b.submits.Load(); got != 1 {
+		t.Fatalf("replica b submits = %d, want still 1 (no retry dispatched)", got)
+	}
+
+	st := ro.Stats()
+	if st.Replicas[0].TransportErrors != 2 || st.Replicas[1].Success != 1 {
+		t.Fatalf("stats mismatch: %+v", st.Replicas)
+	}
+}
+
+// TestReadmitAfterConsecutiveProbes pins the prober's admission
+// hysteresis: DownAfter consecutive failures eject a replica (with
+// probe backoff growing exponentially), and re-admission requires
+// ReadmitAfter consecutive successes — one lucky probe against a
+// flapping replica is not enough, and any failure in between resets
+// the run.
+func TestReadmitAfterConsecutiveProbes(t *testing.T) {
+	f := &fakeBackend{name: "flappy"}
+	ro := newTestRouter(t, RouterConfig{
+		DownAfter: 2, ReadmitAfter: 3,
+		ProbeBackoffMax: 4 * 500 * time.Millisecond,
+	}, f)
+	r := ro.replicas[0]
+
+	up := func() bool { r.mu.Lock(); defer r.mu.Unlock(); return r.up }
+	backoff := func() time.Duration { r.mu.Lock(); defer r.mu.Unlock(); return r.backoff }
+
+	f.setHealth(errors.New("probe refused"))
+	ro.probeOnce(r)
+	if !up() {
+		t.Fatal("one probe failure must not eject (DownAfter=2)")
+	}
+	ro.probeOnce(r)
+	if up() {
+		t.Fatal("two consecutive probe failures must eject")
+	}
+	if ro.Available() != 0 {
+		t.Fatalf("Available = %d with the only replica down", ro.Available())
+	}
+	// Backoff doubled per failure: base 500ms → 1s → 2s.
+	if got := backoff(); got != 2*time.Second {
+		t.Fatalf("probe backoff = %v after two failures, want 2s", got)
+	}
+	ro.probeOnce(r)
+	ro.probeOnce(r)
+	if got := backoff(); got != 4*500*time.Millisecond {
+		t.Fatalf("probe backoff = %v, want capped at %v", got, 4*500*time.Millisecond)
+	}
+
+	// Two successes: not enough (ReadmitAfter=3), but backoff resets.
+	f.setHealth(nil)
+	ro.probeOnce(r)
+	ro.probeOnce(r)
+	if up() {
+		t.Fatal("re-admitted after only 2 consecutive successful probes, want 3")
+	}
+	if got := backoff(); got != 0 {
+		t.Fatalf("probe backoff = %v after success, want reset to 0", got)
+	}
+
+	// A failure in between resets the success run.
+	f.setHealth(errors.New("flap"))
+	ro.probeOnce(r)
+	f.setHealth(nil)
+	ro.probeOnce(r)
+	ro.probeOnce(r)
+	if up() {
+		t.Fatal("success run must restart after an interleaved failure")
+	}
+	ro.probeOnce(r)
+	if !up() {
+		t.Fatal("three consecutive successful probes must re-admit")
+	}
+	if ro.Available() != 1 {
+		t.Fatalf("Available = %d after re-admission, want 1", ro.Available())
+	}
+}
+
+// TestBreakerStateMachine pins the per-replica circuit: consecutive
+// submit failures open it, an open circuit rejects instantly without
+// touching the replica, the cooldown admits exactly one half-open
+// trial, and that trial's outcome closes or re-opens the circuit.
+func TestBreakerStateMachine(t *testing.T) {
+	f := &fakeBackend{name: "breaker"}
+	f.setSubmitErr(fmt.Errorf("%w: down", ErrTransport))
+	const cooldown = 40 * time.Millisecond
+	ro := newTestRouter(t, RouterConfig{
+		BreakerThreshold: 2, BreakerCooldown: cooldown,
+	}, f)
+
+	brState := func() string { return ro.Stats().Replicas[0].Breaker }
+
+	for i := 0; i < 2; i++ {
+		if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); !errors.Is(err, ErrTransport) {
+			t.Fatalf("submit %d: got %v, want transport error", i, err)
+		}
+	}
+	if got := brState(); got != "open" {
+		t.Fatalf("breaker = %q after %d consecutive failures, want open", got, 2)
+	}
+
+	// Open circuit: the replica is not even tried.
+	before := f.submits.Load()
+	if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("open-circuit submit: got %v, want ErrNoReplicas", err)
+	}
+	if f.submits.Load() != before {
+		t.Fatal("open circuit must not dispatch to the replica")
+	}
+
+	// Cooldown elapses; the half-open trial fails → straight back to
+	// open, no threshold accumulation needed.
+	time.Sleep(cooldown + 5*time.Millisecond)
+	if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); !errors.Is(err, ErrTransport) {
+		t.Fatalf("half-open trial: got %v, want transport error", err)
+	}
+	if got := brState(); got != "open" {
+		t.Fatalf("breaker = %q after failed half-open trial, want open", got)
+	}
+
+	// Next cooldown: the trial succeeds → closed, traffic flows.
+	f.setSubmitErr(nil)
+	time.Sleep(cooldown + 5*time.Millisecond)
+	if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); err != nil {
+		t.Fatalf("recovering half-open trial failed: %v", err)
+	}
+	if got := brState(); got != "closed" {
+		t.Fatalf("breaker = %q after successful trial, want closed", got)
+	}
+	if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); err != nil {
+		t.Fatalf("closed-circuit submit failed: %v", err)
+	}
+}
+
+// TestOverloadIsNotBreakerEvidence pins the distinction between a
+// dead replica and a busy one: typed ErrOverloaded refusals never
+// open the circuit, however many arrive in a row — ejecting a replica
+// for defending itself would dogpile its peers.
+func TestOverloadIsNotBreakerEvidence(t *testing.T) {
+	f := &fakeBackend{name: "busy"}
+	f.setSubmitErr(fmt.Errorf("%w: queue full", serve.ErrOverloaded))
+	ro := newTestRouter(t, RouterConfig{BreakerThreshold: 2}, f)
+
+	for i := 0; i < 6; i++ {
+		if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); !errors.Is(err, serve.ErrOverloaded) {
+			t.Fatalf("submit %d: got %v, want ErrOverloaded passed through", i, err)
+		}
+	}
+	if got := ro.Stats().Replicas[0].Breaker; got != "closed" {
+		t.Fatalf("breaker = %q after overload refusals, want closed", got)
+	}
+	if got := ro.Stats().Replicas[0].Rejected; got != 6 {
+		t.Fatalf("rejected = %d, want 6", got)
+	}
+}
+
+// TestHedgeRacesTailRequest pins the hedging path: once a class has a
+// latency history, a first attempt that overstays the class p99 gets
+// a second attempt raced on another replica, the faster answer wins,
+// and exactly one result is returned.
+func TestHedgeRacesTailRequest(t *testing.T) {
+	slow := &fakeBackend{name: "slow"}
+	fast := &fakeBackend{name: "fast"}
+	slow.setDelay(60 * time.Millisecond)
+	ro := newTestRouter(t, RouterConfig{
+		Hedge: true, HedgeMinSamples: 4,
+	}, slow, fast)
+
+	// Pin first-attempt choice: slow scores 0, fast carries fabricated
+	// backlog. Both floors are cheap, so the hedge is affordable.
+	ro.replicas[0].storeSnap(snap(0, 0.001))
+	ro.replicas[1].storeSnap(snap(10, 0.001))
+
+	// Seed the class-1 latency history: p99 ≈ 1ms, far under the slow
+	// replica's 60ms stall.
+	for i := 0; i < 4; i++ {
+		ro.observeLatency(1, time.Millisecond)
+	}
+
+	start := time.Now()
+	res, err := ro.Submit(serve.Request{Priority: 1, Deadline: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("hedged submit failed: %v", err)
+	}
+	if res.Subnet != 1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	// The hedge must beat the slow primary by a wide margin.
+	if e := time.Since(start); e > 40*time.Millisecond {
+		t.Fatalf("hedged answer took %v, want well under the slow replica's 60ms", e)
+	}
+	if got := ro.hedges.Load(); got != 1 {
+		t.Fatalf("hedges = %d, want 1", got)
+	}
+	if got := fast.submits.Load(); got != 1 {
+		t.Fatalf("fast replica submits = %d, want 1 (the hedge)", got)
+	}
+	// The abandoned primary still completes and its bookkeeping lands.
+	deadline := time.Now().Add(2 * time.Second)
+	for ro.replicas[0].inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned primary attempt never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := ro.Stats()
+	if st.Served != 1 || st.Submitted != 1 {
+		t.Fatalf("router stats %+v, want exactly one submit and one serve", st)
+	}
+	if st.Replicas[1].Hedged != 1 {
+		t.Fatalf("replica stats %+v, want the hedge attributed to fast", st.Replicas)
+	}
+}
+
+// TestBadInputNeverRetries pins the permanent-error classification: a
+// request rejected for its own shape is returned immediately, with no
+// second replica tried and no breaker movement.
+func TestBadInputNeverRetries(t *testing.T) {
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	a.setSubmitErr(fmt.Errorf("%w: wrong geometry", serve.ErrBadInput))
+	ro := newTestRouter(t, RouterConfig{}, a, b)
+	ro.replicas[0].storeSnap(snap(0))
+	ro.replicas[1].storeSnap(snap(10))
+
+	if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); !errors.Is(err, serve.ErrBadInput) {
+		t.Fatalf("got %v, want ErrBadInput", err)
+	}
+	if got := b.submits.Load(); got != 0 {
+		t.Fatalf("replica b submits = %d, want 0 (bad input is not retriable)", got)
+	}
+	if got := ro.Stats().Replicas[0].Breaker; got != "closed" {
+		t.Fatalf("breaker = %q, want closed (bad input says nothing about the replica)", got)
+	}
+}
+
+// TestLeastBacklogPick pins the routing objective: with equal floors
+// and health, traffic goes to the replica whose cached snapshot
+// predicts the smallest backlog.
+func TestLeastBacklogPick(t *testing.T) {
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	ro := newTestRouter(t, RouterConfig{}, a, b)
+	ro.replicas[0].storeSnap(snap(12))
+	ro.replicas[1].storeSnap(snap(1))
+
+	for i := 0; i < 5; i++ {
+		if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.submits.Load(); got != 5 {
+		t.Fatalf("least-backlogged replica served %d of 5", got)
+	}
+	if got := a.submits.Load(); got != 0 {
+		t.Fatalf("backlogged replica served %d, want 0", got)
+	}
+}
+
+// TestRouterConfigValidation pins the constructor's contract.
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Fatal("want error for empty backend list")
+	}
+}

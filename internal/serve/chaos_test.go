@@ -65,7 +65,7 @@ func TestChaosRandomizedLifecycles(t *testing.T) {
 				cfg.RefreshInterval = time.Millisecond
 			}
 			if rng.Intn(2) == 1 {
-				cfg.serveDelay = time.Duration(rng.Intn(2000)) * time.Microsecond
+				cfg.ServeDelay = time.Duration(rng.Intn(2000)) * time.Microsecond
 			}
 			srv, err := New(cfg)
 			if err != nil {

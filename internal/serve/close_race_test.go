@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitCloseRace is the focused single-process half of the
+// cluster chaos invariant: Submit racing Close must resolve every
+// caller to exactly one outcome — a real answer (the request was
+// admitted before Close won the race) or one typed error (ErrClosed /
+// ErrOverloaded) — and never hang. It hammers the exact interleaving
+// window: a storm of submitters starts, Close fires mid-storm after a
+// tiny stagger, and every outcome is collected behind a watchdog so a
+// hung Submit fails the test instead of stalling the suite. Repeated
+// across rounds with different worker/batch shapes so the race hits
+// both the queue-admission path and the batch-former handoff.
+func TestSubmitCloseRace(t *testing.T) {
+	m := buildModel(77)
+	rounds := []struct{ workers, maxBatch, queue int }{
+		{1, 1, 4},
+		{2, 4, 16},
+		{3, 2, 8},
+	}
+	for ri, shape := range rounds {
+		shape := shape
+		t.Run(fmt.Sprintf("w%db%d", shape.workers, shape.maxBatch), func(t *testing.T) {
+			srv, err := New(Config{
+				Model: m, Subnets: 3,
+				Workers: shape.workers, MaxBatch: shape.maxBatch, QueueDepth: shape.queue,
+				Calibration:     instantSteps(m, 3),
+				DefaultDeadline: time.Hour,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := inputVec(uint64(78+ri), srv.imgLen)
+
+			const submitters = 32
+			var (
+				wg       sync.WaitGroup
+				answered atomic.Int64
+				closed   atomic.Int64
+				shed     atomic.Int64
+			)
+			outcomes := make(chan error, submitters)
+			for i := 0; i < submitters; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, err := srv.Submit(Request{Input: in})
+					switch {
+					case err == nil:
+						answered.Add(1)
+						if res.Subnet < 1 || res.Subnet > 3 {
+							outcomes <- fmt.Errorf("answered from subnet %d", res.Subnet)
+							return
+						}
+					case errors.Is(err, ErrClosed):
+						closed.Add(1)
+					case errors.Is(err, ErrOverloaded):
+						shed.Add(1)
+					default:
+						outcomes <- fmt.Errorf("unexpected error: %w", err)
+						return
+					}
+					outcomes <- nil
+				}()
+			}
+			// Close mid-storm: the stagger lands inside the submit wave,
+			// so some callers race the closed-flag check, some race the
+			// queue drain, and some arrive after.
+			time.Sleep(200 * time.Microsecond)
+			srv.Close()
+
+			// Watchdog: every submitter must resolve. A missing outcome
+			// is the hang this test exists to catch.
+			deadline := time.After(30 * time.Second)
+			for got := 0; got < submitters; got++ {
+				select {
+				case err := <-outcomes:
+					if err != nil {
+						t.Fatal(err)
+					}
+				case <-deadline:
+					t.Fatalf("only %d/%d submitters resolved: Submit hung racing Close "+
+						"(%d answered, %d closed, %d shed)",
+						got, submitters, answered.Load(), closed.Load(), shed.Load())
+				}
+			}
+			wg.Wait()
+
+			if got := answered.Load() + closed.Load() + shed.Load(); got != submitters {
+				t.Fatalf("outcomes %d != submitters %d (double answer)", got, submitters)
+			}
+			// The counter invariant must hold at quiescence: post-Close
+			// submits count as neither served nor rejected.
+			snap := srv.Stats()
+			if snap.Submitted != snap.Served+snap.Rejected {
+				t.Fatalf("submitted %d != served %d + rejected %d",
+					snap.Submitted, snap.Served, snap.Rejected)
+			}
+			if snap.Served != answered.Load() {
+				t.Fatalf("stats served %d, callers saw %d answers", snap.Served, answered.Load())
+			}
+		})
+	}
+}

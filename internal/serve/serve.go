@@ -123,11 +123,13 @@ type Config struct {
 	// scheduler and admission controller plan with. 0 disables (the
 	// startup calibration is trusted forever).
 	RefreshInterval time.Duration
-
-	// serveDelay, when positive, stalls each batch walk — an
-	// in-package test hook that makes overload scenarios
-	// deterministic on fast machines.
-	serveDelay time.Duration
+	// ServeDelay, when positive, stalls each batch walk before it
+	// executes — a fault-injection/test hook that caps one worker's
+	// throughput at a known rate, so overload and replica-slowdown
+	// scenarios are deterministic on fast machines (the in-package
+	// overload tests and the cluster chaos tests both lean on it).
+	// Always 0 in production configurations.
+	ServeDelay time.Duration
 }
 
 // withDefaults fills zero fields and validates the rest.
@@ -183,6 +185,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.RefreshInterval < 0 {
 		return c, fmt.Errorf("serve: negative RefreshInterval %v", c.RefreshInterval)
+	}
+	if c.ServeDelay < 0 {
+		return c, fmt.Errorf("serve: negative ServeDelay %v", c.ServeDelay)
 	}
 	return c, nil
 }
@@ -367,6 +372,18 @@ func calibrate(m *models.Model, n, reps int) ([]time.Duration, error) {
 // (for logging and load generators).
 func (s *Server) Latency() governor.LatencyModel { return s.lat.Load() }
 
+// Healthy reports whether the server is still admitting work: true
+// until Close begins, false from then on (queued and in-flight
+// requests may still be draining). It is the in-process readiness
+// signal health probes and /healthz endpoints should surface — a
+// draining server must stop attracting new traffic before its last
+// answer leaves.
+func (s *Server) Healthy() bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return !s.closed
+}
+
 // Stats returns a point-in-time snapshot of the serving counters,
 // including queue gauges and the calibration constants.
 func (s *Server) Stats() Snapshot {
@@ -376,6 +393,7 @@ func (s *Server) Stats() Snapshot {
 	s.qmu.Unlock()
 	snap.QueueCap = s.cfg.QueueDepth
 	snap.Workers = s.cfg.Workers
+	snap.MinSubnet = s.cfg.MinSubnet
 	snap.ServiceEwmaMs = float64(s.svcNs.Load()) / float64(time.Millisecond)
 	lat := s.lat.Load()
 	snap.MACRate = lat.MACRate()
@@ -687,8 +705,8 @@ func (s *Server) stepEstimate(lat governor.LatencyModel, next, b int) time.Durat
 // ones keep climbing.
 func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []*pending) {
 	started := time.Now()
-	if s.cfg.serveDelay > 0 {
-		time.Sleep(s.cfg.serveDelay)
+	if s.cfg.ServeDelay > 0 {
+		time.Sleep(s.cfg.ServeDelay)
 	}
 	lat := s.lat.Load() // one consistent model per batch, swap-safe
 	b := len(batch)

@@ -397,7 +397,7 @@ func TestPriorityProtectsHighClassUnderOverload(t *testing.T) {
 		Calibration:     instantSteps(m, 3), DefaultDeadline: time.Hour,
 		// 2ms per batch makes one worker's capacity ~2k req/s at full
 		// batching; 40 closed-loop low submitters offer far beyond it.
-		serveDelay: 2 * time.Millisecond,
+		ServeDelay: 2 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -490,7 +490,7 @@ func TestOverloadDegradesGracefully(t *testing.T) {
 		Calibration: instantSteps(m, 3), DefaultDeadline: time.Hour,
 		// Stall each batch so the burst genuinely outruns capacity
 		// even on a machine that would otherwise drain it instantly.
-		serveDelay: 5 * time.Millisecond,
+		ServeDelay: 5 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -554,7 +554,7 @@ func TestAdmissionControlRejectsUnmeetableDeadlines(t *testing.T) {
 	srv, err := New(Config{
 		Model: m, Subnets: 3, Workers: 1, QueueDepth: 32,
 		Calibration: instantSteps(m, 3), DefaultDeadline: time.Hour,
-		serveDelay: 5 * time.Millisecond,
+		ServeDelay: 5 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -202,6 +202,12 @@ type Snapshot struct {
 	QueueCap int `json:"queue_cap"`
 	// Workers is the engine-pool size serving requests.
 	Workers int `json:"workers"`
+	// MinSubnet is the narrowest answer this server is configured to
+	// return (Config.MinSubnet) — together with StepTimeMs it lets a
+	// remote router compute the cheapest walk this replica can
+	// possibly serve, the floor its deadline-aware retry policy
+	// checks before re-dispatching a request here.
+	MinSubnet int `json:"min_subnet"`
 	// ServiceEwmaMs is the smoothed per-request service time the
 	// admission controller predicts queue waits with, in
 	// milliseconds (0 until the first batch completes).
