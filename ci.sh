@@ -106,6 +106,19 @@ go test -race -count=1 -run TestChaosRandomizedLifecycles ./internal/serve
 echo "== chaos (scalar backend) =="
 STEPPINGNET_NOSIMD=1 go test -race -count=1 -run TestChaosRandomizedLifecycles ./internal/serve
 
+echo "== overload governor (default backend) =="
+# The SLO-driven brownout loop always runs under the race detector on
+# both GEMM backends: the deterministic controller unit tests, the
+# serve-side drift scenario (calibration inflates 3× mid-run and the
+# controller re-converges), the policy-swap/stats property test and
+# the control-loop shutdown leak check.
+GOV_TESTS='TestControl|TestPolicySwap'
+go test -race -count=1 ./internal/governor
+go test -race -count=1 -run "$GOV_TESTS" ./internal/serve
+echo "== overload governor (scalar backend) =="
+STEPPINGNET_NOSIMD=1 go test -race -count=1 ./internal/governor
+STEPPINGNET_NOSIMD=1 go test -race -count=1 -run "$GOV_TESTS" ./internal/serve
+
 echo "== cluster chaos (default backend) =="
 # The distributed tier's fault storms always run under the race
 # detector and under both GEMM backends: replica death, seeded random
@@ -137,13 +150,17 @@ echo "== router e2e smoke =="
 )
 
 echo "== serve smoke-run (default backend) =="
-# Drive the anytime serving layer briefly through the load generator:
-# calibration, admission, deadline scheduling, micro-batching and
-# graceful drain all execute. Run under both GEMM backends, like the
-# test suite.
-go run ./cmd/stepserve -loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -refresh 250ms -deadlines 500us:0.45,10ms:0.45,10ms:0.1:hi
+# Drive the anytime serving layer briefly through the load generator
+# with the burst scenario and an armed overload governor: calibration,
+# admission, deadline scheduling, micro-batching, brownout control and
+# graceful drain all execute, and the report exercises the SLO
+# attainment columns. Run under both GEMM backends, like the test
+# suite.
+SMOKE_FLAGS='-loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -refresh 250ms
+             -deadlines 500us:0.45,10ms:0.45,10ms:0.1:hi -scenario burst -slo 1:5ms:0.9 -control 20ms'
+go run ./cmd/stepserve $SMOKE_FLAGS
 echo "== serve smoke-run (scalar backend) =="
-STEPPINGNET_NOSIMD=1 go run ./cmd/stepserve -loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -refresh 250ms -deadlines 500us:0.45,10ms:0.45,10ms:0.1:hi
+STEPPINGNET_NOSIMD=1 go run ./cmd/stepserve $SMOKE_FLAGS
 
 echo "== perf baseline =="
 trap 'rm -f BENCH_new.json' EXIT # the gate's scratch file, never committed

@@ -55,9 +55,16 @@ func compareBaselines(oldPath, newPath string, update, strict bool) error {
 		return err
 	}
 	sameBackend := oldBase.Backend == newBase.Backend
+	// A backend mismatch must be impossible to miss in CI logs: it
+	// means every ns/op verdict below is ungated, and a reader skimming
+	// for "no regressions" would otherwise take the run as a clean
+	// wall-clock pass. Shout it up front, tag every skipped verdict
+	// with the backend pair, and repeat it next to the final verdict.
+	backendPair := ""
 	if !sameBackend {
-		fmt.Printf("note: backend changed %q -> %q; ns/op is incomparable and not gated this run\n",
-			oldBase.Backend, newBase.Backend)
+		backendPair = fmt.Sprintf("%s -> %s", orUnknown(oldBase.Backend), orUnknown(newBase.Backend))
+		fmt.Printf("WARNING: baseline backends differ (%s): ns/op is incomparable and NOT GATED this run\n", backendPair)
+		fmt.Printf("WARNING: only the allocs/op gate applies; rerun with matching backends to gate wall-clock\n")
 	}
 
 	names := make([]string, 0, len(oldBase.Results)+len(newBase.Results))
@@ -109,7 +116,7 @@ func compareBaselines(oldPath, newPath string, update, strict bool) error {
 			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %+.0f%% (%d -> %d)",
 				name, delta*100, o.NsPerOp, n.NsPerOp))
 		case delta > compareNoiseThreshold:
-			verdict = "slower (backend changed, not gated)"
+			verdict = fmt.Sprintf("slower (backend %s, not gated)", backendPair)
 		}
 		if o.AllocsPerOp == 0 && n.AllocsPerOp > 0 {
 			verdict = "ALLOCS on zero-alloc path"
@@ -130,7 +137,11 @@ func compareBaselines(oldPath, newPath string, update, strict bool) error {
 		}
 		return fmt.Errorf("%d benchmark regression(s)", len(failures))
 	}
-	fmt.Println("\nno regressions")
+	if !sameBackend {
+		fmt.Printf("\nno regressions — but WARNING: ns/op was NOT GATED (backends differ: %s)\n", backendPair)
+	} else {
+		fmt.Println("\nno regressions")
+	}
 
 	if update {
 		if !sameBackend {
@@ -148,6 +159,15 @@ func compareBaselines(oldPath, newPath string, update, strict bool) error {
 		fmt.Printf("baseline updated: %s <- %s\n", oldPath, newPath)
 	}
 	return nil
+}
+
+// orUnknown names an empty backend tag (baselines predating the tag)
+// so the mismatch warning never prints a blank.
+func orUnknown(backend string) string {
+	if backend == "" {
+		return "(untagged)"
+	}
+	return backend
 }
 
 func readBaseline(path string) (*benchBaseline, error) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"net/url"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"steppingnet/internal/cluster"
+	"steppingnet/internal/governor"
 	"steppingnet/internal/models"
 	"steppingnet/internal/serve"
 	"steppingnet/internal/tensor"
@@ -72,6 +74,47 @@ func parseDeadlineMix(spec string, fallback time.Duration) ([]deadlineClass, err
 	return mix, nil
 }
 
+// loadShape maps a -scenario name to its rate multiplier as a pure
+// function of the elapsed run fraction ∈ [0,1). The shapes are
+// deterministic by construction — no randomness, no wall-clock beyond
+// the run's own elapsed time — so the same flags reproduce the same
+// offered-load curve and the governor's response to it:
+//
+//	constant  1× throughout (the pre-scenario behavior)
+//	diurnal   one sinusoidal "day": trough 0.25×, peak 1.75×, mean 1×
+//	burst     calm 0.5× baseline with 3× bursts over the 15–25%,
+//	          45–55% and 75–85% windows of the run
+//	step      staircase 0.5× → 1× → 2× → 4× by quarter
+func loadShape(name string) (func(frac float64) float64, error) {
+	switch name {
+	case "", "constant":
+		return func(float64) float64 { return 1 }, nil
+	case "diurnal":
+		return func(f float64) float64 { return 1 + 0.75*math.Sin(2*math.Pi*f-math.Pi/2) }, nil
+	case "burst":
+		return func(f float64) float64 {
+			if (f >= 0.15 && f < 0.25) || (f >= 0.45 && f < 0.55) || (f >= 0.75 && f < 0.85) {
+				return 3
+			}
+			return 0.5
+		}, nil
+	case "step":
+		return func(f float64) float64 {
+			switch {
+			case f < 0.25:
+				return 0.5
+			case f < 0.5:
+				return 1
+			case f < 0.75:
+				return 2
+			default:
+				return 4
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q (want constant, diurnal, burst or step)", name)
+}
+
 // pickClass draws a class index proportionally to the weights.
 func pickClass(mix []deadlineClass, rng *tensor.RNG) int {
 	var total float64
@@ -111,15 +154,18 @@ type loadTarget struct {
 // service really has.
 const maxInflight = 256
 
-// driveLoad offers an open-loop request stream at the given rate for
-// the given duration, spreading requests round-robin over the targets
-// and classifying every outcome client-side: served (with latency),
-// rejected (typed overload shed), transport error (unreachable, torn
-// or draining target), or dropped before send (in-flight cap). A nil
-// input pool sends input-less requests — remote replicas synthesize
-// their own seeded image, keeping the generator's CPU out of the
-// measurement.
-func driveLoad(tgs []*loadTarget, rps float64, duration time.Duration, mix []deadlineClass, inputs [][]float64, rng *tensor.RNG) ([]classStats, []int64, int) {
+// driveLoad offers an open-loop request stream at the given base rate
+// for the given duration, spreading requests round-robin over the
+// targets and classifying every outcome client-side: served (with
+// latency), rejected (typed overload shed), transport error
+// (unreachable, torn or draining target), or dropped before send
+// (in-flight cap). The shape function (see loadShape) scales the
+// instantaneous rate by the elapsed run fraction — fractional
+// per-tick counts are carried forward so the offered total tracks the
+// curve's integral rather than rounding it away. A nil input pool
+// sends input-less requests — remote replicas synthesize their own
+// seeded image, keeping the generator's CPU out of the measurement.
+func driveLoad(tgs []*loadTarget, rps float64, duration time.Duration, mix []deadlineClass, inputs [][]float64, rng *tensor.RNG, shape func(float64) float64) ([]classStats, []int64, int) {
 	var (
 		mu       sync.Mutex
 		perClass = make([]classStats, len(mix))
@@ -198,13 +244,22 @@ func driveLoad(tgs []*loadTarget, rps float64, duration time.Duration, mix []dea
 		}(ci, tg)
 	}
 
+	start := time.Now()
+	carry := 0.0
 loop:
 	for {
 		select {
 		case <-stop:
 			break loop
 		case <-ticker.C:
-			for i := 0; i < burst; i++ {
+			// Scale this tick's burst by the scenario's multiplier at
+			// the current point of the run; the fractional remainder
+			// rolls into the next tick.
+			frac := float64(time.Since(start)) / float64(duration)
+			carry += float64(burst) * shape(frac)
+			n := int(carry)
+			carry -= float64(n)
+			for i := 0; i < n; i++ {
 				fire()
 			}
 		}
@@ -213,12 +268,19 @@ loop:
 	return perClass, bySubnet, offered
 }
 
-// printClassReport renders the per-class table and the subnet-ladder
-// answer distribution every loadgen mode shares.
-func printClassReport(mix []deadlineClass, perClass []classStats, bySubnet []int64, offered int, rps float64, duration time.Duration) {
-	fmt.Printf("\noffered %d requests (%.0f rps × %v)\n", offered, rps, duration)
-	fmt.Printf("%-10s %4s %7s %7s %7s %7s %7s %9s %9s %9s  %s\n",
-		"deadline", "prio", "sent", "served", "reject", "xport", "drop", "p50", "p95", "p99", "hit-rate")
+// printClassReport renders the per-class table, the per-priority SLO
+// attainment verdicts and the subnet-ladder answer distribution every
+// loadgen mode shares. The slo column is each row's fraction of served
+// answers within its priority's p99 target ("-" for exempt classes);
+// the verdict lines aggregate mix rows sharing a priority class and
+// judge the measured p99 and hit-rate against the configured SLO.
+func printClassReport(mix []deadlineClass, perClass []classStats, bySubnet []int64, offered int, rps float64, duration time.Duration, scenario string, slos []governor.SLO) {
+	if scenario == "" {
+		scenario = "constant"
+	}
+	fmt.Printf("\noffered %d requests (%.0f rps base × %v, scenario %s)\n", offered, rps, duration, scenario)
+	fmt.Printf("%-10s %4s %7s %7s %7s %7s %7s %9s %9s %9s  %8s %8s\n",
+		"deadline", "prio", "sent", "served", "reject", "xport", "drop", "p50", "p95", "p99", "hit-rate", "slo")
 	for i, c := range mix {
 		st := perClass[i]
 		sort.Slice(st.lats, func(a, b int) bool { return st.lats[a] < st.lats[b] })
@@ -226,11 +288,22 @@ func printClassReport(mix []deadlineClass, perClass []classStats, bySubnet []int
 		if st.served > 0 {
 			hit = float64(st.met) / float64(st.served)
 		}
-		fmt.Printf("%-10v %4d %7d %7d %7d %7d %7d %8.2fm %8.2fm %8.2fm  %6.1f%%\n",
+		sloCol := "-"
+		if s, ok := sloFor(slos, c.prio); ok && s.P99Target > 0 && st.served > 0 {
+			within := 0
+			for _, l := range st.lats {
+				if l <= s.P99Target {
+					within++
+				}
+			}
+			sloCol = fmt.Sprintf("%.1f%%", 100*float64(within)/float64(st.served))
+		}
+		fmt.Printf("%-10v %4d %7d %7d %7d %7d %7d %8.2fm %8.2fm %8.2fm  %7.1f%% %8s\n",
 			c.d, c.prio, st.sent, st.served, st.rejected, st.transport, st.dropped,
 			serve.PercentileMs(st.lats, 0.50), serve.PercentileMs(st.lats, 0.95), serve.PercentileMs(st.lats, 0.99),
-			100*hit)
+			100*hit, sloCol)
 	}
+	printSLOVerdicts(mix, perClass, slos)
 
 	var served int64
 	for _, c := range bySubnet {
@@ -243,6 +316,66 @@ func printClassReport(mix []deadlineClass, perClass []classStats, bySubnet []int
 			frac = float64(bySubnet[s-1]) / float64(served)
 		}
 		fmt.Printf("  subnet %d %7d  %5.1f%%  %s\n", s, bySubnet[s-1], 100*frac, bar(frac, 40))
+	}
+}
+
+// sloFor returns the SLO governing a priority class, reporting false
+// for classes outside the spec or with a zero (exempt) entry.
+func sloFor(slos []governor.SLO, prio int) (governor.SLO, bool) {
+	if prio < 0 || prio >= len(slos) {
+		return governor.SLO{}, false
+	}
+	s := slos[prio]
+	if s.P99Target == 0 && s.MinHitRate == 0 {
+		return governor.SLO{}, false
+	}
+	return s, true
+}
+
+// printSLOVerdicts judges each configured SLO against the client-side
+// measurements, aggregating mix rows that share a priority class.
+func printSLOVerdicts(mix []deadlineClass, perClass []classStats, slos []governor.SLO) {
+	printed := false
+	for prio := 0; prio < len(slos); prio++ {
+		s, ok := sloFor(slos, prio)
+		if !ok {
+			continue
+		}
+		var (
+			lats        []time.Duration
+			served, met int
+		)
+		for i, c := range mix {
+			if c.prio != prio {
+				continue
+			}
+			lats = append(lats, perClass[i].lats...)
+			served += perClass[i].served
+			met += perClass[i].met
+		}
+		if served == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Printf("\nSLO attainment (client view):\n")
+			printed = true
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		p99 := serve.PercentileMs(lats, 0.99)
+		hit := float64(met) / float64(served)
+		verdict := "MET"
+		if (s.P99Target > 0 && p99 > ms(s.P99Target)) || hit < s.MinHitRate {
+			verdict = "VIOLATED"
+		}
+		line := fmt.Sprintf("  prio %d: p99 %.2fms", prio, p99)
+		if s.P99Target > 0 {
+			line += fmt.Sprintf(" (target %.2fms)", ms(s.P99Target))
+		}
+		line += fmt.Sprintf(", hit-rate %.1f%%", 100*hit)
+		if s.MinHitRate > 0 {
+			line += fmt.Sprintf(" (target %.1f%%)", 100*s.MinHitRate)
+		}
+		fmt.Printf("%s  → %s\n", line, verdict)
 	}
 }
 
@@ -259,7 +392,7 @@ func printTargetReport(tgs []*loadTarget) {
 // runLoadgen drives the in-process serving layer (the original mode:
 // no HTTP between generator and server) and prints the serving
 // report, including the server's own per-priority protection summary.
-func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.Duration, mix []deadlineClass, seed uint64) {
+func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.Duration, mix []deadlineClass, seed uint64, scenario string, shape func(float64) float64, slos []governor.SLO) {
 	if rps <= 0 {
 		log.Fatal("loadgen: -rps must be positive")
 	}
@@ -273,10 +406,10 @@ func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.D
 		inputs[i] = randomInput(rng, imgLen)
 	}
 
-	log.Printf("loadgen: %.0f rps for %v, deadline mix %s", rps, duration, mixString(mix))
+	log.Printf("loadgen: %.0f rps base for %v (scenario %s), deadline mix %s", rps, duration, scenario, mixString(mix))
 	tg := &loadTarget{name: "in-process", submit: srv.Submit}
-	perClass, bySubnet, offered := driveLoad([]*loadTarget{tg}, rps, duration, mix, inputs, rng)
-	printClassReport(mix, perClass, bySubnet, offered, rps, duration)
+	perClass, bySubnet, offered := driveLoad([]*loadTarget{tg}, rps, duration, mix, inputs, rng, shape)
+	printClassReport(mix, perClass, bySubnet, offered, rps, duration, scenario, slos)
 
 	snap := srv.Stats()
 	fmt.Printf("\nserver: served %d, rejected %d, deadline hit-rate %.1f%%, mean %.0f kMAC/answer, %d calibration refreshes\n",
@@ -291,7 +424,7 @@ func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.D
 // retry/hedge counters and per-replica breakdown). With slowConns >
 // 0, that many slow-loris connections run against the first target
 // for the whole window, demonstrating the -hdr-timeout defense.
-func runRemoteLoadgen(targets []string, rps float64, duration time.Duration, mix []deadlineClass, seed uint64, slowConns int) {
+func runRemoteLoadgen(targets []string, rps float64, duration time.Duration, mix []deadlineClass, seed uint64, slowConns int, scenario string, shape func(float64) float64, slos []governor.SLO) {
 	if rps <= 0 {
 		log.Fatal("loadgen: -rps must be positive")
 	}
@@ -342,11 +475,11 @@ func runRemoteLoadgen(targets []string, rps float64, duration time.Duration, mix
 
 	stopSlow := startSlowLoris(targets[0], slowConns)
 
-	log.Printf("loadgen: %.0f rps for %v over %d targets, deadline mix %s", rps, duration, len(targets), mixString(mix))
+	log.Printf("loadgen: %.0f rps base for %v (scenario %s) over %d targets, deadline mix %s", rps, duration, scenario, len(targets), mixString(mix))
 	// nil input pool: replicas synthesize their own seeded images, so
 	// the generator's CPU stays out of the measurement.
-	perClass, bySubnet, offered := driveLoad(tgs, rps, duration, mix, nil, rng)
-	printClassReport(mix, perClass, bySubnet, offered, rps, duration)
+	perClass, bySubnet, offered := driveLoad(tgs, rps, duration, mix, nil, rng, shape)
+	printClassReport(mix, perClass, bySubnet, offered, rps, duration, scenario, slos)
 	printTargetReport(tgs)
 
 	if opened, closed := stopSlow(); opened > 0 {
@@ -395,18 +528,23 @@ func printRemoteView(target string) {
 }
 
 // printClassProtection renders a server snapshot's per-priority
-// summary when priorities are configured.
+// summary when priorities are configured, plus the overload governor's
+// own accounting when the server runs one.
 func printClassProtection(snap serve.Snapshot) {
-	if len(snap.Classes) <= 1 {
-		return
-	}
-	fmt.Printf("per-priority protection (server view):\n")
-	for _, cs := range snap.Classes {
-		if cs.Submitted == 0 {
-			continue
+	if len(snap.Classes) > 1 {
+		fmt.Printf("per-priority protection (server view):\n")
+		for _, cs := range snap.Classes {
+			if cs.Submitted == 0 {
+				continue
+			}
+			fmt.Printf("  prio %d: served %5d  rejected %5d  hit-rate %5.1f%%  p99 %6.2fms  subnets %v  slo-viol %d  brownouts %d\n",
+				cs.Priority, cs.Served, cs.Rejected, 100*cs.DeadlineHitRate, cs.P99Ms, cs.BySubnet,
+				cs.SLOViolations, cs.BrownoutTransitions)
 		}
-		fmt.Printf("  prio %d: served %5d  rejected %5d  hit-rate %5.1f%%  p99 %6.2fms  subnets %v\n",
-			cs.Priority, cs.Served, cs.Rejected, 100*cs.DeadlineHitRate, cs.P99Ms, cs.BySubnet)
+	}
+	if snap.Policy != nil {
+		fmt.Printf("governor: %d SLO violations, %d brownout transitions, final levels %v (deepest %d), lookahead %.2f\n",
+			snap.SLOViolations, snap.BrownoutTransitions, snap.Policy.Level, snap.Policy.MaxLevel, snap.Policy.Lookahead)
 	}
 }
 

@@ -52,7 +52,21 @@
 //	stepserve -loadgen -targets http://host1:8081,http://host2:8082 -rps 400
 //
 // The -slow flag adds slow-loris connections to the first target,
-// demonstrating the -hdr-timeout defense end to end.
+// demonstrating the -hdr-timeout defense end to end. The -scenario
+// flag shapes the offered load deterministically (diurnal sinusoid,
+// calm-with-bursts, or a rate staircase) so SLO adherence is
+// demonstrable against non-constant traffic, and with -slo set the
+// report adds per-class SLO-attainment columns and verdicts.
+//
+// The -slo flag (server and in-process loadgen modes) arms the
+// adaptive overload governor: "1:2ms:0.99" gives priority class 1 a
+// 2ms p99 target and a 99% deadline-hit floor. Every -control
+// interval the governor compares the live per-class percentiles
+// against these targets and walks a brownout ladder — narrow the
+// lowest class's answers first, then fast-fail it, then shed it —
+// recovering additively once SLOs are met again (see
+// internal/governor). /stats exposes the violation and transition
+// counters plus the current policy.
 package main
 
 import (
@@ -77,6 +91,7 @@ import (
 	"steppingnet/internal/cluster"
 	"steppingnet/internal/core"
 	"steppingnet/internal/data"
+	"steppingnet/internal/governor"
 	"steppingnet/internal/models"
 	"steppingnet/internal/nn"
 	"steppingnet/internal/serve"
@@ -102,6 +117,8 @@ func main() {
 	deadline := flag.Duration("deadline", 20*time.Millisecond, "default per-request deadline")
 	priorities := flag.Int("priorities", 2, "number of request priority classes (1 disables priorities)")
 	refresh := flag.Duration("refresh", 2*time.Second, "calibration refresh interval (0 trusts startup calibration forever)")
+	sloSpec := flag.String("slo", "", "per-class SLOs arming the adaptive overload governor, like 1:2ms:0.99 — class:p99target[:min-hit-rate[:min-subnet]] (empty disables the governor)")
+	control := flag.Duration("control", 0, "overload governor tick interval (0 = 100ms when -slo is set)")
 	hdrTimeout := flag.Duration("hdr-timeout", 5*time.Second, "how long a connection may take to send its request headers before it is closed (slow-loris defense)")
 
 	route := flag.String("route", "", "comma-separated replica base URLs: run as a fault-tolerant router over them instead of serving a model")
@@ -112,6 +129,7 @@ func main() {
 	rps := flag.Float64("rps", 200, "loadgen: offered requests per second")
 	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
 	deadlineMix := flag.String("deadlines", "", "loadgen: class mix like 4ms:0.5,12ms:0.5:hi — deadline:weight with an optional :hi marking the high-priority class (default: the -deadline flag at weight 1)")
+	scenario := flag.String("scenario", "constant", "loadgen: deterministic load shape — constant, diurnal (sinusoid 0.25×–1.75×), burst (0.5× calm with 3× bursts) or step (0.5×/1×/2×/4× staircase)")
 	slowConns := flag.Int("slow", 0, "loadgen: also open this many slow-loris connections against the first target (demonstrates -hdr-timeout)")
 	flag.Parse()
 
@@ -124,18 +142,27 @@ func main() {
 		return
 	}
 
+	slos, err := parseSLOs(*sloSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *loadgen {
 		mix, err := parseDeadlineMix(*deadlineMix, *deadline)
 		if err != nil {
 			log.Fatal(err)
 		}
+		shape, err := loadShape(*scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if *targets != "" {
-			runRemoteLoadgen(splitTargets(*targets), *rps, *duration, mix, *seed, *slowConns)
+			runRemoteLoadgen(splitTargets(*targets), *rps, *duration, mix, *seed, *slowConns, *scenario, shape, slos)
 			return
 		}
 		m, srv := mustBuildServing(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train,
-			*workers, *queueDepth, *maxBatch, *deadline, *priorities, *refresh)
-		runLoadgen(srv, m, *rps, *duration, mix, *seed)
+			*workers, *queueDepth, *maxBatch, *deadline, *priorities, *refresh, slos, *control)
+		runLoadgen(srv, m, *rps, *duration, mix, *seed, *scenario, shape, slos)
 		srv.Close()
 		return
 	}
@@ -155,6 +182,8 @@ func main() {
 			PriorityClasses: *priorities,
 			DefaultDeadline: *deadline,
 			RefreshInterval: *refresh,
+			SLOs:            slos,
+			ControlInterval: *control,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -167,7 +196,8 @@ func main() {
 // mustBuildServing is the synchronous build path for in-process
 // loadgen runs: model, serving layer and calibration log, or exit.
 func mustBuildServing(modelName string, classes, imgHW int, expansion float64, subnets int, seed uint64, train bool,
-	workers, queueDepth, maxBatch int, deadline time.Duration, priorities int, refresh time.Duration) (*models.Model, *serve.Server) {
+	workers, queueDepth, maxBatch int, deadline time.Duration, priorities int, refresh time.Duration,
+	slos []governor.SLO, control time.Duration) (*models.Model, *serve.Server) {
 	m, err := buildServeModel(modelName, classes, imgHW, expansion, subnets, seed, train)
 	if err != nil {
 		log.Fatal(err)
@@ -178,6 +208,8 @@ func mustBuildServing(modelName string, classes, imgHW int, expansion float64, s
 		PriorityClasses: priorities,
 		DefaultDeadline: deadline,
 		RefreshInterval: refresh,
+		SLOs:            slos,
+		ControlInterval: control,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -196,6 +228,51 @@ func logCalibration(srv *serve.Server, m *models.Model, subnets int) {
 			s, ms(lm.StepTime[s-1]), lm.StepMACs[s-1], ms(lm.WalkTime(s)))
 	}
 	log.Printf("calibrated rate: %.1f MMAC/s", lm.MACRate()/1e6)
+}
+
+// parseSLOs parses the -slo spec — comma-separated entries like
+// "1:2ms:0.99", each class:p99target[:min-hit-rate[:min-subnet]] —
+// into the dense per-class slice serve.Config and the loadgen report
+// expect. Classes the spec skips get a zero SLO, which exempts them
+// from violation checks (they can still be browned out to protect
+// listed classes above them). An empty spec returns nil: governor off.
+func parseSLOs(spec string) ([]governor.SLO, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var slos []governor.SLO
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("bad SLO %q (want class:p99target[:min-hit-rate[:min-subnet]])", part)
+		}
+		class, err := strconv.Atoi(fields[0])
+		if err != nil || class < 0 {
+			return nil, fmt.Errorf("bad class in SLO %q", part)
+		}
+		target, err := time.ParseDuration(fields[1])
+		if err != nil || target < 0 {
+			return nil, fmt.Errorf("bad p99 target in SLO %q", part)
+		}
+		s := governor.SLO{P99Target: target}
+		if len(fields) >= 3 {
+			s.MinHitRate, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil || s.MinHitRate < 0 || s.MinHitRate > 1 {
+				return nil, fmt.Errorf("bad min hit-rate in SLO %q (want 0..1)", part)
+			}
+		}
+		if len(fields) == 4 {
+			s.MinSubnet, err = strconv.Atoi(fields[3])
+			if err != nil || s.MinSubnet < 0 {
+				return nil, fmt.Errorf("bad min subnet in SLO %q", part)
+			}
+		}
+		for class >= len(slos) {
+			slos = append(slos, governor.SLO{})
+		}
+		slos[class] = s
+	}
+	return slos, nil
 }
 
 // splitTargets parses a comma-separated URL list, dropping empties.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -55,14 +56,17 @@ func instantSteps(m *models.Model, n int) governor.LatencyModel {
 // overload tests: a single deliberately slowed worker (ServeDelay
 // caps its throughput at a known rate) with two priority classes, so
 // a 40-submitter low-priority storm is a reproducible 12×+ overload
-// regardless of host speed.
-func newReplica(t *testing.T, m *models.Model, name string, serveDelay time.Duration) (*serve.Server, *faultinject.Injector) {
+// regardless of host speed. When slos is non-empty the replica also
+// runs the adaptive overload governor on a fast tick, so the chaos
+// storms exercise the whole closed loop.
+func newReplica(t *testing.T, m *models.Model, name string, serveDelay time.Duration, slos []governor.SLO) (*serve.Server, *faultinject.Injector) {
 	t.Helper()
 	srv, err := serve.New(serve.Config{
 		Model: m, Subnets: 3, Workers: 1, QueueDepth: 16, MaxBatch: 4,
 		PriorityClasses: 2,
 		Calibration:     instantSteps(m, 3), DefaultDeadline: time.Hour,
 		ServeDelay: serveDelay,
+		SLOs:       slos, ControlInterval: 25 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -99,22 +103,37 @@ func waitGoroutines(t *testing.T, want int) {
 //
 //   - the high-priority class keeps a ≥99% deadline hit rate across
 //     the kill (failed attempts on the dying replica retry onto the
-//     survivors, which its deadline budget affords);
+//     survivors, which its deadline budget affords) and attains its
+//     configured p99 SLO;
 //   - every submitted request resolves to exactly one answer or one
 //     typed error — nothing hangs, nothing is double-answered;
+//   - the overload governor fires and fires in order: the sustained
+//     storm drives SLO violations and brownout transitions on the
+//     LOW class, and no replica ever touches the high class before
+//     fully shedding class 0 (the brownout ladder's ordering
+//     contract, observed end to end through the router's snapshots);
 //   - replica death leaks nothing: after Close, the goroutine count
 //     settles back to the pre-test watermark.
 func TestClusterChaosKillOneReplica(t *testing.T) {
 	before := runtime.NumGoroutine()
 	m := buildModel(70)
 
+	// Per-class SLOs: the low class's 5ms p99 target is unmeetable
+	// under a sustained storm against 4ms batches (brownout must
+	// fire); the high class's target matches its 2s request deadline
+	// (attainment below is implied by the ≥99% hit-rate gate).
+	const highP99Target = 2 * time.Second
+	slos := []governor.SLO{
+		{P99Target: 5 * time.Millisecond},
+		{P99Target: highP99Target, MinHitRate: 0.99},
+	}
 	var (
 		servers   []*serve.Server
 		injectors []*faultinject.Injector
 		backends  []cluster.Backend
 	)
 	for i := 0; i < 3; i++ {
-		srv, inj := newReplica(t, m, fmt.Sprintf("replica%d", i), 4*time.Millisecond)
+		srv, inj := newReplica(t, m, fmt.Sprintf("replica%d", i), 4*time.Millisecond, slos)
 		servers = append(servers, srv)
 		injectors = append(injectors, inj)
 		backends = append(backends, inj)
@@ -204,12 +223,13 @@ func TestClusterChaosKillOneReplica(t *testing.T) {
 	const highReqs = 100
 	const killAt = 30
 	highMet := 0
+	highLats := make([]time.Duration, 0, highReqs)
 	for i := 0; i < highReqs; i++ {
 		if i == killAt {
 			injectors[0].Inject(faultinject.Fault{Kind: faultinject.Crash})
 			servers[0].Close()
 		}
-		res, err := ro.Submit(serve.Request{Input: in, Priority: 1, Deadline: 2 * time.Second})
+		res, err := ro.Submit(serve.Request{Input: in, Priority: 1, Deadline: highP99Target})
 		if err != nil {
 			t.Fatalf("high-priority request %d failed across the kill: %v", i, err)
 		}
@@ -219,9 +239,46 @@ func TestClusterChaosKillOneReplica(t *testing.T) {
 		if res.DeadlineMet {
 			highMet++
 		}
+		highLats = append(highLats, res.Latency)
 	}
 	if rate := float64(highMet) / highReqs; rate < 0.99 {
 		t.Fatalf("high-priority deadline hit rate %.3f across replica kill, want ≥0.99", rate)
+	}
+	// SLO attainment, client-measured: with ≥99/100 answers inside the
+	// deadline, the nearest-rank p99 must sit at or under the target.
+	sort.Slice(highLats, func(i, j int) bool { return highLats[i] < highLats[j] })
+	if p99 := highLats[98]; p99 > highP99Target {
+		t.Fatalf("high-priority p99 %v blew its %v SLO across the kill", p99, highP99Target)
+	}
+
+	// The storm is still running: sustained 5ms-target violations on
+	// the low class must drive the governor into brownout on some
+	// replica. Poll the router's replica snapshots (the operator's
+	// view) until violations and transitions surface.
+	brownoutSettle := time.Now().Add(5 * time.Second)
+	for {
+		// Router view (the wire-propagated ReplicaStats fields) and
+		// the replicas' own class-0 counters must both surface it.
+		st := ro.Stats()
+		var viol, trans int64
+		for _, r := range st.Replicas {
+			viol += r.SLOViolations
+			trans += r.BrownoutTransitions
+		}
+		var viol0, trans0 int64
+		for _, srv := range servers {
+			snap := srv.Stats()
+			viol0 += snap.Classes[0].SLOViolations
+			trans0 += snap.Classes[0].BrownoutTransitions
+		}
+		if viol > 0 && trans > 0 && viol0 > 0 && trans0 > 0 {
+			break
+		}
+		if time.Now().After(brownoutSettle) {
+			t.Fatalf("governor never fired under a sustained SLO-violating storm: router view %d/%d, class 0 %d/%d",
+				viol, trans, viol0, trans0)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 
 	// The prober must have ejected the dead replica by now.
@@ -257,6 +314,30 @@ func TestClusterChaosKillOneReplica(t *testing.T) {
 		t.Fatal("a 40-submitter storm over a capped cluster must shed low-priority traffic")
 	}
 
+	// Brownout ordering, per replica: class 0's ladder (3 subnets,
+	// floor 1) is 6 levels deep — 2 narrow halvings + 3 admission
+	// doublings + 1 shed — and the controller only ever touches class
+	// 1 after walking class 0 all the way down. So any high-class
+	// transition implies at least 6 low-class escalations first, and
+	// the violations themselves must concentrate in the low class.
+	var viol0, trans0 int64
+	for i, srv := range servers {
+		snap := srv.Stats()
+		c0, c1 := snap.Classes[0], snap.Classes[1]
+		if c1.BrownoutTransitions > 0 && c0.BrownoutTransitions < 6 {
+			t.Fatalf("replica%d browned the high class after only %d low-class transitions (want ≥6 first)",
+				i, c0.BrownoutTransitions)
+		}
+		viol0 += c0.SLOViolations
+		trans0 += c0.BrownoutTransitions
+		if snap.Policy == nil {
+			t.Fatalf("replica%d: governed server snapshot has no policy block", i)
+		}
+	}
+	if viol0 == 0 || trans0 == 0 {
+		t.Fatalf("low class never tripped its SLO under the storm: violations=%d transitions=%d", viol0, trans0)
+	}
+
 	// Replica death leaks nothing: close everything (replica0 again —
 	// Close is idempotent) and require the goroutine count to settle.
 	ro.Close()
@@ -278,8 +359,11 @@ func TestExactlyOneAnswerUnderRandomFaults(t *testing.T) {
 	const seed = 0xFA017
 	var backends []cluster.Backend
 	var servers []*serve.Server
+	// Governed replicas: the random fault schedules must not be able
+	// to wedge or corrupt the control loop either.
+	slos := []governor.SLO{{P99Target: 5 * time.Millisecond}, {MinHitRate: 0.9}}
 	for i := 0; i < 3; i++ {
-		srv, inj := newReplica(t, m, fmt.Sprintf("replica%d", i), 200*time.Microsecond)
+		srv, inj := newReplica(t, m, fmt.Sprintf("replica%d", i), 200*time.Microsecond, slos)
 		servers = append(servers, srv)
 		for _, f := range faultinject.Random(seed+int64(i), time.Second, 5) {
 			inj.Inject(f)

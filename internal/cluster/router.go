@@ -735,6 +735,17 @@ type ReplicaStats struct {
 	// WalkFloorMs is the replica's calibrated MinSubnet walk cost —
 	// the retry-affordability floor — in milliseconds.
 	WalkFloorMs float64 `json:"walk_floor_ms"`
+	// SLOViolations is the replica's cumulative SLO-violation tick
+	// count at its last successful probe (0 when the replica runs no
+	// overload governor).
+	SLOViolations int64 `json:"slo_violations"`
+	// BrownoutTransitions is the replica's cumulative brownout ladder
+	// move count at its last successful probe.
+	BrownoutTransitions int64 `json:"brownout_transitions"`
+	// BrownoutLevel is the replica's deepest per-class brownout depth
+	// at its last successful probe — the at-a-glance "this replica is
+	// browning out" signal for router operators (0 = neutral).
+	BrownoutLevel int `json:"brownout_level"`
 	// LastProbeError is the most recent probe failure ("" when the
 	// last probe succeeded).
 	LastProbeError string `json:"last_probe_error,omitempty"`
@@ -797,6 +808,11 @@ func (ro *Router) Stats() RouterStats {
 		if snap := r.snap.Load(); snap != nil {
 			rs.QueueLen = snap.QueueLen
 			rs.ServiceEwmaMs = snap.ServiceEwmaMs
+			rs.SLOViolations = snap.SLOViolations
+			rs.BrownoutTransitions = snap.BrownoutTransitions
+			if snap.Policy != nil {
+				rs.BrownoutLevel = snap.Policy.MaxLevel
+			}
 		}
 		st.Replicas = append(st.Replicas, rs)
 	}

@@ -1,0 +1,468 @@
+package governor
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// SLO is one priority class's service-level objective — the target the
+// adaptive overload controller steers toward. A zero SLO (no targets)
+// exempts the class: it is never counted as violating and never
+// triggers escalation on its own behalf, though it can still be
+// browned out to protect higher classes.
+type SLO struct {
+	// P99Target, when positive, is the class's 99th-percentile
+	// end-to-end latency objective over the recent served window.
+	P99Target time.Duration
+	// MinHitRate, when positive (0..1], is the minimum fraction of the
+	// class's answers that must arrive within their deadlines per
+	// controller tick.
+	MinHitRate float64
+	// MinSubnet, when positive, floors how narrow brownout may force
+	// this class's answers: the controller never publishes a shed cap
+	// below it. 0 defers to the server-wide minimum.
+	MinSubnet int
+}
+
+// ClassObs is one controller tick's sensor reading for one priority
+// class, distilled from the serving stats (percentile ring + hit-rate
+// counters). P99 covers the class's recent served window (the
+// percentile ring, so it smooths across ticks); Served and HitRate
+// cover exactly the tick interval, so recovery is visible immediately.
+type ClassObs struct {
+	// P99 is the class's 99th-percentile end-to-end latency over its
+	// recent served window (0 when nothing served yet).
+	P99 time.Duration
+	// HitRate is the fraction of the class's answers this tick that
+	// met their deadlines (1 when nothing was served).
+	HitRate float64
+	// Served counts the class's answers this tick. Classes below the
+	// controller's MinServed floor are too quiet to judge and never
+	// count as violating.
+	Served int64
+}
+
+// Policy is the overload controller's actuator set, published
+// atomically through a PolicyRef so every serving-path read sees one
+// consistent knob configuration. The zero Policy is neutral: every
+// accessor reports "no constraint" on nil or short slices, so an
+// unconfigured server behaves exactly as before the controller
+// existed. A stored Policy must be treated as immutable.
+type Policy struct {
+	// ShedCap[c], when positive, caps class c's ladder walk at that
+	// subnet — the brownout ladder's first stage (narrow). 0 leaves
+	// the class's queue-pressure shed cap alone.
+	ShedCap []int
+	// AdmitScale[c], when > 1, multiplies the predicted queue wait in
+	// class c's admission fast-fail check — the second stage
+	// (fast-fail): borderline deadlines are rejected earlier, before
+	// they waste a walk. ≤ 0 or 1 is neutral.
+	AdmitScale []float64
+	// QueueShare[c], when positive, overrides class c's admission
+	// queue share downward — the third stage (shed): at 1, any backlog
+	// at all rejects the class. 0 keeps the configured nested share.
+	QueueShare []int
+	// Lookahead, when positive, makes the batch former group pops by
+	// compatible deadline headroom: a candidate joins a batch only if
+	// min(headroom)/max(headroom) ≥ Lookahead against the batch's
+	// seed, so one tight-deadline request no longer inflates the
+	// per-step cost of a whole generous batch. 0 disables grouping.
+	Lookahead float64
+	// Level[c] is class c's current brownout ladder depth (0 =
+	// untouched) — observability, not an actuator.
+	Level []int
+}
+
+// ClassShedCap returns class c's policy ladder cap, or 0 when the
+// policy leaves the class unconstrained (including on the zero
+// Policy).
+func (p Policy) ClassShedCap(c int) int {
+	if c >= 0 && c < len(p.ShedCap) {
+		return p.ShedCap[c]
+	}
+	return 0
+}
+
+// ClassAdmitScale returns the admission-strictness multiplier for
+// class c, 1 (neutral) when unset.
+func (p Policy) ClassAdmitScale(c int) float64 {
+	if c >= 0 && c < len(p.AdmitScale) && p.AdmitScale[c] > 1 {
+		return p.AdmitScale[c]
+	}
+	return 1
+}
+
+// ClassQueueShare returns class c's overridden admission queue share,
+// or 0 when the policy keeps the configured share.
+func (p Policy) ClassQueueShare(c int) int {
+	if c >= 0 && c < len(p.QueueShare) {
+		return p.QueueShare[c]
+	}
+	return 0
+}
+
+// ClassLevel returns class c's brownout ladder depth (0 when
+// untouched or out of range).
+func (p Policy) ClassLevel(c int) int {
+	if c >= 0 && c < len(p.Level) {
+		return p.Level[c]
+	}
+	return 0
+}
+
+// Active reports whether any class is browned out (any non-zero
+// level) — the cheap "is the governor doing anything" gauge.
+func (p Policy) Active() bool {
+	for _, l := range p.Level {
+		if l > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PolicyRef is an atomically swappable reference to a Policy — the
+// handoff point between the overload controller (which publishes a new
+// policy per tick) and the serving hot paths that actuate it
+// (admission, shed cap, batch formation). Same contract as ModelRef:
+// readers Load a consistent snapshot, writers Store a complete
+// replacement, stored policies are immutable, and the zero PolicyRef
+// holds the neutral zero Policy.
+type PolicyRef struct {
+	p atomic.Pointer[Policy]
+}
+
+// Store publishes pol as the current policy. The caller must not
+// mutate pol's slices afterwards.
+func (r *PolicyRef) Store(pol Policy) {
+	r.p.Store(&pol)
+}
+
+// Load returns the most recently stored policy (the neutral zero
+// Policy when nothing has been stored). The returned slices are shared
+// with every other Load of the same snapshot and must not be mutated.
+func (r *PolicyRef) Load() Policy {
+	if p := r.p.Load(); p != nil {
+		return *p
+	}
+	return Policy{}
+}
+
+// Transition records one brownout ladder move the controller made on
+// a tick: class Class stepped from level From to level To.
+type Transition struct {
+	// Class is the priority class whose level moved.
+	Class int
+	// From is the class's level before the tick.
+	From int
+	// To is the class's level after the tick (From±1).
+	To int
+}
+
+// TickResult is everything one controller tick decided: the policy to
+// publish plus the observability deltas the stats layer counts.
+type TickResult struct {
+	// Policy is the complete actuator set to publish for the next
+	// interval (freshly allocated; safe to Store).
+	Policy Policy
+	// Violations lists the classes observed violating their SLOs this
+	// tick (ascending, possibly empty).
+	Violations []int
+	// Transitions lists the ladder moves applied this tick (at most
+	// one — the controller moves one knob step per tick).
+	Transitions []Transition
+}
+
+// ControllerConfig parameterizes a Controller.
+type ControllerConfig struct {
+	// Classes is the number of priority classes (≥ 1).
+	Classes int
+	// Subnets is the ladder depth n (≥ 1).
+	Subnets int
+	// MinSubnet is the server-wide narrowest answer; brownout never
+	// caps below it (per-class SLO.MinSubnet may raise it further).
+	// 0 means 1.
+	MinSubnet int
+	// SLOs[c] is class c's objective; missing or zero entries exempt
+	// the class from violation checks.
+	SLOs []SLO
+	// RecoverAfter is how many consecutive healthy ticks earn one
+	// de-escalation step — the additive half of AIMD. 0 means 2.
+	RecoverAfter int
+	// MinServed is the fewest answers a class must produce in a tick
+	// for its observation to count as evidence of violation; quieter
+	// classes are treated as healthy. 0 means 8.
+	MinServed int64
+	// Lookahead is the deadline-headroom compatibility ratio the
+	// policy carries while any class is browned out (see
+	// Policy.Lookahead). 0 means 0.25; negative disables the knob.
+	Lookahead float64
+	// MaxAdmitScale bounds the fast-fail stage's admission multiplier
+	// (reached by doubling: 2, 4, … MaxAdmitScale). 0 means 8; values
+	// are rounded up to the next power of two.
+	MaxAdmitScale float64
+}
+
+// Controller is the deterministic closed-loop overload governor: each
+// Tick it compares per-class observations against the SLOs and walks a
+// brownout ladder, publishing the resulting Policy.
+//
+// Control law — AIMD, chosen over PI for two reasons: (a) the actuators
+// are discrete (subnet rungs, power-of-two admission scales), so an
+// integrator's continuous output would be quantized away and wind up
+// instead; (b) multiplicative decrease reacts within one tick to the
+// saturation-style overloads a serving tier actually sees, while
+// additive recovery probes capacity back cautiously — the same
+// asymmetry TCP uses for the same reason. Escalation: on any violating
+// tick, the LOWEST class not yet fully browned out steps one ladder
+// level deeper (each level is multiplicative in knob space — the shed
+// cap halves, then the admission multiplier doubles). Recovery: after
+// RecoverAfter consecutive healthy ticks, the HIGHEST browned-out
+// class steps one level back (LIFO — the most recently sacrificed
+// class is restored first), and the streak restarts.
+//
+// The per-class brownout ladder, in escalation order:
+//
+//  1. narrow — the class's shed cap halves per level (ceiling
+//     division) until it reaches the class floor
+//     (max(MinSubnet, SLO.MinSubnet)): answers get cheaper first.
+//  2. fast-fail — the class's predicted-wait admission multiplier
+//     doubles per level (2, 4, … MaxAdmitScale): borderline deadlines
+//     are rejected at admission instead of served late.
+//  3. shed — the class's queue share drops to a single slot: any
+//     backlog rejects the class outright.
+//
+// A violating high class is never itself browned out until every class
+// below it is fully shed — capacity is reclaimed bottom-up, exactly
+// like the static nested-queue shares, but now closed-loop.
+//
+// The controller is step-clocked: Tick carries no wall-clock reads and
+// no internal timers, so a tick sequence is a pure function of its
+// observation sequence — tests replay scenarios deterministically and
+// two replicas fed the same observations publish identical policies.
+// Controller is not safe for concurrent use; serialize Tick calls.
+type Controller struct {
+	cfg      ControllerConfig
+	floors   []int // per-class narrowest brownout cap
+	maxLevel []int // per-class ladder depth (full shed)
+	level    []int // per-class current depth
+	healthy  int   // consecutive healthy ticks since the last move
+}
+
+// NewController validates cfg, fills defaults and returns a controller
+// with every class at level 0 (neutral policy).
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if cfg.Classes < 1 {
+		return nil, fmt.Errorf("governor: controller needs ≥1 classes, got %d", cfg.Classes)
+	}
+	if cfg.Subnets < 1 {
+		return nil, fmt.Errorf("governor: controller needs ≥1 subnets, got %d", cfg.Subnets)
+	}
+	if cfg.MinSubnet <= 0 {
+		cfg.MinSubnet = 1
+	}
+	if cfg.MinSubnet > cfg.Subnets {
+		return nil, fmt.Errorf("governor: controller MinSubnet %d exceeds Subnets %d", cfg.MinSubnet, cfg.Subnets)
+	}
+	if len(cfg.SLOs) > cfg.Classes {
+		return nil, fmt.Errorf("governor: %d SLOs for %d classes", len(cfg.SLOs), cfg.Classes)
+	}
+	for c, slo := range cfg.SLOs {
+		if slo.MinHitRate < 0 || slo.MinHitRate > 1 {
+			return nil, fmt.Errorf("governor: class %d MinHitRate %v outside [0,1]", c, slo.MinHitRate)
+		}
+		if slo.P99Target < 0 {
+			return nil, fmt.Errorf("governor: class %d negative P99Target %v", c, slo.P99Target)
+		}
+		if slo.MinSubnet < 0 || slo.MinSubnet > cfg.Subnets {
+			return nil, fmt.Errorf("governor: class %d MinSubnet %d outside ladder 1..%d", c, slo.MinSubnet, cfg.Subnets)
+		}
+	}
+	if cfg.RecoverAfter <= 0 {
+		cfg.RecoverAfter = 2
+	}
+	if cfg.MinServed <= 0 {
+		cfg.MinServed = 8
+	}
+	if cfg.Lookahead == 0 {
+		cfg.Lookahead = 0.25
+	}
+	if cfg.MaxAdmitScale <= 0 {
+		cfg.MaxAdmitScale = 8
+	}
+	ctl := &Controller{
+		cfg:      cfg,
+		floors:   make([]int, cfg.Classes),
+		maxLevel: make([]int, cfg.Classes),
+		level:    make([]int, cfg.Classes),
+	}
+	for c := 0; c < cfg.Classes; c++ {
+		floor := cfg.MinSubnet
+		if c < len(cfg.SLOs) && cfg.SLOs[c].MinSubnet > floor {
+			floor = cfg.SLOs[c].MinSubnet
+		}
+		ctl.floors[c] = floor
+		ctl.maxLevel[c] = ctl.narrowSteps(c) + ctl.fastFailSteps() + 1
+	}
+	return ctl, nil
+}
+
+// narrowSteps counts the ceiling-halvings from the full ladder to
+// class c's floor — the length of the class's narrow stage.
+func (ctl *Controller) narrowSteps(c int) int {
+	steps := 0
+	for cap := ctl.cfg.Subnets; cap > ctl.floors[c]; {
+		cap = (cap + 1) / 2
+		if cap < ctl.floors[c] {
+			cap = ctl.floors[c]
+		}
+		steps++
+	}
+	return steps
+}
+
+// fastFailSteps counts the doublings from 1 to MaxAdmitScale — the
+// length of every class's fast-fail stage.
+func (ctl *Controller) fastFailSteps() int {
+	steps := 0
+	for scale := 1.0; scale < ctl.cfg.MaxAdmitScale; scale *= 2 {
+		steps++
+	}
+	return steps
+}
+
+// MaxLevel returns class c's full ladder depth: narrow steps +
+// fast-fail steps + the final shed level. A class's cumulative
+// escalations must reach this before the next class up is touched.
+func (ctl *Controller) MaxLevel(c int) int {
+	if c < 0 || c >= len(ctl.maxLevel) {
+		return 0
+	}
+	return ctl.maxLevel[c]
+}
+
+// violates reports whether class c's observation breaches its SLO.
+func (ctl *Controller) violates(c int, o ClassObs) bool {
+	if c >= len(ctl.cfg.SLOs) {
+		return false
+	}
+	slo := ctl.cfg.SLOs[c]
+	if slo.P99Target <= 0 && slo.MinHitRate <= 0 {
+		return false
+	}
+	if o.Served < ctl.cfg.MinServed {
+		return false // too quiet to judge
+	}
+	if slo.P99Target > 0 && o.P99 > slo.P99Target {
+		return true
+	}
+	if slo.MinHitRate > 0 && o.HitRate < slo.MinHitRate {
+		return true
+	}
+	return false
+}
+
+// Tick advances the control loop by one step: it classifies obs
+// (indexed by class; missing entries read as quiet/healthy) against
+// the SLOs, applies at most one ladder move, and returns the policy to
+// publish. Pure in its inputs — no clocks, no randomness.
+func (ctl *Controller) Tick(obs []ClassObs) TickResult {
+	res := TickResult{}
+	for c := 0; c < ctl.cfg.Classes && c < len(obs); c++ {
+		if ctl.violates(c, obs[c]) {
+			res.Violations = append(res.Violations, c)
+		}
+	}
+	if len(res.Violations) > 0 {
+		ctl.healthy = 0
+		// Multiplicative decrease: deepen the lowest class that still
+		// has ladder left, one level per tick.
+		for c := 0; c < ctl.cfg.Classes; c++ {
+			if ctl.level[c] < ctl.maxLevel[c] {
+				ctl.level[c]++
+				res.Transitions = append(res.Transitions,
+					Transition{Class: c, From: ctl.level[c] - 1, To: ctl.level[c]})
+				break
+			}
+		}
+	} else {
+		ctl.healthy++
+		if ctl.healthy >= ctl.cfg.RecoverAfter {
+			// Additive recovery, LIFO: restore the highest browned
+			// class one level, then re-earn the streak.
+			for c := ctl.cfg.Classes - 1; c >= 0; c-- {
+				if ctl.level[c] > 0 {
+					ctl.level[c]--
+					res.Transitions = append(res.Transitions,
+						Transition{Class: c, From: ctl.level[c] + 1, To: ctl.level[c]})
+					ctl.healthy = 0
+					break
+				}
+			}
+		}
+	}
+	res.Policy = ctl.policy()
+	return res
+}
+
+// policy materializes the current per-class levels into a freshly
+// allocated Policy (safe to publish through a PolicyRef).
+func (ctl *Controller) policy() Policy {
+	pol := Policy{
+		ShedCap:    make([]int, ctl.cfg.Classes),
+		AdmitScale: make([]float64, ctl.cfg.Classes),
+		QueueShare: make([]int, ctl.cfg.Classes),
+		Level:      make([]int, ctl.cfg.Classes),
+	}
+	active := false
+	for c := 0; c < ctl.cfg.Classes; c++ {
+		l := ctl.level[c]
+		pol.Level[c] = l
+		if l == 0 {
+			continue
+		}
+		active = true
+		// Stage 1 — narrow: halve the cap once per level.
+		cap := ctl.cfg.Subnets
+		narrow := ctl.narrowSteps(c)
+		for k := 0; k < l && k < narrow; k++ {
+			cap = (cap + 1) / 2
+			if cap < ctl.floors[c] {
+				cap = ctl.floors[c]
+			}
+		}
+		if cap < ctl.cfg.Subnets {
+			pol.ShedCap[c] = cap
+		}
+		// Stage 2 — fast-fail: double the admission multiplier per
+		// remaining level.
+		rest := l - narrow
+		if rest > 0 {
+			ff := ctl.fastFailSteps()
+			scale := 1.0
+			for k := 0; k < rest && k < ff; k++ {
+				scale *= 2
+			}
+			if scale > ctl.cfg.MaxAdmitScale {
+				scale = ctl.cfg.MaxAdmitScale
+			}
+			pol.AdmitScale[c] = scale
+			// Stage 3 — shed: the final level cuts the class to a
+			// single queue slot.
+			if rest > ff {
+				pol.QueueShare[c] = 1
+			}
+		}
+	}
+	if active && ctl.cfg.Lookahead > 0 {
+		pol.Lookahead = ctl.cfg.Lookahead
+	}
+	return pol
+}
+
+// Levels returns a copy of the per-class brownout depths (for logging
+// and tests; the published Policy carries the same data in Level).
+func (ctl *Controller) Levels() []int {
+	return append([]int(nil), ctl.level...)
+}

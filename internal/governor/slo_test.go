@@ -1,0 +1,296 @@
+package governor
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mustController builds a controller or fails the test.
+func mustController(t *testing.T, cfg ControllerConfig) *Controller {
+	t.Helper()
+	ctl, err := NewController(cfg)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	return ctl
+}
+
+// violatingObs returns observations where class c is loudly violating
+// a 1ms p99 target and every other class is healthy.
+func violatingObs(classes, c int) []ClassObs {
+	obs := make([]ClassObs, classes)
+	for i := range obs {
+		obs[i] = ClassObs{P99: 100 * time.Microsecond, HitRate: 1, Served: 100}
+	}
+	obs[c] = ClassObs{P99: 50 * time.Millisecond, HitRate: 0.5, Served: 100}
+	return obs
+}
+
+// healthyObs returns observations where every class is comfortably
+// inside any 1ms-scale SLO.
+func healthyObs(classes int) []ClassObs {
+	obs := make([]ClassObs, classes)
+	for i := range obs {
+		obs[i] = ClassObs{P99: 100 * time.Microsecond, HitRate: 1, Served: 100}
+	}
+	return obs
+}
+
+// TestControllerEscalatesLowestClassFirst pins the brownout ladder's
+// core ordering contract: a violating high class browns out class 0
+// level by level (narrow → fast-fail → shed) until class 0 is fully
+// shed, and only then touches class 1, and only after that the
+// violating class itself.
+func TestControllerEscalatesLowestClassFirst(t *testing.T) {
+	ctl := mustController(t, ControllerConfig{
+		Classes: 3, Subnets: 4,
+		SLOs: []SLO{2: {P99Target: time.Millisecond}},
+	})
+	obs := violatingObs(3, 2)
+
+	// Class 0 ladder with n=4, floor=1: narrow 4→2→1 (2 levels),
+	// fast-fail ×2 ×4 ×8 (3 levels), shed (1 level) = 6 levels.
+	wantMax := 6
+	if got := ctl.MaxLevel(0); got != wantMax {
+		t.Fatalf("MaxLevel(0) = %d, want %d", got, wantMax)
+	}
+
+	type knobs struct {
+		cap   int
+		scale float64
+		share int
+	}
+	wantLadder := []knobs{
+		{cap: 2, scale: 1, share: 0}, // narrow: 4→2
+		{cap: 1, scale: 1, share: 0}, // narrow: 2→1 (floor)
+		{cap: 1, scale: 2, share: 0}, // fast-fail ×2
+		{cap: 1, scale: 4, share: 0}, // fast-fail ×4
+		{cap: 1, scale: 8, share: 0}, // fast-fail ×8
+		{cap: 1, scale: 8, share: 1}, // shed
+	}
+	for i, want := range wantLadder {
+		res := ctl.Tick(obs)
+		if len(res.Violations) != 1 || res.Violations[0] != 2 {
+			t.Fatalf("tick %d: violations = %v, want [2]", i, res.Violations)
+		}
+		if len(res.Transitions) != 1 || res.Transitions[0].Class != 0 ||
+			res.Transitions[0].To != i+1 {
+			t.Fatalf("tick %d: transitions = %+v, want class 0 → level %d", i, res.Transitions, i+1)
+		}
+		pol := res.Policy
+		got := knobs{pol.ClassShedCap(0), pol.ClassAdmitScale(0), pol.ClassQueueShare(0)}
+		if got != want {
+			t.Fatalf("tick %d: class 0 knobs = %+v, want %+v", i, got, want)
+		}
+		if pol.ClassShedCap(1) != 0 || pol.ClassShedCap(2) != 0 {
+			t.Fatalf("tick %d: classes 1/2 browned before class 0 exhausted: %+v", i, pol)
+		}
+		if pol.Lookahead <= 0 {
+			t.Fatalf("tick %d: Lookahead not engaged while browned out", i)
+		}
+	}
+
+	// Class 0 exhausted: the next escalations move to class 1.
+	res := ctl.Tick(obs)
+	if len(res.Transitions) != 1 || res.Transitions[0].Class != 1 || res.Transitions[0].To != 1 {
+		t.Fatalf("after class 0 exhausted: transitions = %+v, want class 1 → level 1", res.Transitions)
+	}
+	// Exhaust class 1 too; then the violating class 2 is browned last.
+	for ctl.Levels()[1] < ctl.MaxLevel(1) {
+		res = ctl.Tick(obs)
+	}
+	res = ctl.Tick(obs)
+	if len(res.Transitions) != 1 || res.Transitions[0].Class != 2 {
+		t.Fatalf("after classes 0,1 exhausted: transitions = %+v, want class 2", res.Transitions)
+	}
+}
+
+// TestControllerRecoversAdditivelyLIFO pins the recovery half of AIMD:
+// one level released per RecoverAfter consecutive healthy ticks, the
+// highest browned class first, and the healthy streak restarting after
+// every release.
+func TestControllerRecoversAdditivelyLIFO(t *testing.T) {
+	ctl := mustController(t, ControllerConfig{
+		Classes: 2, Subnets: 4, RecoverAfter: 2,
+		SLOs: []SLO{1: {MinHitRate: 0.99}},
+	})
+	bad := violatingObs(2, 1)
+	good := healthyObs(2)
+
+	// Escalate class 0 to max (6) plus two levels on class 1.
+	for i := 0; i < ctl.MaxLevel(0)+2; i++ {
+		ctl.Tick(bad)
+	}
+	if got := ctl.Levels(); got[0] != ctl.MaxLevel(0) || got[1] != 2 {
+		t.Fatalf("levels after escalation = %v", got)
+	}
+
+	// Recovery: every 2nd healthy tick releases one level, class 1
+	// (the most recently browned) first.
+	wantLevels := [][]int{
+		{6, 2}, {6, 1}, // tick 1: streak=1; tick 2: release class 1
+		{6, 1}, {6, 0}, // class 1 again
+		{6, 0}, {5, 0}, // class 1 clear → class 0
+	}
+	for i, want := range wantLevels {
+		res := ctl.Tick(good)
+		if got := ctl.Levels(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("healthy tick %d: levels = %v, want %v", i, got, want)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("healthy tick %d: spurious violations %v", i, res.Violations)
+		}
+	}
+
+	// Drain fully: policy returns to neutral.
+	for i := 0; i < 2*ctl.MaxLevel(0); i++ {
+		ctl.Tick(good)
+	}
+	res := ctl.Tick(good)
+	if res.Policy.Active() {
+		t.Fatalf("policy still active after full recovery: %+v", res.Policy)
+	}
+	if res.Policy.Lookahead != 0 {
+		t.Fatalf("Lookahead still engaged after recovery: %v", res.Policy.Lookahead)
+	}
+}
+
+// TestControllerIgnoresQuietClasses pins the MinServed guard: a class
+// serving almost nothing cannot be judged violating, no matter how bad
+// its percentile looks.
+func TestControllerIgnoresQuietClasses(t *testing.T) {
+	ctl := mustController(t, ControllerConfig{
+		Classes: 2, Subnets: 4, MinServed: 8,
+		SLOs: []SLO{0: {P99Target: time.Millisecond}},
+	})
+	obs := []ClassObs{
+		{P99: time.Second, HitRate: 0, Served: 7}, // violating numbers, quiet
+		{P99: 0, HitRate: 1, Served: 0},
+	}
+	for i := 0; i < 5; i++ {
+		res := ctl.Tick(obs)
+		if len(res.Violations) != 0 || len(res.Transitions) != 0 {
+			t.Fatalf("quiet class judged violating: %+v", res)
+		}
+		if res.Policy.Active() {
+			t.Fatalf("policy active on quiet traffic: %+v", res.Policy)
+		}
+	}
+}
+
+// TestControllerHonorsSLOMinSubnetFloor pins that a class with an SLO
+// narrowing floor is never capped below it, even fully browned out.
+func TestControllerHonorsSLOMinSubnetFloor(t *testing.T) {
+	ctl := mustController(t, ControllerConfig{
+		Classes: 2, Subnets: 4,
+		SLOs: []SLO{
+			0: {MinSubnet: 3},
+			1: {P99Target: time.Millisecond},
+		},
+	})
+	obs := violatingObs(2, 1)
+	for i := 0; i < 20; i++ {
+		res := ctl.Tick(obs)
+		if cap := res.Policy.ClassShedCap(0); cap != 0 && cap < 3 {
+			t.Fatalf("tick %d: class 0 capped at %d below its SLO floor 3", i, cap)
+		}
+	}
+}
+
+// TestControllerDeterministic replays one observation sequence through
+// two controllers and requires identical policies and transitions —
+// the step-clocked determinism the serve-level tests lean on.
+func TestControllerDeterministic(t *testing.T) {
+	cfg := ControllerConfig{
+		Classes: 3, Subnets: 4, RecoverAfter: 3,
+		SLOs: []SLO{1: {P99Target: 2 * time.Millisecond}, 2: {MinHitRate: 0.95}},
+	}
+	a := mustController(t, cfg)
+	b := mustController(t, cfg)
+	seq := [][]ClassObs{
+		violatingObs(3, 1), violatingObs(3, 2), healthyObs(3),
+		violatingObs(3, 1), healthyObs(3), healthyObs(3), healthyObs(3),
+		violatingObs(3, 2), healthyObs(3), healthyObs(3),
+	}
+	for round := 0; round < 4; round++ {
+		for i, obs := range seq {
+			ra, rb := a.Tick(obs), b.Tick(obs)
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("round %d tick %d diverged:\n a: %+v\n b: %+v", round, i, ra, rb)
+			}
+		}
+	}
+}
+
+// TestPolicyRefSwapConsistentSnapshot mirrors the ModelRef swap
+// property test: concurrent readers racing Store must each see one
+// internally consistent policy — never a torn mix of two stores. Every
+// stored policy is stamped so any cross-field mixing is detectable.
+func TestPolicyRefSwapConsistentSnapshot(t *testing.T) {
+	const classes = 3
+	mk := func(k int) Policy {
+		pol := Policy{
+			ShedCap:    make([]int, classes),
+			AdmitScale: make([]float64, classes),
+			QueueShare: make([]int, classes),
+			Level:      make([]int, classes),
+		}
+		for c := 0; c < classes; c++ {
+			pol.ShedCap[c] = k + c
+			pol.AdmitScale[c] = float64(2 + k + c)
+			pol.QueueShare[c] = k + c + 1
+			pol.Level[c] = k
+		}
+		pol.Lookahead = float64(k)
+		return pol
+	}
+	var ref PolicyRef
+	ref.Store(mk(0))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for k := 1; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+				ref.Store(mk(k))
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() { // readers
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				pol := ref.Load()
+				k := pol.Level[0]
+				for c := 0; c < classes; c++ {
+					if pol.ShedCap[c] != k+c || pol.AdmitScale[c] != float64(2+k+c) ||
+						pol.QueueShare[c] != k+c+1 || pol.Level[c] != k {
+						t.Errorf("torn policy snapshot at stamp %d: %+v", k, pol)
+						return
+					}
+				}
+				if pol.Lookahead != float64(k) {
+					t.Errorf("torn Lookahead: stamp %d, got %v", k, pol.Lookahead)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	var zero PolicyRef
+	if pol := zero.Load(); pol.Active() || pol.ClassAdmitScale(0) != 1 ||
+		pol.ClassShedCap(0) != 0 || pol.ClassQueueShare(0) != 0 || pol.ClassLevel(5) != 0 {
+		t.Fatalf("zero PolicyRef not neutral: %+v", pol)
+	}
+}

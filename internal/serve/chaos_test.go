@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"steppingnet/internal/governor"
 )
 
 // TestChaosRandomizedLifecycles is the serving layer's chaos gate,
@@ -66,6 +68,20 @@ func TestChaosRandomizedLifecycles(t *testing.T) {
 			}
 			if rng.Intn(2) == 1 {
 				cfg.ServeDelay = time.Duration(rng.Intn(2000)) * time.Microsecond
+			}
+			if rng.Intn(2) == 1 {
+				// Arm the overload governor on a random prefix of the
+				// classes with a deliberately twitchy clock: the storm
+				// should drive real brownout transitions, and every
+				// invariant below must hold regardless.
+				cfg.SLOs = make([]governor.SLO, 1+rng.Intn(cfg.PriorityClasses))
+				for c := range cfg.SLOs {
+					cfg.SLOs[c] = governor.SLO{
+						P99Target:  time.Duration(1+rng.Intn(5)) * time.Millisecond,
+						MinHitRate: 0.9,
+					}
+				}
+				cfg.ControlInterval = time.Duration(1+rng.Intn(3)) * time.Millisecond
 			}
 			srv, err := New(cfg)
 			if err != nil {

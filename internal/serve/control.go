@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sort"
+	"time"
+
+	"steppingnet/internal/governor"
+)
+
+// classTick is the cumulative per-class counter totals one control
+// tick diffs against the next, so the controller sees per-interval
+// served/hit-rate figures rather than lifetime averages.
+type classTick struct {
+	served      int64
+	deadlineMet int64
+}
+
+// controlObs distills the per-class serving stats into one control
+// tick's observations: the percentile ring's p99 (the recent served
+// window — smooth, at the cost of a little post-recovery stickiness)
+// plus served count and deadline hit rate over exactly the interval
+// since prev. Returns the observations and the new totals to diff the
+// next tick against. Allocation is bounded by the ring sizes and it
+// takes the stats lock only to copy, so a tick never stalls the
+// serving path.
+func (st *Stats) controlObs(prev []classTick) ([]governor.ClassObs, []classTick) {
+	st.mu.Lock()
+	next := make([]classTick, len(st.byClass))
+	rings := make([][]time.Duration, len(st.byClass))
+	for c := range st.byClass {
+		cc := &st.byClass[c]
+		next[c] = classTick{served: cc.served, deadlineMet: cc.deadlineMet}
+		rings[c] = cc.lats.samples()
+	}
+	st.mu.Unlock()
+
+	obs := make([]governor.ClassObs, len(next))
+	for c := range next {
+		served, met := next[c].served, next[c].deadlineMet
+		if c < len(prev) {
+			served -= prev[c].served
+			met -= prev[c].deadlineMet
+		}
+		sort.Slice(rings[c], func(i, j int) bool { return rings[c][i] < rings[c][j] })
+		o := governor.ClassObs{Served: served, HitRate: 1}
+		if n := len(rings[c]); n > 0 {
+			o.P99 = rings[c][pctIdx(n, 0.99)]
+		}
+		if served > 0 {
+			o.HitRate = float64(met) / float64(served)
+		}
+		obs[c] = o
+	}
+	return obs, next
+}
+
+// controlLoop ticks the overload governor every ControlInterval until
+// Close. It shares the refresh loop's stop channel: both are
+// background recalibration loops that must die before Close returns.
+func (s *Server) controlLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ControlInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopRefresh:
+			return
+		case <-t.C:
+			s.controlTick()
+		}
+	}
+}
+
+// controlTick runs one governor cycle: sense (per-class rings and
+// hit-rate deltas), decide (Controller.Tick), actuate (atomic policy
+// swap) and count (SLO violations and brownout transitions into the
+// stats). It is the whole closed loop; the background controlLoop just
+// calls it on a timer, and the drift tests call it directly for
+// step-clocked determinism. No-op on servers without SLOs.
+func (s *Server) controlTick() {
+	if s.ctl == nil {
+		return
+	}
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	obs, next := s.stats.controlObs(s.ctlPrev)
+	s.ctlPrev = next
+	res := s.ctl.Tick(obs)
+	s.policy.Store(res.Policy)
+	for _, c := range res.Violations {
+		s.stats.recordSLOViolation(c)
+	}
+	for _, tr := range res.Transitions {
+		s.stats.recordBrownout(tr.Class)
+	}
+}
+
+// Policy returns the overload governor's currently published actuator
+// set (the neutral zero policy on servers without SLOs, or before the
+// first tick). The returned slices are shared snapshots and must not
+// be mutated.
+func (s *Server) Policy() governor.Policy { return s.policy.Load() }

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"steppingnet/internal/governor"
+)
+
+// newGovernedServer builds a server with the overload governor armed
+// on class 0 (p99 ≤ target, hit rate ≥ 0.99) and a manual control
+// clock: ControlInterval < 0 builds the controller but starts no
+// background loop, so tests tick it deterministically.
+func newGovernedServer(t *testing.T, target time.Duration, cal governor.LatencyModel) *Server {
+	t.Helper()
+	m := buildModel(71)
+	srv, err := New(Config{
+		Model: m, Subnets: 3, Workers: 1, QueueDepth: 16,
+		PriorityClasses: 2, Calibration: cal,
+		DefaultDeadline: time.Hour,
+		SLOs:            []governor.SLO{{P99Target: target, MinHitRate: 0.99}},
+		ControlInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// injectServed feeds n synthetic class-c answers straight into the
+// stats layer — the step-clocked substitute for wall-time load, so
+// controller scenarios replay identically on any machine.
+func injectServed(srv *Server, c, n int, lat time.Duration, met bool) {
+	for i := 0; i < n; i++ {
+		srv.stats.recordServed(Result{Priority: c, Subnet: 1, Latency: lat, DeadlineMet: met})
+	}
+}
+
+// TestControlTickBrownoutAndRecovery walks the whole closed loop
+// deterministically: sustained class-0 SLO violations escalate the
+// brownout ladder one level per tick (and the shed cap the batch
+// former stamps actually tightens), then a healthy window recovers it
+// additively back to a neutral policy, with every violation and
+// transition counted in the snapshot.
+func TestControlTickBrownoutAndRecovery(t *testing.T) {
+	m := buildModel(71)
+	srv := newGovernedServer(t, time.Millisecond, instantSteps(m, 3))
+	defer srv.Close()
+
+	// Healthy ticks against an empty history must not move anything.
+	srv.controlTick()
+	srv.controlTick()
+	if pol := srv.Policy(); pol.Active() {
+		t.Fatalf("policy active with no traffic: %+v", pol)
+	}
+
+	// Sustained violation: class 0's ring fills with 10ms latencies
+	// against a 1ms target.
+	injectServed(srv, 0, 50, 10*time.Millisecond, false)
+	srv.controlTick()
+	pol := srv.Policy()
+	if pol.ClassLevel(0) != 1 || pol.ClassShedCap(0) != 2 {
+		t.Fatalf("after 1 violating tick: level=%d cap=%d, want 1/2", pol.ClassLevel(0), pol.ClassShedCap(0))
+	}
+	// The stamped shed cap must feel the policy: empty queue would
+	// allow the full ladder (3), the policy pins class 0 at 2.
+	srv.qmu.Lock()
+	gotCap := srv.shedCapLocked(0)
+	srv.qmu.Unlock()
+	if gotCap != 2 {
+		t.Fatalf("shedCapLocked(0) = %d under policy cap 2", gotCap)
+	}
+
+	// Keep violating: the ladder deepens one level per tick until
+	// class 0 is fully shed, then starts on class 1.
+	max0 := srv.ctl.MaxLevel(0)
+	for i := 1; i < max0; i++ {
+		injectServed(srv, 0, 10, 10*time.Millisecond, false)
+		srv.controlTick()
+	}
+	pol = srv.Policy()
+	if pol.ClassLevel(0) != max0 || pol.ClassQueueShare(0) != 1 || pol.ClassAdmitScale(0) < 8 {
+		t.Fatalf("class 0 not fully shed after %d ticks: %+v", max0, pol)
+	}
+	if pol.ClassLevel(1) != 0 {
+		t.Fatalf("class 1 browned before class 0 exhausted: %+v", pol)
+	}
+
+	snap := srv.Stats()
+	if snap.SLOViolations == 0 || snap.Classes[0].SLOViolations == 0 {
+		t.Fatalf("violations not counted: %+v", snap)
+	}
+	if snap.Classes[0].BrownoutTransitions != int64(max0) {
+		t.Fatalf("class 0 transitions = %d, want %d", snap.Classes[0].BrownoutTransitions, max0)
+	}
+	if snap.Policy == nil || snap.Policy.MaxLevel != max0 || snap.Policy.Lookahead <= 0 {
+		t.Fatalf("snapshot policy missing brownout state: %+v", snap.Policy)
+	}
+
+	// Recovery: flush the ring with healthy latencies, then tick until
+	// neutral. Additive recovery releases at most one level per
+	// RecoverAfter ticks, so bound the loop generously.
+	injectServed(srv, 0, classRingSize+100, 100*time.Microsecond, true)
+	for i := 0; i < 8*max0 && srv.Policy().Active(); i++ {
+		srv.controlTick()
+	}
+	if pol := srv.Policy(); pol.Active() {
+		t.Fatalf("policy still active after healthy window: %+v", pol)
+	}
+	snap = srv.Stats()
+	if got, want := snap.Classes[0].BrownoutTransitions, int64(2*max0); got != want {
+		t.Fatalf("class 0 transitions after full recovery = %d, want %d (up == down)", got, want)
+	}
+	if snap.Policy.MaxLevel != 0 {
+		t.Fatalf("snapshot policy not neutral after recovery: %+v", snap.Policy)
+	}
+}
+
+// TestControllerDriftReconverges is the governor half of the drift
+// acceptance scenario: step costs silently inflate 3×, the stale
+// calibration lets deadlines blow, the governor browns out the low
+// class — and once the calibration refresh adopts the real costs and
+// latencies come back under target, the governor walks all the way
+// back to a neutral policy. Fully step-clocked: drift is injected into
+// the refresh sampler and latencies into the stats, so the scenario
+// replays identically under -race on any machine.
+func TestControllerDriftReconverges(t *testing.T) {
+	m := buildModel(72)
+	base := 200 * time.Microsecond
+	srv := newGovernedServer(t, 2*time.Millisecond, driftModel(m, base))
+	defer srv.Close()
+
+	// Phase 1 — drift bites: the 3×-inflated walk blows the 2ms
+	// target; three violating ticks walk class 0 three levels deep
+	// (each tick needs fresh served evidence — a quiet interval reads
+	// as healthy).
+	for i := 0; i < 3; i++ {
+		injectServed(srv, 0, 50, 8*time.Millisecond, false)
+		srv.controlTick()
+	}
+	if pol := srv.Policy(); pol.ClassLevel(0) != 3 {
+		t.Fatalf("class 0 level = %d after 3 violating ticks, want 3", pol.ClassLevel(0))
+	}
+
+	// Phase 2 — the refresh loop catches up with reality: live step
+	// timings at 3× the calibrated cost are adopted into the model.
+	for s := 2; s <= 3; s++ {
+		for i := 0; i < refreshMinObs; i++ {
+			srv.ref.observe(s, 3*base)
+		}
+	}
+	if !srv.refreshCalibration() {
+		t.Fatal("refreshCalibration adopted nothing")
+	}
+	if got := srv.Latency().StepTime[1]; got != 3*base {
+		t.Fatalf("refreshed step 2 cost = %v, want %v", got, 3*base)
+	}
+
+	// Phase 3 — with honest costs the scheduler answers narrower and
+	// hits deadlines again; the governor must re-converge to neutral.
+	injectServed(srv, 0, classRingSize+100, 500*time.Microsecond, true)
+	ticks := 0
+	for ; ticks < 40 && srv.Policy().Active(); ticks++ {
+		srv.controlTick()
+	}
+	if pol := srv.Policy(); pol.Active() {
+		t.Fatalf("governor did not re-converge after drift correction: %+v", pol)
+	}
+	snap := srv.Stats()
+	if snap.Refreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1", snap.Refreshes)
+	}
+	if got, want := snap.Classes[0].BrownoutTransitions, int64(6); got != want {
+		t.Fatalf("class 0 transitions = %d, want %d (3 up + 3 down)", got, want)
+	}
+}
+
+// TestControlLoopStopsOnClose pins that the background control loop
+// (and everything else Close reaps) exits even when Close lands
+// mid-tick: no goroutine may outlive Close.
+func TestControlLoopStopsOnClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	m := buildModel(73)
+	srv, err := New(Config{
+		Model: m, Subnets: 3, Workers: 2, QueueDepth: 16,
+		PriorityClasses: 2, Calibration: instantSteps(m, 3),
+		DefaultDeadline: time.Hour,
+		SLOs:            []governor.SLO{{P99Target: time.Millisecond}},
+		ControlInterval: time.Millisecond,
+		RefreshInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputVec(74, srv.imgLen)
+	for i := 0; i < 8; i++ {
+		if _, err := srv.Submit(Request{Input: in}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// Let several control ticks fire, then close mid-cadence.
+	time.Sleep(5 * time.Millisecond)
+	if snap := srv.Stats(); snap.Policy == nil {
+		t.Fatal("governed server snapshot has no policy block")
+	}
+	srv.Close()
+
+	if _, err := srv.Submit(Request{Input: in}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after Close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPolicySwapConcurrentWithStats is the serve-side swap property
+// test: percentile-ring reads (Stats), live submissions, PolicyRef
+// swaps (both raw Stores and real controlTicks) and ModelRef swaps all
+// race, and the accounting invariant Submitted = Served + Rejected
+// must hold at quiescence. Run under -race, this is the data-race
+// gate for the whole sensor → controller → actuator loop.
+func TestPolicySwapConcurrentWithStats(t *testing.T) {
+	m := buildModel(75)
+	srv := newGovernedServer(t, time.Millisecond, instantSteps(m, 3))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var submitted, served, rejected int64
+	var mu sync.Mutex
+
+	for g := 0; g < 3; g++ { // submitters
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			in := inputVec(uint64(80+g), srv.imgLen)
+			var sub, ok, rej int64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					mu.Lock()
+					submitted += sub
+					served += ok
+					rejected += rej
+					mu.Unlock()
+					return
+				default:
+				}
+				sub++
+				_, err := srv.Submit(Request{Input: in, Priority: i % 2})
+				switch {
+				case err == nil:
+					ok++
+				case errors.Is(err, ErrOverloaded):
+					rej++
+				default:
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // policy swapper: raw stores racing real control ticks
+		defer wg.Done()
+		for k := 0; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			srv.policy.Store(governor.Policy{
+				ShedCap:    []int{1 + k%3, 0},
+				AdmitScale: []float64{float64(int(1) << (k % 4)), 1},
+				QueueShare: []int{1 + k%8, 0},
+				Lookahead:  float64(k%2) * 0.25,
+				Level:      []int{k % 7, 0},
+			})
+			srv.controlTick()
+		}
+	}()
+	wg.Add(1)
+	go func() { // model swapper
+		defer wg.Done()
+		for k := 0; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lm := instantSteps(m, 3)
+			for i := range lm.StepTime {
+				lm.StepTime[i] = time.Duration(1 + k%100)
+			}
+			srv.lat.Store(lm)
+		}
+	}()
+	wg.Add(1)
+	go func() { // stats reader: percentile rings + policy snapshot
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := srv.Stats()
+			if snap.Served > snap.Submitted || snap.Policy == nil {
+				t.Errorf("inconsistent snapshot: %+v", snap)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	srv.Close()
+
+	snap := srv.Stats()
+	if snap.Submitted != submitted || snap.Submitted != snap.Served+snap.Rejected {
+		t.Fatalf("accounting: client submitted %d (served %d, rejected %d); server %d = %d + %d",
+			submitted, served, rejected, snap.Submitted, snap.Served, snap.Rejected)
+	}
+}

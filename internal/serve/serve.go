@@ -130,6 +130,21 @@ type Config struct {
 	// overload tests and the cluster chaos tests both lean on it).
 	// Always 0 in production configurations.
 	ServeDelay time.Duration
+	// SLOs, when non-empty, arms the adaptive overload governor:
+	// SLOs[c] is priority class c's objective (missing or zero entries
+	// exempt a class). Each ControlInterval the governor compares the
+	// per-class percentile rings and hit-rate counters against these
+	// targets and walks the brownout ladder (narrow low classes, then
+	// fast-fail them, then shed) documented on governor.Controller,
+	// publishing its knob settings through an atomic policy swap the
+	// admission check, shed cap and batch former read. Empty disables
+	// the controller entirely (the static defenses still apply).
+	SLOs []governor.SLO
+	// ControlInterval is the governor's tick period. 0 with SLOs set
+	// means 100ms; ignored when SLOs is empty. Tests may set SLOs with
+	// a negative ControlInterval to build the controller but drive
+	// ticks manually (no background goroutine, no wall-clock).
+	ControlInterval time.Duration
 }
 
 // withDefaults fills zero fields and validates the rest.
@@ -188,6 +203,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ServeDelay < 0 {
 		return c, fmt.Errorf("serve: negative ServeDelay %v", c.ServeDelay)
+	}
+	if len(c.SLOs) > c.PriorityClasses {
+		return c, fmt.Errorf("serve: %d SLOs for %d priority classes", len(c.SLOs), c.PriorityClasses)
+	}
+	if len(c.SLOs) > 0 && c.ControlInterval == 0 {
+		c.ControlInterval = 100 * time.Millisecond
 	}
 	return c, nil
 }
@@ -281,6 +302,20 @@ type Server struct {
 	ref   *refresher
 	stats *Stats
 
+	// policy is the overload governor's current actuator set,
+	// published per control tick and read (one atomic load, no lock,
+	// no allocation) by the admission check, the shed cap and the
+	// batch former. The zero policy is neutral, so servers without
+	// SLOs behave exactly as before the governor existed.
+	policy governor.PolicyRef
+	// ctl is the closed-loop brownout controller (nil when
+	// Config.SLOs is empty). Its Tick is serialized by ctlMu:
+	// normally only the control loop calls it, but drift tests drive
+	// controlTick directly.
+	ctl     *governor.Controller
+	ctlMu   sync.Mutex
+	ctlPrev []classTick
+
 	// The priority admission queue: one FIFO lane per class, guarded
 	// by qmu. qcond signals the batch former on arrivals and close.
 	qmu    sync.Mutex
@@ -344,6 +379,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.lat.Store(lat)
 
+	if len(cfg.SLOs) > 0 {
+		ctl, err := governor.NewController(governor.ControllerConfig{
+			Classes:   cfg.PriorityClasses,
+			Subnets:   cfg.Subnets,
+			MinSubnet: cfg.MinSubnet,
+			SLOs:      cfg.SLOs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.ctl = ctl
+		s.ctlPrev = make([]classTick, cfg.PriorityClasses)
+	}
+
 	s.wg.Add(1)
 	go s.former()
 	s.wg.Add(cfg.Workers)
@@ -353,6 +402,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RefreshInterval > 0 {
 		s.wg.Add(1)
 		go s.refreshLoop()
+	}
+	if s.ctl != nil && cfg.ControlInterval > 0 {
+		s.wg.Add(1)
+		go s.controlLoop()
 	}
 	return s, nil
 }
@@ -401,6 +454,26 @@ func (s *Server) Stats() Snapshot {
 	for i, d := range lat.StepTime {
 		snap.StepTimeMs[i] = float64(d) / float64(time.Millisecond)
 	}
+	if s.ctl != nil {
+		pol := s.policy.Load()
+		ps := &PolicySnapshot{
+			ShedCap:    make([]int, s.priorities),
+			AdmitScale: make([]float64, s.priorities),
+			QueueShare: make([]int, s.priorities),
+			Level:      make([]int, s.priorities),
+			Lookahead:  pol.Lookahead,
+		}
+		for c := 0; c < s.priorities; c++ {
+			ps.ShedCap[c] = pol.ClassShedCap(c)
+			ps.AdmitScale[c] = pol.ClassAdmitScale(c)
+			ps.QueueShare[c] = pol.ClassQueueShare(c)
+			ps.Level[c] = pol.ClassLevel(c)
+			if ps.Level[c] > ps.MaxLevel {
+				ps.MaxLevel = ps.Level[c]
+			}
+		}
+		snap.Policy = ps
+	}
 	return snap
 }
 
@@ -436,6 +509,7 @@ func (s *Server) Submit(req Request) (Result, error) {
 		done:      make(chan response, 1),
 	}
 	minWalk := s.lat.Load().WalkTime(s.cfg.MinSubnet)
+	pol := s.policy.Load()
 
 	s.qmu.Lock()
 	if s.closed {
@@ -448,17 +522,27 @@ func (s *Server) Submit(req Request) (Result, error) {
 	// Deadline-aware admission: when the backlog at or above this
 	// class alone makes the deadline unmeetable, fail fast instead of
 	// serving late. Lower-class queue contents don't count — the
-	// former serves this request first.
-	if wait := s.predictedWaitLocked(class); wait > 0 && d < wait+minWalk {
-		s.stats.recordRejected(class)
-		s.qmu.Unlock()
-		return Result{}, fmt.Errorf("%w: predicted queue wait %v exceeds deadline %v", ErrOverloaded, wait, d)
+	// former serves this request first. The governor's fast-fail
+	// brownout stage scales the predicted wait up, rejecting
+	// borderline deadlines earlier for browned-out classes.
+	if wait := s.predictedWaitLocked(class); wait > 0 {
+		wait = time.Duration(float64(wait) * pol.ClassAdmitScale(class))
+		if d < wait+minWalk {
+			s.stats.recordRejected(class)
+			s.qmu.Unlock()
+			return Result{}, fmt.Errorf("%w: predicted queue wait %v exceeds deadline %v", ErrOverloaded, wait, d)
+		}
 	}
 	// Weighted admission: class c owns the nested queue share
 	// depth·(c+1)/classes, so when the queue fills, low classes
 	// reject first while the top class can always use the whole
-	// queue.
-	if s.qtotal >= s.admitCap(class) {
+	// queue. The governor's shed brownout stage can cut a class's
+	// share further, down to a single slot.
+	admit := s.admitCap(class)
+	if qs := pol.ClassQueueShare(class); qs > 0 && qs < admit {
+		admit = qs
+	}
+	if s.qtotal >= admit {
 		s.stats.recordRejected(class)
 		s.qmu.Unlock()
 		return Result{}, fmt.Errorf("%w: admission queue full for priority class %d", ErrOverloaded, class)
@@ -554,6 +638,12 @@ func (s *Server) shedCapLocked(class int) int {
 	depth := s.cfg.QueueDepth
 	span := s.n - s.cfg.MinSubnet
 	c := s.n - (s.occAtOrAboveLocked(class)*span+depth-1)/depth
+	// The governor's narrow brownout stage can pin a browned-out class
+	// tighter than queue pressure alone would (its cap never drops
+	// below the class's SLO floor — the controller enforces that).
+	if pc := s.policy.Load().ClassShedCap(class); pc > 0 && pc < c {
+		c = pc
+	}
 	if c < s.cfg.MinSubnet {
 		c = s.cfg.MinSubnet
 	}
@@ -562,12 +652,40 @@ func (s *Server) shedCapLocked(class int) int {
 
 // popLocked moves up to max requests from the lanes into batch,
 // highest class first, FIFO within a class, and stamps each with its
-// class's shed cap at pop time. Callers hold qmu.
+// class's shed cap at pop time. When the governor's policy carries a
+// lookahead ratio, the pop additionally groups by compatible deadline
+// headroom: the first request popped (or, on a top-up, the batch's
+// existing head) seeds the batch, and the pop stops at the first
+// candidate whose remaining headroom is incompatible with the seed's
+// (min/max < ratio) — a batch step costs b·StepTime, so mixing one
+// tight-deadline request into a generous batch would make every rung
+// dearer for all of them. The incompatible request stays queued, in
+// order, and seeds the next batch. Callers hold qmu.
 func (s *Server) popLocked(batch []*pending, max int) []*pending {
+	la := s.policy.Load().Lookahead
+	var now time.Time
+	var seedHead time.Duration
+	seeded := false
+	if la > 0 {
+		now = time.Now()
+		if len(batch) > 0 {
+			seedHead, seeded = headroom(batch[0], now), true
+		}
+	}
+pop:
 	for c := s.priorities - 1; c >= 0 && len(batch) < max; c-- {
 		lane := s.lanes[c]
 		for len(lane) > 0 && len(batch) < max {
 			p := lane[0]
+			if la > 0 {
+				h := headroom(p, now)
+				if !seeded {
+					seedHead, seeded = h, true
+				} else if !compatibleHeadroom(seedHead, h, la) {
+					s.lanes[c] = lane
+					break pop
+				}
+			}
 			lane[0] = nil // free the slot for GC; the lane slice is reused
 			lane = lane[1:]
 			s.qtotal--
@@ -581,6 +699,30 @@ func (s *Server) popLocked(batch []*pending, max int) []*pending {
 		}
 	}
 	return batch
+}
+
+// headroom is the time a queued request still has until its deadline,
+// floored at zero (blown deadlines all look equally urgent).
+func headroom(p *pending, now time.Time) time.Duration {
+	if h := p.deadline.Sub(now); h > 0 {
+		return h
+	}
+	return 0
+}
+
+// compatibleHeadroom reports whether two headrooms may share a batch
+// under lookahead ratio la: the smaller must be at least la of the
+// larger. Two already-blown deadlines are always compatible (there is
+// nothing left to protect).
+func compatibleHeadroom(a, b time.Duration, la float64) bool {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi <= 0 {
+		return true
+	}
+	return float64(lo) >= la*float64(hi)
 }
 
 // popBatch blocks until at least one request is queued (or the server

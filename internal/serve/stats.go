@@ -45,27 +45,31 @@ func (r *latRing) samples() []time.Duration {
 
 // classCounters accumulates the per-priority-class serving counters.
 type classCounters struct {
-	submitted   int64
-	rejected    int64
-	served      int64
-	deadlineMet int64
-	bySubnet    []int64
-	lats        latRing
+	submitted     int64
+	rejected      int64
+	served        int64
+	deadlineMet   int64
+	sloViolations int64
+	brownouts     int64
+	bySubnet      []int64
+	lats          latRing
 }
 
 // Stats accumulates serving counters. One instance per Server; all
 // methods are safe for concurrent use.
 type Stats struct {
-	mu          sync.Mutex
-	submitted   int64
-	rejected    int64
-	served      int64
-	deadlineMet int64
-	refreshes   int64
-	totalMACs   int64
-	bySubnet    []int64 // answers per subnet, index s-1
-	byClass     []classCounters
-	lats        latRing // recent end-to-end latencies, all classes
+	mu            sync.Mutex
+	submitted     int64
+	rejected      int64
+	served        int64
+	deadlineMet   int64
+	refreshes     int64
+	sloViolations int64
+	brownouts     int64
+	totalMACs     int64
+	bySubnet      []int64 // answers per subnet, index s-1
+	byClass       []classCounters
+	lats          latRing // recent end-to-end latencies, all classes
 }
 
 func newStats(n, priorities int) *Stats {
@@ -110,6 +114,24 @@ func (st *Stats) recordRejected(class int) {
 func (st *Stats) recordRefresh() {
 	st.mu.Lock()
 	st.refreshes++
+	st.mu.Unlock()
+}
+
+// recordSLOViolation counts one control tick that observed class c
+// violating its SLO (monotonic; one per violating class per tick).
+func (st *Stats) recordSLOViolation(class int) {
+	st.mu.Lock()
+	st.sloViolations++
+	st.class(class).sloViolations++
+	st.mu.Unlock()
+}
+
+// recordBrownout counts one brownout ladder move (escalation or
+// recovery) applied to class c (monotonic).
+func (st *Stats) recordBrownout(class int) {
+	st.mu.Lock()
+	st.brownouts++
+	st.class(class).brownouts++
 	st.mu.Unlock()
 }
 
@@ -158,6 +180,12 @@ type ClassSnapshot struct {
 	P50Ms float64 `json:"p50_ms"`
 	// P99Ms is the 99th-percentile latency of the same window.
 	P99Ms float64 `json:"p99_ms"`
+	// SLOViolations counts control ticks that observed this class
+	// violating its SLO (monotonic; 0 without a governor).
+	SLOViolations int64 `json:"slo_violations"`
+	// BrownoutTransitions counts brownout ladder moves — escalations
+	// and recoveries — applied to this class (monotonic).
+	BrownoutTransitions int64 `json:"brownout_transitions"`
 }
 
 // Snapshot is a point-in-time copy of the serving counters, shaped
@@ -219,32 +247,66 @@ type Snapshot struct {
 	// currently planned with (startup calibration or the latest
 	// refresh), index s-1.
 	StepTimeMs []float64 `json:"step_time_ms"`
+	// SLOViolations totals the per-class SLO-violation ticks (0
+	// without a governor).
+	SLOViolations int64 `json:"slo_violations"`
+	// BrownoutTransitions totals the per-class brownout ladder moves.
+	BrownoutTransitions int64 `json:"brownout_transitions"`
+	// Policy is the overload governor's currently published actuator
+	// set; nil on servers without SLOs configured.
+	Policy *PolicySnapshot `json:"policy,omitempty"`
+}
+
+// PolicySnapshot is the JSON shape of the overload governor's current
+// policy in a Snapshot — what a `stepserve -route` operator reads to
+// see which replica is browning out, and how deep.
+type PolicySnapshot struct {
+	// ShedCap[c] is class c's policy ladder cap (0 = unconstrained).
+	ShedCap []int `json:"shed_cap"`
+	// AdmitScale[c] is class c's admission-strictness multiplier
+	// (≤ 1 = neutral).
+	AdmitScale []float64 `json:"admit_scale"`
+	// QueueShare[c] is class c's overridden queue share (0 = the
+	// configured nested share).
+	QueueShare []int `json:"queue_share"`
+	// Lookahead is the batch former's deadline-headroom compatibility
+	// ratio (0 = grouping off).
+	Lookahead float64 `json:"lookahead"`
+	// Level[c] is class c's brownout ladder depth (0 = untouched).
+	Level []int `json:"level"`
+	// MaxLevel is the deepest current per-class level — the one-glance
+	// "how browned out is this replica" gauge.
+	MaxLevel int `json:"max_level"`
 }
 
 // snapshot copies the counters and computes the latency percentiles.
 func (st *Stats) snapshot() Snapshot {
 	st.mu.Lock()
 	snap := Snapshot{
-		Submitted:   st.submitted,
-		Rejected:    st.rejected,
-		Served:      st.served,
-		DeadlineMet: st.deadlineMet,
-		Refreshes:   st.refreshes,
-		TotalMACs:   st.totalMACs,
-		BySubnet:    append([]int64(nil), st.bySubnet...),
-		Classes:     make([]ClassSnapshot, len(st.byClass)),
+		Submitted:           st.submitted,
+		Rejected:            st.rejected,
+		Served:              st.served,
+		DeadlineMet:         st.deadlineMet,
+		Refreshes:           st.refreshes,
+		SLOViolations:       st.sloViolations,
+		BrownoutTransitions: st.brownouts,
+		TotalMACs:           st.totalMACs,
+		BySubnet:            append([]int64(nil), st.bySubnet...),
+		Classes:             make([]ClassSnapshot, len(st.byClass)),
 	}
 	lats := st.lats.samples()
 	classLats := make([][]time.Duration, len(st.byClass))
 	for c := range st.byClass {
 		cc := &st.byClass[c]
 		snap.Classes[c] = ClassSnapshot{
-			Priority:    c,
-			Submitted:   cc.submitted,
-			Rejected:    cc.rejected,
-			Served:      cc.served,
-			DeadlineMet: cc.deadlineMet,
-			BySubnet:    append([]int64(nil), cc.bySubnet...),
+			Priority:            c,
+			Submitted:           cc.submitted,
+			Rejected:            cc.rejected,
+			Served:              cc.served,
+			DeadlineMet:         cc.deadlineMet,
+			SLOViolations:       cc.sloViolations,
+			BrownoutTransitions: cc.brownouts,
+			BySubnet:            append([]int64(nil), cc.bySubnet...),
 		}
 		classLats[c] = cc.lats.samples()
 	}
@@ -279,12 +341,18 @@ func PercentileMs(sorted []time.Duration, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	return float64(sorted[pctIdx(len(sorted), p)]) / float64(time.Millisecond)
+}
+
+// pctIdx is the nearest-rank index of the p-quantile in an n-sample
+// ascending slice, clamped to a valid index (n ≥ 1).
+func pctIdx(n int, p float64) int {
+	idx := int(math.Ceil(p*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= n {
+		idx = n - 1
 	}
-	return float64(sorted[idx]) / float64(time.Millisecond)
+	return idx
 }
