@@ -89,13 +89,25 @@ SHARD_TESTS='TestIntraLayerParallelMatchesSerial|TestRowShardBitwiseInvariance|T
 go test -count=1 -run "$SHARD_TESTS" ./internal/tensor ./internal/infer ./internal/serve
 STEPPINGNET_NOSIMD=1 go test -count=1 -run "$SHARD_TESTS" ./internal/tensor ./internal/infer ./internal/serve
 
+echo "== resume equivalence (both backends) =="
+# The semantic cache's bitwise contract: a walk resumed from exported
+# ladder state must equal a cold walk exactly — at the engine layer
+# (property grid over odd shapes × worker counts), at the serving
+# layer (deadline-stopped walk resumed by a later request), and the
+# early exit must never change the predicted class.
+RESUME_TESTS='TestResumeMatchesColdWalk|TestExportRowFromBatchedWalk|TestCachedResumeBitwiseEqualsCold|TestCacheHitServesStoredLogits|TestEarlyExitNeverChangesArgmax'
+go test -count=1 -run "$RESUME_TESTS" ./internal/infer ./internal/serve
+STEPPINGNET_NOSIMD=1 go test -count=1 -run "$RESUME_TESTS" ./internal/infer ./internal/serve
+
 echo "== fuzz smoke =="
 # Ten seconds per fuzz target on top of the committed seed corpora:
 # enough to shake out regressions in the hardened surfaces (the
-# LatencyModel deadline math and the /infer handler chain) without
-# stalling the gate. A real campaign runs them longer by hand.
+# LatencyModel deadline math, the /infer handler chain and the
+# semantic cache's key/churn/resume paths) without stalling the gate.
+# A real campaign runs them longer by hand.
 go test -run='^$' -fuzz=FuzzLatencyModel -fuzztime=10s ./internal/governor
 go test -run='^$' -fuzz=FuzzInferHandler -fuzztime=10s ./cmd/stepserve
+go test -run='^$' -fuzz=FuzzCacheResume -fuzztime=10s ./internal/serve/cache
 
 echo "== chaos (default backend) =="
 # The serving layer's randomized lifecycle storm always runs under the
@@ -157,7 +169,8 @@ echo "== serve smoke-run (default backend) =="
 # attainment columns. Run under both GEMM backends, like the test
 # suite.
 SMOKE_FLAGS='-loadgen -rps 300 -duration 1s -workers 1 -queue 16 -batch 4 -refresh 250ms
-             -deadlines 500us:0.45,10ms:0.45,10ms:0.1:hi -scenario burst -slo 1:5ms:0.9 -control 20ms'
+             -deadlines 500us:0.45,10ms:0.45,10ms:0.1:hi -scenario burst -slo 1:5ms:0.9 -control 20ms
+             -cache 256 -exit-calibrate 32 -repeat 0.5'
 go run ./cmd/stepserve $SMOKE_FLAGS
 echo "== serve smoke-run (scalar backend) =="
 STEPPINGNET_NOSIMD=1 go run ./cmd/stepserve $SMOKE_FLAGS

@@ -201,6 +201,49 @@ func writeBenchBaseline(path string) error {
 		}
 	})
 
+	// Cached-resume serving latency: the same request repeated through
+	// a cache-armed server. After the first walk populates the cache,
+	// every iteration is a full hit — admission, hash, lookup and the
+	// answer channel with zero engine work. The delta under
+	// serve_b1_deadline is what the semantic cache saves per repeated
+	// key; a regression here means the hit path grew real work.
+	record(results, "serve_b1_cached_resume", 0, func(b *testing.B) {
+		m := models.LeNet3C1L(models.Options{
+			Classes: 10, InC: 3, InH: 16, InW: 16, Expansion: 1.8,
+			Subnets: 4, Rule: nn.RuleIncremental, Seed: 3,
+		})
+		r := tensor.NewRNG(9)
+		for _, mv := range m.Movable {
+			a := mv.OutAssignment()
+			for u := 1; u < a.Units(); u++ {
+				a.SetID(u, 1+r.Intn(4))
+			}
+		}
+		srv, err := serve.New(serve.Config{
+			Model: m, Subnets: 4, Workers: 1, CacheEntries: 16,
+			DefaultDeadline: time.Second, CalibrationReps: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		in := tensor.New(3 * 16 * 16)
+		in.FillNormal(tensor.NewRNG(4), 0, 1)
+		if _, err := srv.Submit(serve.Request{Input: in.Data()}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := srv.Submit(serve.Request{Input: in.Data()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.CacheHit {
+				b.Fatalf("repeat submit missed the cache (subnet %d)", res.Subnet)
+			}
+		}
+	})
+
 	out := benchBaseline{
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,

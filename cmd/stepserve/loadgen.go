@@ -115,6 +115,75 @@ func loadShape(name string) (func(frac float64) float64, error) {
 	return nil, fmt.Errorf("unknown scenario %q (want constant, diurnal, burst or step)", name)
 }
 
+// inputMixer draws request inputs with a configurable key-reuse mix:
+// a `repeat` fraction of requests re-send one of hotPoolSize popular
+// inputs with a harmonic (zipf-like) popularity skew — the traffic a
+// semantic result cache exploits — while the rest walk a coldRingSize
+// ring of mostly-unique inputs. repeat = 0 degenerates to the cold
+// ring alone (the cache-off baseline sends the exact same byte
+// streams, so comparisons isolate the cache).
+type inputMixer struct {
+	hot    [][]float64
+	cold   [][]float64
+	cum    []float64 // cumulative harmonic weights over hot
+	repeat float64
+	next   int // cold ring cursor
+}
+
+// Hot/cold pool sizes of the loadgen's key-reuse mix: the hot pool is
+// small enough that any reasonable -cache setting holds all of it,
+// the cold ring large enough that a small cache cannot.
+const (
+	hotPoolSize  = 16
+	coldRingSize = 1024
+)
+
+// newInputMixer seeds both pools deterministically from rng.
+func newInputMixer(rng *tensor.RNG, imgLen int, repeat float64) *inputMixer {
+	mx := &inputMixer{repeat: repeat}
+	mx.hot = make([][]float64, hotPoolSize)
+	mx.cum = make([]float64, hotPoolSize)
+	sum := 0.0
+	for i := range mx.hot {
+		mx.hot[i] = randomInput(rng, imgLen)
+		sum += 1 / float64(i+1) // harmonic: key k gets weight 1/k
+		mx.cum[i] = sum
+	}
+	mx.cold = make([][]float64, coldRingSize)
+	for i := range mx.cold {
+		mx.cold[i] = randomInput(rng, imgLen)
+	}
+	return mx
+}
+
+// pick returns the next request's input; rng drives the hot/cold coin
+// and the zipf draw, the cold cursor advances deterministically.
+func (mx *inputMixer) pick(rng *tensor.RNG) []float64 {
+	if mx.repeat > 0 && rng.Float64() < mx.repeat {
+		x := rng.Float64() * mx.cum[len(mx.cum)-1]
+		for i, c := range mx.cum {
+			if x < c {
+				return mx.hot[i]
+			}
+		}
+		return mx.hot[len(mx.hot)-1]
+	}
+	in := mx.cold[mx.next%len(mx.cold)]
+	mx.next++
+	return in
+}
+
+// burstAt advances the carry-forward accumulator by one tick at the
+// given shape multiplier, returning how many requests to fire now.
+// Pure and deterministic — the golden scenario tests pin its output
+// sequence for every -scenario shape.
+func burstAt(carry *float64, burst int, mult float64) int {
+	*carry += float64(burst) * mult
+	n := int(*carry)
+	*carry -= float64(n)
+	return n
+}
+
 // pickClass draws a class index proportionally to the weights.
 func pickClass(mix []deadlineClass, rng *tensor.RNG) int {
 	var total float64
@@ -162,10 +231,10 @@ const maxInflight = 256
 // (in-flight cap). The shape function (see loadShape) scales the
 // instantaneous rate by the elapsed run fraction — fractional
 // per-tick counts are carried forward so the offered total tracks the
-// curve's integral rather than rounding it away. A nil input pool
+// curve's integral rather than rounding it away. A nil pick function
 // sends input-less requests — remote replicas synthesize their own
 // seeded image, keeping the generator's CPU out of the measurement.
-func driveLoad(tgs []*loadTarget, rps float64, duration time.Duration, mix []deadlineClass, inputs [][]float64, rng *tensor.RNG, shape func(float64) float64) ([]classStats, []int64, int) {
+func driveLoad(tgs []*loadTarget, rps float64, duration time.Duration, mix []deadlineClass, pick func(*tensor.RNG) []float64, rng *tensor.RNG, shape func(float64) float64) ([]classStats, []int64, int) {
 	var (
 		mu       sync.Mutex
 		perClass = make([]classStats, len(mix))
@@ -201,8 +270,8 @@ func driveLoad(tgs []*loadTarget, rps float64, duration time.Duration, mix []dea
 		}
 		inflight.Add(1)
 		var in []float64
-		if inputs != nil {
-			in = inputs[offered%len(inputs)]
+		if pick != nil {
+			in = pick(rng)
 		}
 		wg.Add(1)
 		go func(ci int, tg *loadTarget) {
@@ -256,10 +325,7 @@ loop:
 			// the current point of the run; the fractional remainder
 			// rolls into the next tick.
 			frac := float64(time.Since(start)) / float64(duration)
-			carry += float64(burst) * shape(frac)
-			n := int(carry)
-			carry -= float64(n)
-			for i := 0; i < n; i++ {
+			for i, n := 0, burstAt(&carry, burst, shape(frac)); i < n; i++ {
 				fire()
 			}
 		}
@@ -392,23 +458,21 @@ func printTargetReport(tgs []*loadTarget) {
 // runLoadgen drives the in-process serving layer (the original mode:
 // no HTTP between generator and server) and prints the serving
 // report, including the server's own per-priority protection summary.
-func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.Duration, mix []deadlineClass, seed uint64, scenario string, shape func(float64) float64, slos []governor.SLO) {
+func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.Duration, mix []deadlineClass, seed uint64, scenario string, shape func(float64) float64, slos []governor.SLO, repeat float64) {
 	if rps <= 0 {
 		log.Fatal("loadgen: -rps must be positive")
 	}
-	imgLen := m.InC * m.InH * m.InW
-	// A fixed pool of seeded inputs: the generator must not spend its
-	// tick budget on RNG work.
-	const inputPool = 64
-	inputs := make([][]float64, inputPool)
+	// Pre-seeded input pools: the generator must not spend its tick
+	// budget on RNG work. The mixer's hot/cold split realizes the
+	// -repeat key-reuse fraction (repeat 0 = every request from the
+	// cold ring).
 	rng := tensor.NewRNG(seed ^ 0x10ADF5)
-	for i := range inputs {
-		inputs[i] = randomInput(rng, imgLen)
-	}
+	mx := newInputMixer(rng, m.InC*m.InH*m.InW, repeat)
 
-	log.Printf("loadgen: %.0f rps base for %v (scenario %s), deadline mix %s", rps, duration, scenario, mixString(mix))
+	log.Printf("loadgen: %.0f rps base for %v (scenario %s), deadline mix %s, key reuse %.0f%%",
+		rps, duration, scenario, mixString(mix), 100*repeat)
 	tg := &loadTarget{name: "in-process", submit: srv.Submit}
-	perClass, bySubnet, offered := driveLoad([]*loadTarget{tg}, rps, duration, mix, inputs, rng, shape)
+	perClass, bySubnet, offered := driveLoad([]*loadTarget{tg}, rps, duration, mix, mx.pick, rng, shape)
 	printClassReport(mix, perClass, bySubnet, offered, rps, duration, scenario, slos)
 
 	snap := srv.Stats()
@@ -476,8 +540,8 @@ func runRemoteLoadgen(targets []string, rps float64, duration time.Duration, mix
 	stopSlow := startSlowLoris(targets[0], slowConns)
 
 	log.Printf("loadgen: %.0f rps base for %v (scenario %s) over %d targets, deadline mix %s", rps, duration, scenario, len(targets), mixString(mix))
-	// nil input pool: replicas synthesize their own seeded images, so
-	// the generator's CPU stays out of the measurement.
+	// nil pick function: replicas synthesize their own seeded images,
+	// so the generator's CPU stays out of the measurement.
 	perClass, bySubnet, offered := driveLoad(tgs, rps, duration, mix, nil, rng, shape)
 	printClassReport(mix, perClass, bySubnet, offered, rps, duration, scenario, slos)
 	printTargetReport(tgs)
@@ -537,10 +601,25 @@ func printClassProtection(snap serve.Snapshot) {
 			if cs.Submitted == 0 {
 				continue
 			}
-			fmt.Printf("  prio %d: served %5d  rejected %5d  hit-rate %5.1f%%  p99 %6.2fms  subnets %v  slo-viol %d  brownouts %d\n",
+			line := fmt.Sprintf("  prio %d: served %5d  rejected %5d  hit-rate %5.1f%%  p99 %6.2fms  subnets %v  slo-viol %d  brownouts %d",
 				cs.Priority, cs.Served, cs.Rejected, 100*cs.DeadlineHitRate, cs.P99Ms, cs.BySubnet,
 				cs.SLOViolations, cs.BrownoutTransitions)
+			if snap.CacheEnabled || cs.EarlyExits > 0 {
+				line += fmt.Sprintf("  cache-hit %d  resumed %d  early-exit %d", cs.CacheHits, cs.CacheResumes, cs.EarlyExits)
+			}
+			fmt.Println(line)
 		}
+	}
+	if snap.CacheEnabled {
+		reuse := 0.0
+		if snap.Served > 0 {
+			reuse = float64(snap.CacheHits+snap.CacheResumes) / float64(snap.Served)
+		}
+		fmt.Printf("semantic cache: %d hits, %d resumes (%.1f%% of answers), %d early exits; %d entries / %d KiB live, %d evictions\n",
+			snap.CacheHits, snap.CacheResumes, 100*reuse, snap.EarlyExits,
+			snap.CacheEntries, snap.CacheBytes>>10, snap.CacheEvictions)
+	} else if snap.EarlyExits > 0 {
+		fmt.Printf("early exit: %d answers stopped below their affordable rung\n", snap.EarlyExits)
 	}
 	if snap.Policy != nil {
 		fmt.Printf("governor: %d SLO violations, %d brownout transitions, final levels %v (deepest %d), lookahead %.2f\n",

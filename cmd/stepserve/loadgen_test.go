@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"steppingnet/internal/tensor"
+)
+
+// TestScenarioTickSequencesGolden pins the exact per-tick request
+// counts each -scenario shape produces through the carry-forward
+// accumulator (burstAt) — the deterministic core of driveLoad's offer
+// loop. Sampling 20 ticks at burst 3 exercises every regime of every
+// shape (trough, peak, burst windows, each staircase quarter); any
+// change to a shape or to the carry arithmetic shows up here as an
+// exact diff.
+func TestScenarioTickSequencesGolden(t *testing.T) {
+	const ticks, burst = 20, 3
+	golden := map[string][]int{
+		"constant": {3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3},
+		"diurnal":  {0, 1, 1, 2, 2, 3, 4, 4, 5, 5, 6, 5, 4, 5, 3, 3, 3, 1, 2, 1},
+		"burst":    {1, 2, 1, 9, 9, 2, 1, 2, 1, 9, 9, 2, 1, 2, 1, 9, 9, 2, 1, 2},
+		"step":     {1, 2, 1, 2, 1, 3, 3, 3, 3, 3, 6, 6, 6, 6, 6, 12, 12, 12, 12, 12},
+	}
+	for name, want := range golden {
+		shape, err := loadShape(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int, ticks)
+		carry := 0.0
+		for i := range got {
+			got[i] = burstAt(&carry, burst, shape(float64(i)/ticks))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("scenario %s tick sequence %v, want %v", name, got, want)
+		}
+		// The carry must conserve the offered integral: totals may
+		// round down by at most one request.
+		sum, integral := 0, 0.0
+		for i := range got {
+			sum += got[i]
+			integral += float64(burst) * shape(float64(i)/ticks)
+		}
+		if float64(sum) > integral || integral-float64(sum) >= 1 {
+			t.Errorf("scenario %s offered %d over an integral of %.3f", name, sum, integral)
+		}
+	}
+}
+
+// TestLoadShapeRejectsUnknown pins the -scenario flag's error path.
+func TestLoadShapeRejectsUnknown(t *testing.T) {
+	if _, err := loadShape("lunar"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := loadShape(""); err != nil {
+		t.Fatalf("empty scenario (constant default) rejected: %v", err)
+	}
+}
+
+// TestInputMixerKeyReuse pins the -repeat key-reuse mix: the mixer is
+// deterministic for a seed, honors the repeat fraction within
+// tolerance, skews hot-pool draws toward low keys (zipf-like), and at
+// repeat 0 degenerates to the pure cold ring in ring order.
+func TestInputMixerKeyReuse(t *testing.T) {
+	const imgLen = 8
+	const draws = 4000
+
+	// Determinism: same seed, same sequence of pointers-to-pools.
+	seq := func() []string {
+		rng := tensor.NewRNG(7)
+		mx := newInputMixer(rng, imgLen, 0.5)
+		out := make([]string, 64)
+		for i := range out {
+			out[i] = fmt.Sprintf("%x", mx.pick(rng)[0])
+		}
+		return out
+	}
+	if !reflect.DeepEqual(seq(), seq()) {
+		t.Fatal("same seed produced different input sequences")
+	}
+
+	// Repeat fraction + zipf skew: index hot inputs by first element.
+	rng := tensor.NewRNG(7)
+	mx := newInputMixer(rng, imgLen, 0.5)
+	hotIdx := make(map[float64]int, len(mx.hot))
+	for i, in := range mx.hot {
+		hotIdx[in[0]] = i
+	}
+	hotDraws := 0
+	hotCount := make([]int, len(mx.hot))
+	for i := 0; i < draws; i++ {
+		if idx, ok := hotIdx[mx.pick(rng)[0]]; ok {
+			hotDraws++
+			hotCount[idx]++
+		}
+	}
+	if frac := float64(hotDraws) / draws; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("repeat 0.5 produced hot fraction %.3f", frac)
+	}
+	if hotCount[0] <= hotCount[len(hotCount)-1]*2 {
+		t.Fatalf("hot pool not zipf-skewed: key 0 drawn %d times, last key %d",
+			hotCount[0], hotCount[len(hotCount)-1])
+	}
+
+	// repeat 0: pure cold ring, in order, wrapping.
+	rng0 := tensor.NewRNG(9)
+	mx0 := newInputMixer(rng0, imgLen, 0)
+	for i := 0; i < coldRingSize+5; i++ {
+		want := mx0.cold[i%coldRingSize]
+		if got := mx0.pick(rng0); &got[0] != &want[0] {
+			t.Fatalf("repeat 0 draw %d left the cold ring order", i)
+		}
+	}
+}
+
+// TestParseDeadlineMixAndSLOs covers the flag parsers the loadgen and
+// server modes share.
+func TestParseDeadlineMixAndSLOs(t *testing.T) {
+	mix, err := parseDeadlineMix("4ms:0.9,12ms:0.1:hi", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].prio != 0 || mix[1].prio != 1 || mix[1].d != 12*time.Millisecond {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if _, err := parseDeadlineMix("4ms", time.Second); err == nil {
+		t.Fatal("weightless class accepted")
+	}
+	slos, err := parseSLOs("1:2ms:0.99")
+	if err != nil || len(slos) != 2 || slos[1].P99Target != 2*time.Millisecond || slos[1].MinHitRate != 0.99 {
+		t.Fatalf("slos = %+v, %v", slos, err)
+	}
+	if _, err := parseSLOs("x:2ms"); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}

@@ -67,6 +67,19 @@
 // recovering additively once SLOs are met again (see
 // internal/governor). /stats exposes the violation and transition
 // counters plus the current policy.
+//
+// The -cache flag arms the semantic result cache: repeated inputs are
+// answered straight from a previous walk's logits, or — when the new
+// request's deadline affords a wider answer — the engine resumes from
+// the cached ladder rung instead of walking from scratch, bitwise
+// identical to a cold walk. -exit-margin (or -exit-calibrate, which
+// derives argmax-safe per-class thresholds from seeded calibration
+// walks) arms the confidence early exit: the walk stops as soon as
+// the top-2 logit margin clears the threshold. The loadgen's -repeat
+// flag sends that fraction of requests from a zipf-skewed hot key
+// pool, so cache-on vs cache-off runs are directly comparable:
+//
+//	stepserve -loadgen -cache 256 -repeat 0.6 -rps 400 -duration 5s
 package main
 
 import (
@@ -119,6 +132,10 @@ func main() {
 	refresh := flag.Duration("refresh", 2*time.Second, "calibration refresh interval (0 trusts startup calibration forever)")
 	sloSpec := flag.String("slo", "", "per-class SLOs arming the adaptive overload governor, like 1:2ms:0.99 — class:p99target[:min-hit-rate[:min-subnet]] (empty disables the governor)")
 	control := flag.Duration("control", 0, "overload governor tick interval (0 = 100ms when -slo is set)")
+	cacheEntries := flag.Int("cache", 0, "semantic result cache capacity in entries (0 disables; repeated inputs are answered from — or resumed off — cached ladder state)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "semantic cache memory bound in bytes (0 = 64MiB default when -cache is set)")
+	exitMargin := flag.Float64("exit-margin", 0, "confidence early-exit top-2 logit margin threshold (0 disables the exit)")
+	exitCalibrate := flag.Int("exit-calibrate", 0, "derive argmax-safe per-class early-exit margins from this many seeded calibration inputs (overrides -exit-margin)")
 	hdrTimeout := flag.Duration("hdr-timeout", 5*time.Second, "how long a connection may take to send its request headers before it is closed (slow-loris defense)")
 
 	route := flag.String("route", "", "comma-separated replica base URLs: run as a fault-tolerant router over them instead of serving a model")
@@ -130,6 +147,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
 	deadlineMix := flag.String("deadlines", "", "loadgen: class mix like 4ms:0.5,12ms:0.5:hi — deadline:weight with an optional :hi marking the high-priority class (default: the -deadline flag at weight 1)")
 	scenario := flag.String("scenario", "constant", "loadgen: deterministic load shape — constant, diurnal (sinusoid 0.25×–1.75×), burst (0.5× calm with 3× bursts) or step (0.5×/1×/2×/4× staircase)")
+	repeat := flag.Float64("repeat", 0, "loadgen: fraction of requests re-sending a zipf-skewed hot-pool input (0..1; exercises the semantic cache; in-process mode only)")
 	slowConns := flag.Int("slow", 0, "loadgen: also open this many slow-loris connections against the first target (demonstrates -hdr-timeout)")
 	flag.Parse()
 
@@ -156,13 +174,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *repeat < 0 || *repeat > 1 {
+			log.Fatal("-repeat must be in 0..1")
+		}
 		if *targets != "" {
+			if *repeat > 0 {
+				log.Fatal("-repeat drives the in-process semantic cache; it is not supported with -targets")
+			}
 			runRemoteLoadgen(splitTargets(*targets), *rps, *duration, mix, *seed, *slowConns, *scenario, shape, slos)
 			return
 		}
 		m, srv := mustBuildServing(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train,
-			*workers, *queueDepth, *maxBatch, *deadline, *priorities, *refresh, slos, *control)
-		runLoadgen(srv, m, *rps, *duration, mix, *seed, *scenario, shape, slos)
+			*workers, *queueDepth, *maxBatch, *deadline, *priorities, *refresh, slos, *control,
+			*cacheEntries, *cacheBytes, *exitMargin, *exitCalibrate)
+		runLoadgen(srv, m, *rps, *duration, mix, *seed, *scenario, shape, slos, *repeat)
 		srv.Close()
 		return
 	}
@@ -176,7 +201,11 @@ func main() {
 		if err != nil {
 			return nil, nil, err
 		}
-		srv, err := serve.New(serve.Config{
+		margins, err := calibratedExitMargins(m, *subnets, *exitCalibrate, *seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := serve.Config{
 			Model: m, Subnets: *subnets,
 			Workers: *workers, QueueDepth: *queueDepth, MaxBatch: *maxBatch,
 			PriorityClasses: *priorities,
@@ -184,11 +213,18 @@ func main() {
 			RefreshInterval: *refresh,
 			SLOs:            slos,
 			ControlInterval: *control,
-		})
+			CacheEntries:    *cacheEntries, CacheBytes: *cacheBytes,
+			ExitMargins: margins,
+		}
+		if margins == nil {
+			cfg.ExitMargin = *exitMargin
+		}
+		srv, err := serve.New(cfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		logCalibration(srv, m, *subnets)
+		logCacheExit(cfg)
 		return srv, m, nil
 	})
 }
@@ -197,12 +233,17 @@ func main() {
 // loadgen runs: model, serving layer and calibration log, or exit.
 func mustBuildServing(modelName string, classes, imgHW int, expansion float64, subnets int, seed uint64, train bool,
 	workers, queueDepth, maxBatch int, deadline time.Duration, priorities int, refresh time.Duration,
-	slos []governor.SLO, control time.Duration) (*models.Model, *serve.Server) {
+	slos []governor.SLO, control time.Duration,
+	cacheEntries int, cacheBytes int64, exitMargin float64, exitCalibrate int) (*models.Model, *serve.Server) {
 	m, err := buildServeModel(modelName, classes, imgHW, expansion, subnets, seed, train)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := serve.New(serve.Config{
+	margins, err := calibratedExitMargins(m, subnets, exitCalibrate, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := serve.Config{
 		Model: m, Subnets: subnets,
 		Workers: workers, QueueDepth: queueDepth, MaxBatch: maxBatch,
 		PriorityClasses: priorities,
@@ -210,12 +251,50 @@ func mustBuildServing(modelName string, classes, imgHW int, expansion float64, s
 		RefreshInterval: refresh,
 		SLOs:            slos,
 		ControlInterval: control,
-	})
+		CacheEntries:    cacheEntries, CacheBytes: cacheBytes,
+		ExitMargins: margins,
+	}
+	if margins == nil {
+		cfg.ExitMargin = exitMargin
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	logCalibration(srv, m, subnets)
+	logCacheExit(cfg)
 	return m, srv
+}
+
+// calibratedExitMargins resolves -exit-calibrate: nCal seeded
+// standard-normal inputs (the synthetic datasets' distribution) are
+// walked up the full ladder to derive argmax-safe per-class early-exit
+// thresholds. nCal ≤ 0 returns nil — the scalar -exit-margin applies.
+func calibratedExitMargins(m *models.Model, subnets, nCal int, seed uint64) ([]float64, error) {
+	if nCal <= 0 {
+		return nil, nil
+	}
+	imgLen := m.InC * m.InH * m.InW
+	rng := tensor.NewRNG(seed ^ 0xEC17)
+	inputs := make([][]float64, nCal)
+	for i := range inputs {
+		inputs[i] = randomInput(rng, imgLen)
+	}
+	return serve.CalibrateExitMargins(m, subnets, 1, inputs, 0.1, 0)
+}
+
+// logCacheExit prints the cache/early-exit arming so an operator can
+// see at startup what the serving path will short-circuit.
+func logCacheExit(cfg serve.Config) {
+	if cfg.CacheEntries > 0 {
+		log.Printf("semantic cache: %d entries", cfg.CacheEntries)
+	}
+	switch {
+	case len(cfg.ExitMargins) > 0:
+		log.Printf("early exit: calibrated per-class margins %v", cfg.ExitMargins)
+	case cfg.ExitMargin > 0:
+		log.Printf("early exit: margin threshold %g", cfg.ExitMargin)
+	}
 }
 
 // logCalibration prints the calibrated ladder the scheduler plans

@@ -58,8 +58,11 @@ func instantSteps(m *models.Model, n int) governor.LatencyModel {
 // a 40-submitter low-priority storm is a reproducible 12×+ overload
 // regardless of host speed. When slos is non-empty the replica also
 // runs the adaptive overload governor on a fast tick, so the chaos
-// storms exercise the whole closed loop.
-func newReplica(t *testing.T, m *models.Model, name string, serveDelay time.Duration, slos []governor.SLO) (*serve.Server, *faultinject.Injector) {
+// storms exercise the whole closed loop. cacheEntries > 0 arms the
+// replica's semantic result cache; exitMargin > 0 arms its confidence
+// early exit — the chaos tests mix armed and unarmed replicas so the
+// cluster invariants hold across heterogeneous fleets.
+func newReplica(t *testing.T, m *models.Model, name string, serveDelay time.Duration, slos []governor.SLO, cacheEntries int, exitMargin float64) (*serve.Server, *faultinject.Injector) {
 	t.Helper()
 	srv, err := serve.New(serve.Config{
 		Model: m, Subnets: 3, Workers: 1, QueueDepth: 16, MaxBatch: 4,
@@ -67,6 +70,7 @@ func newReplica(t *testing.T, m *models.Model, name string, serveDelay time.Dura
 		Calibration:     instantSteps(m, 3), DefaultDeadline: time.Hour,
 		ServeDelay: serveDelay,
 		SLOs:       slos, ControlInterval: 25 * time.Millisecond,
+		CacheEntries: cacheEntries, ExitMargin: exitMargin,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -132,8 +136,21 @@ func TestClusterChaosKillOneReplica(t *testing.T) {
 		injectors []*faultinject.Injector
 		backends  []cluster.Backend
 	)
+	// Randomly arm the semantic cache and early exit per replica
+	// (seeded — the mix is reproducible), forcing at least one storm
+	// SURVIVOR to run the cache so hit propagation through the router
+	// snapshots is observable. Heterogeneous arming is the point: the
+	// tier's invariants cannot depend on which replicas cache.
+	arm := rand.New(rand.NewSource(0xCAC4E))
 	for i := 0; i < 3; i++ {
-		srv, inj := newReplica(t, m, fmt.Sprintf("replica%d", i), 4*time.Millisecond, slos)
+		cacheEntries, exitMargin := 0, 0.0
+		if i == 1 || arm.Intn(2) == 1 {
+			cacheEntries = 8
+		}
+		if arm.Intn(2) == 1 {
+			exitMargin = 0.25 + arm.Float64()
+		}
+		srv, inj := newReplica(t, m, fmt.Sprintf("replica%d", i), 4*time.Millisecond, slos, cacheEntries, exitMargin)
 		servers = append(servers, srv)
 		injectors = append(injectors, inj)
 		backends = append(backends, inj)
@@ -338,6 +355,20 @@ func TestClusterChaosKillOneReplica(t *testing.T) {
 		t.Fatalf("low class never tripped its SLO under the storm: violations=%d transitions=%d", viol0, trans0)
 	}
 
+	// The storm repeats one input, so the cache-armed survivor must
+	// have served hits or resumes — and they must propagate through
+	// the probe snapshots into the router's operator view.
+	if snap := servers[1].Stats(); !snap.CacheEnabled || snap.CacheHits+snap.CacheResumes == 0 {
+		t.Fatalf("cache-armed survivor saw no hits or resumes under a single-key storm: %+v", snap)
+	}
+	var routerHits int64
+	for _, r := range st.Replicas {
+		routerHits += r.CacheHits + r.CacheResumes
+	}
+	if routerHits == 0 {
+		t.Fatal("replica cache activity never surfaced in the router's ReplicaStats")
+	}
+
 	// Replica death leaks nothing: close everything (replica0 again —
 	// Close is idempotent) and require the goroutine count to settle.
 	ro.Close()
@@ -362,8 +393,16 @@ func TestExactlyOneAnswerUnderRandomFaults(t *testing.T) {
 	// Governed replicas: the random fault schedules must not be able
 	// to wedge or corrupt the control loop either.
 	slos := []governor.SLO{{P99Target: 5 * time.Millisecond}, {MinHitRate: 0.9}}
+	arm := rand.New(rand.NewSource(seed))
 	for i := 0; i < 3; i++ {
-		srv, inj := newReplica(t, m, fmt.Sprintf("replica%d", i), 200*time.Microsecond, slos)
+		cacheEntries, exitMargin := 0, 0.0
+		if arm.Intn(2) == 1 {
+			cacheEntries = 4
+		}
+		if arm.Intn(2) == 1 {
+			exitMargin = 0.25 + arm.Float64()
+		}
+		srv, inj := newReplica(t, m, fmt.Sprintf("replica%d", i), 200*time.Microsecond, slos, cacheEntries, exitMargin)
 		servers = append(servers, srv)
 		for _, f := range faultinject.Random(seed+int64(i), time.Second, 5) {
 			inj.Inject(f)

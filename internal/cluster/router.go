@@ -746,6 +746,15 @@ type ReplicaStats struct {
 	// at its last successful probe — the at-a-glance "this replica is
 	// browning out" signal for router operators (0 = neutral).
 	BrownoutLevel int `json:"brownout_level"`
+	// CacheHits is the replica's cumulative semantic-cache full hits
+	// at its last successful probe (0 when the cache is off).
+	CacheHits int64 `json:"cache_hits"`
+	// CacheResumes is the replica's cumulative cache-seeded resumed
+	// walks at its last successful probe.
+	CacheResumes int64 `json:"cache_resumes"`
+	// EarlyExits is the replica's cumulative confidence early exits
+	// at its last successful probe.
+	EarlyExits int64 `json:"early_exits"`
 	// LastProbeError is the most recent probe failure ("" when the
 	// last probe succeeded).
 	LastProbeError string `json:"last_probe_error,omitempty"`
@@ -810,6 +819,9 @@ func (ro *Router) Stats() RouterStats {
 			rs.ServiceEwmaMs = snap.ServiceEwmaMs
 			rs.SLOViolations = snap.SLOViolations
 			rs.BrownoutTransitions = snap.BrownoutTransitions
+			rs.CacheHits = snap.CacheHits
+			rs.CacheResumes = snap.CacheResumes
+			rs.EarlyExits = snap.EarlyExits
 			if snap.Policy != nil {
 				rs.BrownoutLevel = snap.Policy.MaxLevel
 			}

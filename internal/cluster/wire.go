@@ -42,6 +42,15 @@ type InferResponse struct {
 	QueueWaitMs float64 `json:"queue_wait_ms"`
 	// LatencyMs is submission→answer wall clock in milliseconds.
 	LatencyMs float64 `json:"latency_ms"`
+	// CacheHit reports the answer came straight from the replica's
+	// semantic result cache (zero MACs walked).
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Resumed reports the walk was seeded from a cached rung; MACs
+	// meters only the climbed steps.
+	Resumed bool `json:"resumed,omitempty"`
+	// EarlyExit reports the confidence early exit answered below the
+	// affordable ladder cap.
+	EarlyExit bool `json:"early_exit,omitempty"`
 }
 
 // WireRequest converts a serve.Request into its wire form.
@@ -61,6 +70,9 @@ func WireResponse(res serve.Result) InferResponse {
 		DeadlineMet: res.DeadlineMet,
 		QueueWaitMs: float64(res.QueueWait) / float64(time.Millisecond),
 		LatencyMs:   float64(res.Latency) / float64(time.Millisecond),
+		CacheHit:    res.CacheHit,
+		Resumed:     res.Resumed,
+		EarlyExit:   res.EarlyExit,
 	}
 }
 
@@ -74,5 +86,8 @@ func (r InferResponse) Result() serve.Result {
 		DeadlineMet: r.DeadlineMet,
 		QueueWait:   time.Duration(r.QueueWaitMs * float64(time.Millisecond)),
 		Latency:     time.Duration(r.LatencyMs * float64(time.Millisecond)),
+		CacheHit:    r.CacheHit,
+		Resumed:     r.Resumed,
+		EarlyExit:   r.EarlyExit,
 	}
 }

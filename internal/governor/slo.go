@@ -50,9 +50,17 @@ type ClassObs struct {
 // unconfigured server behaves exactly as before the controller
 // existed. A stored Policy must be treated as immutable.
 type Policy struct {
+	// ExitScale[c], when > 1, relaxes class c's confidence early-exit
+	// margin by that factor (the serving layer divides its calibrated
+	// margin threshold by the scale) — the brownout ladder's stage 0
+	// (relax-exit): confident answers stop climbing sooner, returning
+	// ladder headroom to the queue without narrowing anyone's answer
+	// cap. Only meaningful on servers with early exit armed; ≤ 0 or 1
+	// is neutral.
+	ExitScale []float64
 	// ShedCap[c], when positive, caps class c's ladder walk at that
-	// subnet — the brownout ladder's first stage (narrow). 0 leaves
-	// the class's queue-pressure shed cap alone.
+	// subnet — the brownout ladder's narrow stage. 0 leaves the
+	// class's queue-pressure shed cap alone.
 	ShedCap []int
 	// AdmitScale[c], when > 1, multiplies the predicted queue wait in
 	// class c's admission fast-fail check — the second stage
@@ -72,6 +80,15 @@ type Policy struct {
 	// Level[c] is class c's current brownout ladder depth (0 =
 	// untouched) — observability, not an actuator.
 	Level []int
+}
+
+// ClassExitScale returns the early-exit margin relaxation factor for
+// class c, 1 (neutral) when unset.
+func (p Policy) ClassExitScale(c int) float64 {
+	if c >= 0 && c < len(p.ExitScale) && p.ExitScale[c] > 1 {
+		return p.ExitScale[c]
+	}
+	return 1
 }
 
 // ClassShedCap returns class c's policy ladder cap, or 0 when the
@@ -202,6 +219,15 @@ type ControllerConfig struct {
 	// (reached by doubling: 2, 4, … MaxAdmitScale). 0 means 8; values
 	// are rounded up to the next power of two.
 	MaxAdmitScale float64
+	// ExitRelaxSteps, when positive, prepends that many relax-exit
+	// levels to every class's brownout ladder (stage 0): each level
+	// doubles the class's early-exit margin relaxation (ExitScale 2,
+	// 4, …) before any answer is narrowed. Meant for servers with the
+	// confidence early exit armed — relaxing the margin converts
+	// already-confident walks into reclaimed headroom at zero accuracy
+	// cost to everyone else. 0 (the default) omits the stage entirely,
+	// preserving the pre-cache ladder shape.
+	ExitRelaxSteps int
 }
 
 // Controller is the deterministic closed-loop overload governor: each
@@ -224,6 +250,10 @@ type ControllerConfig struct {
 //
 // The per-class brownout ladder, in escalation order:
 //
+//  0. relax-exit (only when ExitRelaxSteps > 0) — the class's
+//     early-exit margin relaxation doubles per level (2, 4, …):
+//     confident answers stop climbing sooner, reclaiming headroom
+//     before anyone's answer is narrowed.
 //  1. narrow — the class's shed cap halves per level (ceiling
 //     division) until it reaches the class floor
 //     (max(MinSubnet, SLO.MinSubnet)): answers get cheaper first.
@@ -291,6 +321,9 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if cfg.MaxAdmitScale <= 0 {
 		cfg.MaxAdmitScale = 8
 	}
+	if cfg.ExitRelaxSteps < 0 {
+		return nil, fmt.Errorf("governor: negative ExitRelaxSteps %d", cfg.ExitRelaxSteps)
+	}
 	ctl := &Controller{
 		cfg:      cfg,
 		floors:   make([]int, cfg.Classes),
@@ -303,7 +336,7 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 			floor = cfg.SLOs[c].MinSubnet
 		}
 		ctl.floors[c] = floor
-		ctl.maxLevel[c] = ctl.narrowSteps(c) + ctl.fastFailSteps() + 1
+		ctl.maxLevel[c] = cfg.ExitRelaxSteps + ctl.narrowSteps(c) + ctl.fastFailSteps() + 1
 	}
 	return ctl, nil
 }
@@ -332,8 +365,8 @@ func (ctl *Controller) fastFailSteps() int {
 	return steps
 }
 
-// MaxLevel returns class c's full ladder depth: narrow steps +
-// fast-fail steps + the final shed level. A class's cumulative
+// MaxLevel returns class c's full ladder depth: relax-exit steps +
+// narrow steps + fast-fail steps + the final shed level. A class's cumulative
 // escalations must reach this before the next class up is touched.
 func (ctl *Controller) MaxLevel(c int) int {
 	if c < 0 || c >= len(ctl.maxLevel) {
@@ -410,6 +443,7 @@ func (ctl *Controller) Tick(obs []ClassObs) TickResult {
 // allocated Policy (safe to publish through a PolicyRef).
 func (ctl *Controller) policy() Policy {
 	pol := Policy{
+		ExitScale:  make([]float64, ctl.cfg.Classes),
 		ShedCap:    make([]int, ctl.cfg.Classes),
 		AdmitScale: make([]float64, ctl.cfg.Classes),
 		QueueShare: make([]int, ctl.cfg.Classes),
@@ -423,6 +457,17 @@ func (ctl *Controller) policy() Policy {
 			continue
 		}
 		active = true
+		// Stage 0 — relax-exit: double the early-exit margin
+		// relaxation once per level (no-op ladder prefix when
+		// ExitRelaxSteps is 0).
+		if exit := min(l, ctl.cfg.ExitRelaxSteps); exit > 0 {
+			scale := 1.0
+			for k := 0; k < exit; k++ {
+				scale *= 2
+			}
+			pol.ExitScale[c] = scale
+			l -= exit
+		}
 		// Stage 1 — narrow: halve the cap once per level.
 		cap := ctl.cfg.Subnets
 		narrow := ctl.narrowSteps(c)

@@ -294,3 +294,88 @@ func TestPolicyRefSwapConsistentSnapshot(t *testing.T) {
 		t.Fatalf("zero PolicyRef not neutral: %+v", pol)
 	}
 }
+
+// TestControllerRelaxExitStage pins the new stage 0 of the brownout
+// ladder: with ExitRelaxSteps set, the first escalation levels double
+// the early-exit margin relaxation (ExitScale 2, 4, …) WITHOUT
+// narrowing anyone's shed cap, the narrow/fast-fail/shed stages follow
+// unchanged after it, recovery unwinds stage 0 last, and — the
+// compatibility half — ExitRelaxSteps 0 leaves the ladder exactly as
+// long as before with ClassExitScale pinned neutral at every level.
+func TestControllerRelaxExitStage(t *testing.T) {
+	ctl := mustController(t, ControllerConfig{
+		Classes: 2, Subnets: 4, ExitRelaxSteps: 2,
+		SLOs: []SLO{1: {P99Target: time.Millisecond}},
+	})
+	obs := violatingObs(2, 1)
+
+	// Class 0 ladder with n=4, floor=1: relax-exit ×2 ×4 (2 levels),
+	// narrow 4→2→1 (2), fast-fail ×2 ×4 ×8 (3), shed (1) = 8 levels.
+	if got := ctl.MaxLevel(0); got != 8 {
+		t.Fatalf("MaxLevel(0) = %d, want 8", got)
+	}
+	type knobs struct {
+		exit  float64
+		cap   int
+		scale float64
+		share int
+	}
+	wantLadder := []knobs{
+		{exit: 2, cap: 0, scale: 1, share: 0}, // relax-exit ×2: caps untouched
+		{exit: 4, cap: 0, scale: 1, share: 0}, // relax-exit ×4
+		{exit: 4, cap: 2, scale: 1, share: 0}, // narrow: 4→2
+		{exit: 4, cap: 1, scale: 1, share: 0}, // narrow: 2→1 (floor)
+		{exit: 4, cap: 1, scale: 2, share: 0}, // fast-fail ×2
+		{exit: 4, cap: 1, scale: 4, share: 0}, // fast-fail ×4
+		{exit: 4, cap: 1, scale: 8, share: 0}, // fast-fail ×8
+		{exit: 4, cap: 1, scale: 8, share: 1}, // shed
+	}
+	for i, want := range wantLadder {
+		pol := ctl.Tick(obs).Policy
+		got := knobs{pol.ClassExitScale(0), pol.ClassShedCap(0), pol.ClassAdmitScale(0), pol.ClassQueueShare(0)}
+		if got != want {
+			t.Fatalf("tick %d: class 0 knobs = %+v, want %+v", i, got, want)
+		}
+		if pol.ClassExitScale(1) != 1 {
+			t.Fatalf("tick %d: class 1 exit scale %v, want neutral 1", i, pol.ClassExitScale(1))
+		}
+	}
+
+	// Recovery: the knob order unwinds in reverse, so stage 0's
+	// relaxation is the LAST thing restored (it is the cheapest to
+	// hold). Drive the controller healthy until neutral.
+	healthy := healthyObs(2)
+	sawExitOnly := false
+	for i := 0; i < 100 && ctl.Levels()[0] > 0; i++ {
+		pol := ctl.Tick(healthy).Policy
+		if pol.ClassExitScale(0) > 1 && pol.ClassShedCap(0) == 0 && pol.ClassAdmitScale(0) == 1 {
+			sawExitOnly = true
+		}
+	}
+	if ctl.Levels()[0] != 0 {
+		t.Fatal("controller did not recover to neutral")
+	}
+	if !sawExitOnly {
+		t.Fatal("recovery never passed through a relax-exit-only policy")
+	}
+
+	// Compatibility: ExitRelaxSteps 0 keeps the original ladder length
+	// and a neutral exit scale at every level.
+	ctl0 := mustController(t, ControllerConfig{
+		Classes: 2, Subnets: 4,
+		SLOs: []SLO{1: {P99Target: time.Millisecond}},
+	})
+	if got := ctl0.MaxLevel(0); got != 6 {
+		t.Fatalf("ExitRelaxSteps=0 MaxLevel(0) = %d, want 6 (unchanged)", got)
+	}
+	for i := 0; i < 6; i++ {
+		if pol := ctl0.Tick(obs).Policy; pol.ClassExitScale(0) != 1 {
+			t.Fatalf("tick %d: ExitRelaxSteps=0 published exit scale %v", i, pol.ClassExitScale(0))
+		}
+	}
+
+	// Negative steps are a config error.
+	if _, err := NewController(ControllerConfig{Classes: 1, Subnets: 2, ExitRelaxSteps: -1}); err == nil {
+		t.Fatal("negative ExitRelaxSteps should be rejected")
+	}
+}

@@ -1,0 +1,150 @@
+package infer
+
+import (
+	"fmt"
+
+	"steppingnet/internal/tensor"
+)
+
+// LadderState is a portable, immutable snapshot of one image's ladder
+// walk: the per-layer activations the engine had cached when the
+// snapshot was taken, plus the subnet they represent. It is the
+// cross-request extension of the within-request incremental property —
+// a fresh engine seeded with a LadderState via ImportState continues
+// the walk exactly where the exporting engine stood, producing logits
+// BITWISE identical to a cold walk to the same rung (pinned by
+// TestResumeMatchesColdWalk on both GEMM backends at every worker
+// count). The serving tier's semantic result cache (internal/serve/
+// cache) stores one per cached input.
+//
+// All tensors in a LadderState are private batch-1 copies: they alias
+// neither the exporting engine's pool-owned cache nor any importing
+// engine's buffers, so a state may be shared by concurrent readers and
+// must never be mutated after ExportState returns.
+type LadderState struct {
+	// Subnet is the rung the snapshot represents (≥ 1).
+	Subnet int
+	// In is the shape of the input batch row the state was exported
+	// from, with the batch dimension normalized to 1. ImportState
+	// rejects inputs of any other shape — resuming a walk under a
+	// different input geometry would silently corrupt the cache reuse.
+	In []int
+	// Layers holds one batch-1 copy of each layer's cached output, in
+	// network layer order.
+	Layers []*tensor.Tensor
+}
+
+// Bytes reports the approximate heap footprint of the state's tensor
+// data in bytes (8 per float64 element, input shape and headers
+// ignored). The serving cache uses it to enforce its memory bound.
+func (st *LadderState) Bytes() int64 {
+	if st == nil {
+		return 0
+	}
+	n := int64(0)
+	for _, t := range st.Layers {
+		if t != nil {
+			n += int64(t.Len()) * 8
+		}
+	}
+	return n
+}
+
+// ExportState snapshots row `row` of the engine's current walk into a
+// self-contained LadderState. The engine must have stepped at least
+// once since Reset (there is nothing to snapshot at subnet 0). The
+// returned state holds freshly allocated copies — it stays valid and
+// immutable across subsequent Steps, Resets, and engine lifetimes,
+// which is what lets a cache hand one state to many readers.
+//
+// Exporting a single row of a multi-image batch is the serving-tier
+// use: every row of a batch walks to the same rung together, so each
+// request's state can be cached individually after a batched walk.
+func (e *Engine) ExportState(row int) (*LadderState, error) {
+	if e.cur < 1 {
+		return nil, fmt.Errorf("infer: ExportState before any Step (subnet 0)")
+	}
+	batch := e.input.Dim(0)
+	if row < 0 || row >= batch {
+		return nil, fmt.Errorf("infer: ExportState row %d out of range [0,%d)", row, batch)
+	}
+	in := append([]int(nil), e.input.Shape()...)
+	in[0] = 1
+	st := &LadderState{
+		Subnet: e.cur,
+		In:     in,
+		Layers: make([]*tensor.Tensor, len(e.cache)),
+	}
+	for i, c := range e.cache {
+		if c == nil {
+			return nil, fmt.Errorf("infer: ExportState found nil cache for layer %d", i)
+		}
+		shape := append([]int(nil), c.Shape()...)
+		shape[0] = 1
+		t := tensor.New(shape...)
+		rowLen := c.Len() / batch
+		copy(t.Data(), c.Data()[row*rowLen:(row+1)*rowLen])
+		st.Layers[i] = t
+	}
+	return st, nil
+}
+
+// ImportState seeds the engine from a previously exported LadderState:
+// after it returns, the engine behaves exactly as if it had been Reset
+// to x and walked to st.Subnet — Current() reports st.Subnet, the next
+// Step(s) with s > st.Subnet computes only the newly activated units,
+// and the resulting logits are bitwise identical to a cold walk (the
+// resume-equivalence contract). TotalMACs restarts at 0: resumed rungs
+// cost zero new MACs by construction, and the counter meters only work
+// this engine actually executes.
+//
+// x must be the same single-image input the state was exported from
+// (batch 1, shape equal to st.In); the state must structurally match
+// the engine's network (one batch-1 tensor per layer, subnet ≥ 1).
+// Violations are rejected with an error before any engine mutation.
+// The state itself is copied into pool-owned buffers, never adopted,
+// so the caller's state remains shareable and immutable.
+func (e *Engine) ImportState(x *tensor.Tensor, st *LadderState) error {
+	if st == nil {
+		return fmt.Errorf("infer: ImportState with nil state")
+	}
+	if st.Subnet < 1 {
+		return fmt.Errorf("infer: ImportState subnet %d out of range", st.Subnet)
+	}
+	if len(st.Layers) != len(e.cache) {
+		return fmt.Errorf("infer: ImportState layer count %d, network has %d", len(st.Layers), len(e.cache))
+	}
+	if x == nil || x.Rank() == 0 || x.Dim(0) != 1 {
+		return fmt.Errorf("infer: ImportState input must be a single-image batch")
+	}
+	if len(st.In) != x.Rank() {
+		return fmt.Errorf("infer: ImportState input rank %d, state expects %d", x.Rank(), len(st.In))
+	}
+	for i, d := range st.In {
+		if x.Dim(i) != d {
+			return fmt.Errorf("infer: ImportState input shape %v, state expects %v", x.Shape(), st.In)
+		}
+	}
+	for i, t := range st.Layers {
+		if t == nil || t.Rank() == 0 || t.Dim(0) != 1 {
+			return fmt.Errorf("infer: ImportState layer %d state is not a batch-1 tensor", i)
+		}
+	}
+	e.Reset(x)
+	for i, t := range st.Layers {
+		c := e.pool.GetUninit(t.Shape()...)
+		copy(c.Data(), t.Data())
+		e.cache[i] = c
+	}
+	e.cur = st.Subnet
+	return nil
+}
+
+// Output returns the engine's current network output (the last
+// layer's cached activation) without stepping: after Step(s) it is the
+// subnet-s logits, after ImportState it is the resumed rung's logits.
+// Nil before any Step or import. The tensor is engine-owned and valid
+// until the next Step or Reset, like Step's return value.
+func (e *Engine) Output() *tensor.Tensor {
+	return e.cache[len(e.cache)-1]
+}

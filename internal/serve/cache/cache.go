@@ -1,0 +1,260 @@
+// Package cache implements the serving tier's semantic result cache:
+// a bounded, concurrency-safe map from deterministic input hashes to
+// the widest ladder rung previously reached for that input, its
+// logits, and the engine-visible per-layer state (infer.LadderState)
+// needed to RESUME the walk from that rung. The anytime property is
+// what makes the cache semantic rather than exact-match-only in value:
+// a hit whose cached rung already satisfies the request's budget is a
+// free answer, and a hit below the budget still converts the cached
+// rungs into a head start — the worker imports the state and climbs
+// from rung k instead of rung 0, bitwise-equivalent to the cold walk
+// it replaced (TestResumeMatchesColdWalk).
+//
+// Entries are immutable after Put: readers share the returned pointer
+// without copying, and writers publish strictly wider walks by
+// inserting replacement entries. Eviction is LRU under two
+// simultaneous bounds (entry count and total bytes), so cached engine
+// states — the heavy part — cannot grow without limit.
+package cache
+
+import (
+	"math"
+	"sync"
+
+	"steppingnet/internal/infer"
+)
+
+// Key is a deterministic 64-bit hash of an input vector. Equal inputs
+// hash equal across processes and runs (FNV-1a over the IEEE-754 bit
+// patterns — no per-process seed), so keys are stable enough to route
+// on in a cluster, not just to look up locally.
+type Key uint64
+
+// fnvOffset and fnvPrime are the standard FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// KeyOf hashes an input vector to its cache key: FNV-1a 64 over the
+// little-endian IEEE-754 bit pattern of each element in order. The
+// element count is folded in first, so a prefix and its extension
+// cannot collide trivially. Bitwise-equal inputs — and only the bit
+// pattern matters, so -0 and +0 differ and equal NaN payloads match —
+// always produce equal keys.
+func KeyOf(x []float64) Key {
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	mix(uint64(len(x)))
+	for _, f := range x {
+		mix(math.Float64bits(f))
+	}
+	return Key(h)
+}
+
+// Entry is one cached result: the widest rung a previous walk reached
+// for this input, the logits that rung produced, and the ladder state
+// to resume from. Entries are immutable once handed to Put — the
+// cache shares them by pointer with concurrent readers.
+type Entry struct {
+	// Subnet is the rung the entry represents (≥ 1).
+	Subnet int
+	// Logits is the network output at Subnet, one value per class.
+	Logits []float64
+	// State resumes the walk: importing it into an engine and
+	// stepping to s > Subnet computes only the missing units. Nil is
+	// allowed (logits-only entry); such an entry can short-circuit a
+	// request whose budget the rung already covers but cannot seed a
+	// climb.
+	State *infer.LadderState
+}
+
+// entryOverhead approximates the fixed per-entry bookkeeping cost
+// (map slot, list element, headers) charged against MaxBytes on top
+// of the tensor data, so a flood of tiny entries still hits the byte
+// bound honestly.
+const entryOverhead = 256
+
+// bytes reports the entry's accounted footprint.
+func (e *Entry) bytes() int64 {
+	return int64(len(e.Logits))*8 + e.State.Bytes() + entryOverhead
+}
+
+// Config bounds a Cache. Zero values disable the respective bound,
+// but the serving layer always sets both: cached ladder states are
+// the dominant per-entry weight and must not grow without limit.
+type Config struct {
+	// MaxEntries caps the number of live entries (LRU evicts beyond
+	// it). ≤ 0 means unbounded.
+	MaxEntries int
+	// MaxBytes caps the summed accounted footprint of live entries.
+	// ≤ 0 means unbounded. A single entry larger than MaxBytes is
+	// rejected by Put (storing it would immediately evict everything
+	// including itself).
+	MaxBytes int64
+}
+
+// Counters is a snapshot of the cache's monotonic event counters.
+type Counters struct {
+	// Hits counts Get calls that found a live entry.
+	Hits int64
+	// Misses counts Get calls that found nothing.
+	Misses int64
+	// Inserts counts Puts that stored a new key.
+	Inserts int64
+	// Widens counts Puts that replaced a live entry with a wider rung.
+	Widens int64
+	// Evictions counts live entries removed by the LRU bounds. An
+	// oversized Put rejected outright is not an eviction (nothing
+	// live was removed), so Len() == Inserts − Evictions always holds
+	// — an invariant the fuzz target leans on.
+	Evictions int64
+}
+
+// Cache is the bounded semantic result cache. All methods are safe
+// for concurrent use; the zero value is not usable — construct with
+// New.
+type Cache struct {
+	mu    sync.Mutex
+	cfg   Config
+	items map[Key]*node
+	// Intrusive LRU list: head.next is most recently used, head.prev
+	// least. A sentinel head keeps link/unlink branch-free.
+	head  node
+	bytes int64
+	ctr   Counters
+}
+
+// node is one LRU slot. Entries travel by pointer and are immutable;
+// only the links and the slot's identity mutate under the lock.
+type node struct {
+	key        Key
+	entry      *Entry
+	size       int64
+	prev, next *node
+}
+
+// New builds an empty cache bounded by cfg.
+func New(cfg Config) *Cache {
+	c := &Cache{cfg: cfg, items: make(map[Key]*node)}
+	c.head.prev = &c.head
+	c.head.next = &c.head
+	return c
+}
+
+// Get returns the live entry for k, marking it most recently used.
+// The returned entry is shared and immutable — callers must not
+// mutate it.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.items[k]
+	if !ok {
+		c.ctr.Misses++
+		return nil, false
+	}
+	c.ctr.Hits++
+	c.unlink(n)
+	c.pushFront(n)
+	return n.entry, true
+}
+
+// Put offers an entry for k and reports whether it was stored. An
+// existing entry at an equal or wider rung wins (the offer is dropped
+// — the cache keeps only the widest walk per key, and a narrower
+// result adds nothing). Storing may evict least-recently-used entries
+// to restore the bounds; an entry that alone exceeds MaxBytes is
+// rejected without disturbing the rest.
+func (c *Cache) Put(k Key, e *Entry) bool {
+	if e == nil || e.Subnet < 1 {
+		return false
+	}
+	size := e.bytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.MaxBytes > 0 && size > c.cfg.MaxBytes {
+		return false
+	}
+	if n, ok := c.items[k]; ok {
+		if n.entry.Subnet >= e.Subnet {
+			// Keep the wider (or equal) walk; refresh recency — the
+			// key is demonstrably hot.
+			c.unlink(n)
+			c.pushFront(n)
+			return false
+		}
+		c.bytes -= n.size
+		n.entry, n.size = e, size
+		c.bytes += size
+		c.unlink(n)
+		c.pushFront(n)
+		c.ctr.Widens++
+		c.evictOver()
+		return true
+	}
+	n := &node{key: k, entry: e, size: size}
+	c.items[k] = n
+	c.bytes += size
+	c.pushFront(n)
+	c.ctr.Inserts++
+	c.evictOver()
+	return true
+}
+
+// evictOver drops least-recently-used entries until both bounds hold.
+// Caller holds the lock.
+func (c *Cache) evictOver() {
+	for (c.cfg.MaxEntries > 0 && len(c.items) > c.cfg.MaxEntries) ||
+		(c.cfg.MaxBytes > 0 && c.bytes > c.cfg.MaxBytes) {
+		lru := c.head.prev
+		if lru == &c.head {
+			return
+		}
+		c.unlink(lru)
+		delete(c.items, lru.key)
+		c.bytes -= lru.size
+		c.ctr.Evictions++
+	}
+}
+
+// unlink removes n from the LRU list. Caller holds the lock.
+func (c *Cache) unlink(n *node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}
+
+// pushFront marks n most recently used. Caller holds the lock.
+func (c *Cache) pushFront(n *node) {
+	n.next = c.head.next
+	n.prev = &c.head
+	c.head.next.prev = n
+	c.head.next = n
+}
+
+// Len reports the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes reports the summed accounted footprint of live entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Counters returns a snapshot of the event counters.
+func (c *Cache) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctr
+}

@@ -70,6 +70,22 @@ func TestChaosRandomizedLifecycles(t *testing.T) {
 				cfg.ServeDelay = time.Duration(rng.Intn(2000)) * time.Microsecond
 			}
 			if rng.Intn(2) == 1 {
+				// Arm the semantic cache, sometimes with a byte bound
+				// tight enough to force mid-storm eviction churn. The
+				// shared input means hits/resumes genuinely happen
+				// concurrently with cold walks.
+				cfg.CacheEntries = 1 + rng.Intn(8)
+				if rng.Intn(2) == 1 {
+					cfg.CacheBytes = int64(4096 + rng.Intn(1<<16))
+				}
+			}
+			if rng.Intn(2) == 1 {
+				// Arm the confidence early exit with a random threshold;
+				// argmax safety is pinned elsewhere, here it must simply
+				// never break a lifecycle invariant.
+				cfg.ExitMargin = 0.1 + rng.Float64()
+			}
+			if rng.Intn(2) == 1 {
 				// Arm the overload governor on a random prefix of the
 				// classes with a deliberately twitchy clock: the storm
 				// should drive real brownout transitions, and every
@@ -161,10 +177,25 @@ func TestChaosRandomizedLifecycles(t *testing.T) {
 				t.Fatalf("stats (%d served, %d rejected) disagree with observed (%d, %d)",
 					snap.Served, snap.Rejected, answered.Load(), rejected.Load())
 			}
+			if snap.CacheEnabled != (cfg.CacheEntries > 0) {
+				t.Fatalf("CacheEnabled=%v with CacheEntries=%d", snap.CacheEnabled, cfg.CacheEntries)
+			}
+			if !snap.CacheEnabled && (snap.CacheHits != 0 || snap.CacheResumes != 0 || snap.CacheEntries != 0) {
+				t.Fatalf("cache-off server reported cache activity: %+v", snap)
+			}
+			if snap.CacheEnabled && snap.CacheEntries > cfg.CacheEntries {
+				t.Fatalf("cache holds %d entries, bound %d", snap.CacheEntries, cfg.CacheEntries)
+			}
+			if cfg.ExitMargin == 0 && snap.EarlyExits != 0 {
+				t.Fatalf("exit-off server reported %d early exits", snap.EarlyExits)
+			}
 			var classServed, classRejected, histo int64
 			for _, cs := range snap.Classes {
 				if cs.Submitted != cs.Served+cs.Rejected {
 					t.Fatalf("class %d invariant: %+v", cs.Priority, cs)
+				}
+				if cs.CacheHits+cs.CacheResumes > cs.Served || cs.EarlyExits > cs.Served {
+					t.Fatalf("class %d cache/exit counters exceed served: %+v", cs.Priority, cs)
 				}
 				classServed += cs.Served
 				classRejected += cs.Rejected

@@ -12,20 +12,33 @@ import (
 // TestExportedIdentifiersDocumented is the doc-health gate ci.sh runs
 // on this package: every exported top-level identifier — functions,
 // methods, types, consts, vars, struct fields and interface methods —
-// must carry a doc comment. The serving layer is the repo's public
-// face; undocumented API here is a regression.
+// must carry a doc comment, in this package and in the cache
+// subpackage. The serving layer is the repo's public face;
+// undocumented API here is a regression.
 func TestExportedIdentifiersDocumented(t *testing.T) {
 	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var missing []string
 	report := func(pos token.Pos, what, name string) {
 		missing = append(missing, fset.Position(pos).String()+": "+what+" "+name)
 	}
+	for _, dir := range []string{".", "cache"} {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPkgs(report, pkgs)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("%d exported identifier(s) without doc comments:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}
+
+// checkPkgs walks every top-level declaration of the parsed packages
+// and reports exported identifiers lacking doc comments.
+func checkPkgs(report func(token.Pos, string, string), pkgs map[string]*ast.Package) {
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
@@ -53,10 +66,6 @@ func TestExportedIdentifiersDocumented(t *testing.T) {
 				}
 			}
 		}
-	}
-	if len(missing) > 0 {
-		t.Fatalf("%d exported identifier(s) without doc comments:\n  %s",
-			len(missing), strings.Join(missing, "\n  "))
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"steppingnet/internal/governor"
 	"steppingnet/internal/infer"
 	"steppingnet/internal/models"
+	"steppingnet/internal/serve/cache"
 	"steppingnet/internal/tensor"
 )
 
@@ -145,6 +146,36 @@ type Config struct {
 	// a negative ControlInterval to build the controller but drive
 	// ticks manually (no background goroutine, no wall-clock).
 	ControlInterval time.Duration
+	// CacheEntries, when positive, arms the semantic result cache:
+	// every served request is keyed by a deterministic hash of its
+	// input and its widest reached rung (logits + resumable engine
+	// state) is stored, bounded by CacheEntries live entries. A repeat
+	// request whose cached rung already covers its ladder cap is
+	// answered from the cache at zero MACs; one whose budget reaches
+	// further seeds a worker engine from the cached rung and climbs
+	// from there, bitwise-equivalent to the cold walk it replaced. 0
+	// (the default) disables caching entirely.
+	CacheEntries int
+	// CacheBytes bounds the cache's accounted memory footprint (the
+	// dominant weight is the cached per-layer engine states). 0 with
+	// CacheEntries set means 64 MiB; ignored when the cache is off.
+	CacheBytes int64
+	// ExitMargin, when positive, arms the confidence early exit: after
+	// each ladder step, a request whose top-2 logit margin is at least
+	// this threshold answers immediately at the current rung instead
+	// of climbing further — the answer is already decided, so the
+	// remaining headroom goes back to the queue. Early exit never
+	// changes which class is predicted AT THE EXITED RUNG; pair it
+	// with CalibrateExitMargins-derived per-class thresholds
+	// (ExitMargins) to also bound disagreement with the full-ladder
+	// answer. 0 disables.
+	ExitMargin float64
+	// ExitMargins, when non-empty, supplies a per-PREDICTED-class
+	// margin threshold (length = the model's output classes, as
+	// produced by CalibrateExitMargins) and overrides ExitMargin for
+	// rungs whose argmax falls on that class. Arms the early exit just
+	// like ExitMargin.
+	ExitMargins []float64
 }
 
 // withDefaults fills zero fields and validates the rest.
@@ -210,6 +241,28 @@ func (c Config) withDefaults() (Config, error) {
 	if len(c.SLOs) > 0 && c.ControlInterval == 0 {
 		c.ControlInterval = 100 * time.Millisecond
 	}
+	if c.CacheEntries < 0 {
+		return c, fmt.Errorf("serve: negative CacheEntries %d", c.CacheEntries)
+	}
+	if c.CacheBytes < 0 {
+		return c, fmt.Errorf("serve: negative CacheBytes %d", c.CacheBytes)
+	}
+	if c.CacheEntries > 0 && c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.ExitMargin < 0 {
+		return c, fmt.Errorf("serve: negative ExitMargin %v", c.ExitMargin)
+	}
+	if len(c.ExitMargins) > 0 {
+		if len(c.ExitMargins) != c.Model.Classes {
+			return c, fmt.Errorf("serve: %d ExitMargins for a %d-class model", len(c.ExitMargins), c.Model.Classes)
+		}
+		for j, m := range c.ExitMargins {
+			if m < 0 {
+				return c, fmt.Errorf("serve: negative ExitMargins[%d] %v", j, m)
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -255,6 +308,18 @@ type Result struct {
 	// Latency is end-to-end wall clock from submission to answer
 	// (queue wait + walk).
 	Latency time.Duration
+	// CacheHit reports that the answer was served entirely from the
+	// semantic result cache (a previous walk had already reached this
+	// request's ladder cap): no engine walk ran and MACs is 0.
+	CacheHit bool
+	// Resumed reports that the walk was seeded from a cached rung and
+	// climbed from there: MACs meters only the climbed steps (resumed
+	// rungs cost 0 new MACs).
+	Resumed bool
+	// EarlyExit reports that the confidence early exit answered this
+	// request below its affordable ladder cap because the top-2 logit
+	// margin cleared its threshold.
+	EarlyExit bool
 }
 
 // response pairs a Result with a worker-side error for the channel
@@ -281,6 +346,16 @@ type pending struct {
 	started  time.Time // when a worker picked it up (queue wait ends)
 	macs     int64
 	answered bool
+
+	// Semantic-cache bookkeeping (cache-armed servers only): the
+	// request's input hash, the cache entry found at lookup (nil on a
+	// miss), and the answer provenance flags copied into the Result.
+	key       cache.Key
+	hasKey    bool
+	ent       *cache.Entry
+	cacheHit  bool
+	resumed   bool
+	earlyExit bool
 }
 
 // Server is a concurrent anytime-inference service over one model.
@@ -315,6 +390,12 @@ type Server struct {
 	ctl     *governor.Controller
 	ctlMu   sync.Mutex
 	ctlPrev []classTick
+
+	// cache is the semantic result cache (nil when Config.CacheEntries
+	// is 0); exitArmed records whether the confidence early exit is
+	// configured (ExitMargin or ExitMargins).
+	cache     *cache.Cache
+	exitArmed bool
 
 	// The priority admission queue: one FIFO lane per class, guarded
 	// by qmu. qcond signals the batch former on arrivals and close.
@@ -379,12 +460,26 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.lat.Store(lat)
 
+	s.exitArmed = cfg.ExitMargin > 0 || len(cfg.ExitMargins) > 0
+	if cfg.CacheEntries > 0 {
+		s.cache = cache.New(cache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes})
+	}
+
 	if len(cfg.SLOs) > 0 {
+		// With the early exit armed, the brownout ladder gains its
+		// stage 0: relaxing the exit margin is the cheapest relief
+		// valve (no one's answer narrows), so the controller tries it
+		// before any shed cap moves.
+		relax := 0
+		if s.exitArmed {
+			relax = exitRelaxSteps
+		}
 		ctl, err := governor.NewController(governor.ControllerConfig{
-			Classes:   cfg.PriorityClasses,
-			Subnets:   cfg.Subnets,
-			MinSubnet: cfg.MinSubnet,
-			SLOs:      cfg.SLOs,
+			Classes:        cfg.PriorityClasses,
+			Subnets:        cfg.Subnets,
+			MinSubnet:      cfg.MinSubnet,
+			SLOs:           cfg.SLOs,
+			ExitRelaxSteps: relax,
 		})
 		if err != nil {
 			return nil, err
@@ -448,6 +543,12 @@ func (s *Server) Stats() Snapshot {
 	snap.Workers = s.cfg.Workers
 	snap.MinSubnet = s.cfg.MinSubnet
 	snap.ServiceEwmaMs = float64(s.svcNs.Load()) / float64(time.Millisecond)
+	if s.cache != nil {
+		snap.CacheEnabled = true
+		snap.CacheEntries = s.cache.Len()
+		snap.CacheBytes = s.cache.Bytes()
+		snap.CacheEvictions = s.cache.Counters().Evictions
+	}
 	lat := s.lat.Load()
 	snap.MACRate = lat.MACRate()
 	snap.StepTimeMs = make([]float64, s.n)
@@ -850,6 +951,17 @@ func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []
 	if s.cfg.ServeDelay > 0 {
 		time.Sleep(s.cfg.ServeDelay)
 	}
+	// Semantic-cache lookup: requests whose cached rung already covers
+	// their ladder cap are answered right here at zero MACs and leave
+	// the batch; the rest carry their lookup result along (a hit below
+	// the cap can still seed a batch-1 resume).
+	if s.cache != nil {
+		batch = s.serveCacheHits(batch, started)
+		if len(batch) == 0 {
+			s.observeService(time.Since(started))
+			return
+		}
+	}
 	lat := s.lat.Load() // one consistent model per batch, swap-safe
 	b := len(batch)
 	x := bufs[b]
@@ -873,11 +985,30 @@ func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []
 	} else {
 		e.Workers = 1
 	}
-	e.Reset(x)
-
 	var out *tensor.Tensor
 	cur := 0
-	for next := 1; next <= s.n; next++ {
+	// A lone request with a cached rung below its cap resumes instead
+	// of walking cold: the engine is seeded from the cached state and
+	// the loop below climbs from there — bitwise the same logits as
+	// the cold walk (TestResumeMatchesColdWalk), minus the resumed
+	// rungs' MACs. Multi-request batches always walk cold (one engine
+	// cache cannot hold rows at different rungs).
+	if b == 1 && batch[0].ent != nil && batch[0].ent.State != nil {
+		if err := e.ImportState(x, batch[0].ent.State); err == nil {
+			cur = batch[0].ent.Subnet
+			out = e.Output()
+			batch[0].resumed = true
+		} else {
+			e.Reset(x) // structurally stale entry: fall back to a cold walk
+		}
+	} else {
+		e.Reset(x)
+	}
+	var pol governor.Policy
+	if s.exitArmed {
+		pol = s.policy.Load()
+	}
+	for next := cur + 1; next <= s.n; next++ {
 		if next > s.cfg.MinSubnet {
 			if next > batchCap {
 				break // load shedding: answer from what we have
@@ -895,6 +1026,24 @@ func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []
 		for _, p := range batch {
 			if !p.answered {
 				p.macs += macs
+			}
+		}
+		// Confidence early exit: a request whose top-2 logit margin at
+		// this rung clears its threshold answers now — the prediction
+		// is already decided, so climbing further would spend MACs on
+		// an answer that cannot change. Never below the MinSubnet
+		// floor, and never flagged at a rung the request would
+		// finalize at anyway. The governor's relax-exit brownout stage
+		// divides the threshold per priority class.
+		if s.exitArmed && next >= s.cfg.MinSubnet && next < s.n {
+			for i, p := range batch {
+				if p.answered || next >= p.ladderCap {
+					continue
+				}
+				if margin, pred := rowMargin(out, i, s.classes); margin >= s.exitThreshold(pred, p.class, pol) {
+					p.earlyExit = true
+					s.finish(p, out, i, cur)
+				}
 			}
 		}
 		// Requests that have hit their own shed cap or cannot afford
@@ -919,6 +1068,25 @@ func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []
 			s.finish(p, out, i, cur)
 		}
 	}
+	// Publish every request's reached rung to the semantic cache (the
+	// whole batch walked to cur together, so each row's state is valid
+	// there — including rows that answered earlier at a narrower rung).
+	// The cache keeps the widest walk per key, so offers at or below a
+	// live entry's rung are dropped inside Put.
+	if s.cache != nil && cur >= 1 {
+		for i, p := range batch {
+			if !p.hasKey || (p.ent != nil && p.ent.Subnet >= cur) {
+				continue
+			}
+			st, err := e.ExportState(i)
+			if err != nil {
+				break // nothing exportable (cannot happen after a stepped walk)
+			}
+			logits := make([]float64, s.classes)
+			copy(logits, out.Data()[i*s.classes:(i+1)*s.classes])
+			s.cache.Put(p.key, &cache.Entry{Subnet: cur, Logits: logits, State: st})
+		}
+	}
 	s.observeService(time.Since(started) / time.Duration(b))
 }
 
@@ -940,6 +1108,13 @@ func (s *Server) anyAffords(lat governor.LatencyModel, batch []*pending, next, b
 func (s *Server) finish(p *pending, out *tensor.Tensor, i, subnet int) {
 	logits := make([]float64, s.classes)
 	copy(logits, out.Data()[i*s.classes:(i+1)*s.classes])
+	s.answer(p, logits, subnet)
+}
+
+// answer delivers logits (ownership transfers to the caller of
+// Submit) as p's result at the given subnet, stamping the timing and
+// provenance metadata.
+func (s *Server) answer(p *pending, logits []float64, subnet int) {
 	pred := 0
 	for j, v := range logits {
 		if v > logits[pred] {
@@ -956,6 +1131,9 @@ func (s *Server) finish(p *pending, out *tensor.Tensor, i, subnet int) {
 		DeadlineMet: !now.After(p.deadline),
 		QueueWait:   p.started.Sub(p.submitted),
 		Latency:     now.Sub(p.submitted),
+		CacheHit:    p.cacheHit,
+		Resumed:     p.resumed,
+		EarlyExit:   p.earlyExit,
 	}
 	p.answered = true
 	s.stats.recordServed(res)

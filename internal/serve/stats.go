@@ -51,6 +51,9 @@ type classCounters struct {
 	deadlineMet   int64
 	sloViolations int64
 	brownouts     int64
+	cacheHits     int64
+	cacheResumes  int64
+	earlyExits    int64
 	bySubnet      []int64
 	lats          latRing
 }
@@ -66,6 +69,9 @@ type Stats struct {
 	refreshes     int64
 	sloViolations int64
 	brownouts     int64
+	cacheHits     int64
+	cacheResumes  int64
+	earlyExits    int64
 	totalMACs     int64
 	bySubnet      []int64 // answers per subnet, index s-1
 	byClass       []classCounters
@@ -144,6 +150,18 @@ func (st *Stats) recordServed(res Result) {
 		st.deadlineMet++
 		cc.deadlineMet++
 	}
+	if res.CacheHit {
+		st.cacheHits++
+		cc.cacheHits++
+	}
+	if res.Resumed {
+		st.cacheResumes++
+		cc.cacheResumes++
+	}
+	if res.EarlyExit {
+		st.earlyExits++
+		cc.earlyExits++
+	}
 	st.totalMACs += res.MACs
 	if res.Subnet >= 1 && res.Subnet <= len(st.bySubnet) {
 		st.bySubnet[res.Subnet-1]++
@@ -186,6 +204,15 @@ type ClassSnapshot struct {
 	// BrownoutTransitions counts brownout ladder moves — escalations
 	// and recoveries — applied to this class (monotonic).
 	BrownoutTransitions int64 `json:"brownout_transitions"`
+	// CacheHits counts this class's answers served entirely from the
+	// semantic result cache (zero MACs; 0 with the cache off).
+	CacheHits int64 `json:"cache_hits"`
+	// CacheResumes counts this class's walks seeded from a cached rung
+	// instead of rung 0.
+	CacheResumes int64 `json:"cache_resumes"`
+	// EarlyExits counts this class's answers returned by the
+	// confidence early exit below their affordable ladder cap.
+	EarlyExits int64 `json:"early_exits"`
 }
 
 // Snapshot is a point-in-time copy of the serving counters, shaped
@@ -255,6 +282,23 @@ type Snapshot struct {
 	// Policy is the overload governor's currently published actuator
 	// set; nil on servers without SLOs configured.
 	Policy *PolicySnapshot `json:"policy,omitempty"`
+	// CacheEnabled reports whether the semantic result cache is armed
+	// (Config.CacheEntries > 0).
+	CacheEnabled bool `json:"cache_enabled"`
+	// CacheHits totals the answers served entirely from the semantic
+	// result cache.
+	CacheHits int64 `json:"cache_hits"`
+	// CacheResumes totals the walks seeded from a cached rung.
+	CacheResumes int64 `json:"cache_resumes"`
+	// EarlyExits totals the confidence early-exit answers.
+	EarlyExits int64 `json:"early_exits"`
+	// CacheEntries gauges the cache's live entry count at snapshot
+	// time (0 with the cache off).
+	CacheEntries int `json:"cache_entries"`
+	// CacheBytes gauges the cache's accounted memory footprint.
+	CacheBytes int64 `json:"cache_bytes"`
+	// CacheEvictions counts entries the cache's LRU bounds removed.
+	CacheEvictions int64 `json:"cache_evictions"`
 }
 
 // PolicySnapshot is the JSON shape of the overload governor's current
@@ -290,6 +334,9 @@ func (st *Stats) snapshot() Snapshot {
 		Refreshes:           st.refreshes,
 		SLOViolations:       st.sloViolations,
 		BrownoutTransitions: st.brownouts,
+		CacheHits:           st.cacheHits,
+		CacheResumes:        st.cacheResumes,
+		EarlyExits:          st.earlyExits,
 		TotalMACs:           st.totalMACs,
 		BySubnet:            append([]int64(nil), st.bySubnet...),
 		Classes:             make([]ClassSnapshot, len(st.byClass)),
@@ -306,6 +353,9 @@ func (st *Stats) snapshot() Snapshot {
 			DeadlineMet:         cc.deadlineMet,
 			SLOViolations:       cc.sloViolations,
 			BrownoutTransitions: cc.brownouts,
+			CacheHits:           cc.cacheHits,
+			CacheResumes:        cc.cacheResumes,
+			EarlyExits:          cc.earlyExits,
 			BySubnet:            append([]int64(nil), cc.bySubnet...),
 		}
 		classLats[c] = cc.lats.samples()
