@@ -141,22 +141,36 @@ echo "== cluster chaos (scalar backend) =="
 STEPPINGNET_NOSIMD=1 go test -race -count=1 -run 'TestClusterChaosKillOneReplica|TestExactlyOneAnswerUnderRandomFaults' ./internal/cluster
 
 echo "== router e2e smoke =="
-# Stand up two real replica processes and a router over them, then
-# drive multi-target HTTP load (router plus one replica directly, with
-# a couple of slow-loris connections against the router) and shut
-# everything down with SIGTERM so the graceful-drain path executes.
-# The subshell keeps the process cleanup trap local.
+# Stand up three real replica processes (each with a semantic cache)
+# and an affinity-routing router over them, then drive two loadgen
+# phases: a mixed multi-target spray (router plus one replica
+# directly, with a couple of slow-loris connections against the
+# router), and a repeat-heavy phase whose hot keys must concentrate on
+# the replicas their cache key hashes to — asserted from the loadgen's
+# router view (affinity routed > 0, cluster-wide cache hits > 0).
+# Everything shuts down with SIGTERM so the graceful-drain path
+# executes. The subshell keeps the process cleanup trap local.
 (
     E2E_TMP=$(mktemp -d)
     trap 'kill $(jobs -p) 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$E2E_TMP"' EXIT
     go build -o "$E2E_TMP/stepserve" ./cmd/stepserve
-    "$E2E_TMP/stepserve" -addr 127.0.0.1:18081 -workers 1 -queue 16 -batch 4 -refresh 0 &
-    "$E2E_TMP/stepserve" -addr 127.0.0.1:18082 -workers 1 -queue 16 -batch 4 -refresh 0 &
-    "$E2E_TMP/stepserve" -addr 127.0.0.1:18080 -route http://127.0.0.1:18081,http://127.0.0.1:18082 &
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18081 -workers 1 -queue 16 -batch 4 -refresh 0 -cache 64 &
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18082 -workers 1 -queue 16 -batch 4 -refresh 0 -cache 64 &
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18083 -workers 1 -queue 16 -batch 4 -refresh 0 -cache 64 &
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18080 \
+        -route http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 -affinity &
     # The load generator waits for a healthy target itself, so no sleep
     # is needed between replica startup and the drive.
     "$E2E_TMP/stepserve" -loadgen -targets http://127.0.0.1:18080,http://127.0.0.1:18081 \
         -rps 150 -duration 2s -deadlines 5ms:0.8,50ms:0.2:hi -slow 2
+    # Phase 2: repeat-heavy traffic through the router alone. The
+    # report's affinity summary line is the assertion surface.
+    "$E2E_TMP/stepserve" -loadgen -targets http://127.0.0.1:18080 \
+        -rps 200 -duration 2s -deadlines 20ms:1 -repeat 0.6 | tee "$E2E_TMP/affinity.out"
+    grep -E 'affinity: [1-9][0-9]* routed to HRW choice' "$E2E_TMP/affinity.out" >/dev/null ||
+        { echo "router e2e: no affinity-routed requests reported" >&2; exit 1; }
+    grep -E '[1-9][0-9]* cache hits\+resumes cluster-wide' "$E2E_TMP/affinity.out" >/dev/null ||
+        { echo "router e2e: repeat traffic produced no replica cache reuse" >&2; exit 1; }
     kill -TERM $(jobs -p)
     wait
 )

@@ -146,7 +146,11 @@ func newInputMixer(rng *tensor.RNG, imgLen int, repeat float64) *inputMixer {
 	sum := 0.0
 	for i := range mx.hot {
 		mx.hot[i] = randomInput(rng, imgLen)
-		sum += 1 / float64(i+1) // harmonic: key k gets weight 1/k
+		// Zipf s=0.5: key k gets weight 1/√k. Skewed toward low keys,
+		// but not so head-heavy that the top two keys carry half the
+		// pool (as 1/k would) — the popularity tail is what stresses a
+		// cache's eviction policy and a router's key placement.
+		sum += 1 / math.Sqrt(float64(i+1))
 		mx.cum[i] = sum
 	}
 	mx.cold = make([][]float64, coldRingSize)
@@ -485,10 +489,15 @@ func runLoadgen(srv *serve.Server, m *models.Model, rps float64, duration time.D
 // requests round-robin across the targets, outcomes are classified
 // per target, and after the run each target's own /stats view is
 // fetched and summarized (a router target additionally reports its
-// retry/hedge counters and per-replica breakdown). With slowConns >
-// 0, that many slow-loris connections run against the first target
-// for the whole window, demonstrating the -hdr-timeout defense.
-func runRemoteLoadgen(targets []string, rps float64, duration time.Duration, mix []deadlineClass, seed uint64, slowConns int, scenario string, shape func(float64) float64, slos []governor.SLO) {
+// retry/hedge/affinity counters, its per-replica breakdown and — when
+// the replicas run semantic caches — each replica's cache-hit share,
+// the end-to-end measure of affinity placement). With repeat > 0 the
+// generator sends that fraction of requests from the zipf hot pool
+// (inputs of imgLen elements, matching the replicas' input geometry).
+// With slowConns > 0, that many slow-loris connections run against
+// the first target for the whole window, demonstrating the
+// -hdr-timeout defense.
+func runRemoteLoadgen(targets []string, rps float64, duration time.Duration, mix []deadlineClass, seed uint64, slowConns int, scenario string, shape func(float64) float64, slos []governor.SLO, repeat float64, imgLen int) {
 	if rps <= 0 {
 		log.Fatal("loadgen: -rps must be positive")
 	}
@@ -539,10 +548,17 @@ func runRemoteLoadgen(targets []string, rps float64, duration time.Duration, mix
 
 	stopSlow := startSlowLoris(targets[0], slowConns)
 
-	log.Printf("loadgen: %.0f rps base for %v (scenario %s) over %d targets, deadline mix %s", rps, duration, scenario, len(targets), mixString(mix))
-	// nil pick function: replicas synthesize their own seeded images,
-	// so the generator's CPU stays out of the measurement.
-	perClass, bySubnet, offered := driveLoad(tgs, rps, duration, mix, nil, rng, shape)
+	log.Printf("loadgen: %.0f rps base for %v (scenario %s) over %d targets, deadline mix %s, key reuse %.0f%%",
+		rps, duration, scenario, len(targets), mixString(mix), 100*repeat)
+	// Without -repeat the pick function stays nil: replicas synthesize
+	// their own seeded images, keeping the generator's CPU out of the
+	// measurement. With -repeat the hot/cold mixer sends bit-identical
+	// repeated payloads — the traffic affinity routing concentrates.
+	var pick func(*tensor.RNG) []float64
+	if repeat > 0 {
+		pick = newInputMixer(rng, imgLen, repeat).pick
+	}
+	perClass, bySubnet, offered := driveLoad(tgs, rps, duration, mix, pick, rng, shape)
 	printClassReport(mix, perClass, bySubnet, offered, rps, duration, scenario, slos)
 	printTargetReport(tgs)
 
@@ -575,9 +591,32 @@ func printRemoteView(target string) {
 	if json.Unmarshal(body, &rst) == nil && len(rst.Replicas) > 0 {
 		fmt.Printf("\n%s (router view): submitted %d, served %d, failed %d, retries %d, hedges %d, %d/%d available\n",
 			target, rst.Submitted, rst.Served, rst.Failed, rst.Retries, rst.Hedges, rst.Available, len(rst.Replicas))
+		affinityOn := rst.AffinityRouted > 0 || rst.AffinitySpilled > 0
+		var hitTotal, hitTop int64
 		for _, rs := range rst.Replicas {
-			fmt.Printf("  %-28s up=%-5v breaker=%-9s ok=%-6d reject=%-6d xport=%-5d retried=%-5d hedged=%d\n",
-				rs.Target, rs.Up, rs.Breaker, rs.Success, rs.Rejected, rs.TransportErrors, rs.Retried, rs.Hedged)
+			line := fmt.Sprintf("  %-28s up=%-5v breaker=%-9s ok=%-6d reject=%-6d xport=%-5d bad=%-4d retried=%-5d hedged=%d",
+				rs.Target, rs.Up, rs.Breaker, rs.Success, rs.Rejected, rs.TransportErrors, rs.BadInputs, rs.Retried, rs.Hedged)
+			if affinityOn {
+				line += fmt.Sprintf(" affinity=%-5d spills=%d", rs.AffinityHits, rs.AffinitySpills)
+			}
+			// Each replica's own /stats reveals where cache reuse
+			// actually landed — the concentration affinity buys.
+			if hits, ok := replicaCacheHits(rs.Target); ok {
+				line += fmt.Sprintf(" cache-hits=%d", hits)
+				hitTotal += hits
+				if hits > hitTop {
+					hitTop = hits
+				}
+			}
+			fmt.Println(line)
+		}
+		if affinityOn {
+			line := fmt.Sprintf("  affinity: %d routed to HRW choice, %d spilled", rst.AffinityRouted, rst.AffinitySpilled)
+			if hitTotal > 0 {
+				line += fmt.Sprintf("; %d cache hits+resumes cluster-wide (top replica %.0f%%)",
+					hitTotal, 100*float64(hitTop)/float64(hitTotal))
+			}
+			fmt.Println(line)
 		}
 		return
 	}
@@ -589,6 +628,26 @@ func printRemoteView(target string) {
 	fmt.Printf("\n%s (server view): served %d, rejected %d, deadline hit-rate %.1f%%, mean %.0f kMAC/answer\n",
 		target, snap.Served, snap.Rejected, 100*snap.DeadlineHitRate, meanKMAC(snap))
 	printClassProtection(snap)
+}
+
+// replicaCacheHits fetches one replica's own /stats and returns its
+// semantic-cache reuse count (hits + resumes), reporting false when
+// the replica is unreachable or runs no cache.
+func replicaCacheHits(target string) (int64, bool) {
+	resp, err := http.Get(strings.TrimRight(target, "/") + "/stats")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var snap serve.Snapshot
+	if json.Unmarshal(body, &snap) != nil || !snap.CacheEnabled {
+		return 0, false
+	}
+	return snap.CacheHits + snap.CacheResumes, true
 }
 
 // printClassProtection renders a server snapshot's per-priority

@@ -37,9 +37,15 @@
 //
 //	stepserve -route http://host1:8081,http://host2:8082 -addr :8080
 //
-// GET /stats in router mode returns the cluster.RouterStats
-// breakdown; GET /healthz is 200 while at least one replica is
-// admitted.
+// With -affinity the router instead rendezvous-hashes each request's
+// input cache key over the admitted replicas, so repeats of an input
+// land on the replica whose semantic cache already holds the walk;
+// -affinity-spill bounds the imbalance a hot key may cause (a pick
+// whose backlog exceeds that factor × the cluster mean falls to the
+// key's next replica in hash order). GET /stats in router mode
+// returns the cluster.RouterStats breakdown, including per-replica
+// affinity hit and spill counters; GET /healthz is 200 while at least
+// one replica is admitted.
 //
 // Load-generator mode drives either an in-process service or — with
 // -targets — remote replicas/routers over HTTP at a configurable
@@ -72,14 +78,19 @@
 // answered straight from a previous walk's logits, or — when the new
 // request's deadline affords a wider answer — the engine resumes from
 // the cached ladder rung instead of walking from scratch, bitwise
-// identical to a cold walk. -exit-margin (or -exit-calibrate, which
-// derives argmax-safe per-class thresholds from seeded calibration
-// walks) arms the confidence early exit: the walk stops as soon as
-// the top-2 logit margin clears the threshold. The loadgen's -repeat
-// flag sends that fraction of requests from a zipf-skewed hot key
-// pool, so cache-on vs cache-off runs are directly comparable:
+// identical to a cold walk. -exit-margin (a scalar, or a per-class
+// comma-separated vector; -exit-calibrate derives argmax-safe
+// per-class thresholds from seeded calibration walks and overrides
+// both) arms the confidence early exit: the walk stops as soon as the
+// top-2 logit margin clears the threshold. The loadgen's -repeat flag
+// sends that fraction of requests from a zipf-skewed hot key pool, so
+// cache-on vs cache-off runs are directly comparable — in-process, or
+// against remote replicas/routers with -targets, where the report
+// adds each replica's cache concentration (the end-to-end measure of
+// -affinity routing):
 //
 //	stepserve -loadgen -cache 256 -repeat 0.6 -rps 400 -duration 5s
+//	stepserve -loadgen -targets http://router:8080 -repeat 0.6 -rps 400
 package main
 
 import (
@@ -134,12 +145,14 @@ func main() {
 	control := flag.Duration("control", 0, "overload governor tick interval (0 = 100ms when -slo is set)")
 	cacheEntries := flag.Int("cache", 0, "semantic result cache capacity in entries (0 disables; repeated inputs are answered from — or resumed off — cached ladder state)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "semantic cache memory bound in bytes (0 = 64MiB default when -cache is set)")
-	exitMargin := flag.Float64("exit-margin", 0, "confidence early-exit top-2 logit margin threshold (0 disables the exit)")
+	exitMarginSpec := flag.String("exit-margin", "", "confidence early-exit top-2 logit margin: a single threshold, or a comma-separated per-class vector indexed by predicted class (empty disables the exit)")
 	exitCalibrate := flag.Int("exit-calibrate", 0, "derive argmax-safe per-class early-exit margins from this many seeded calibration inputs (overrides -exit-margin)")
 	hdrTimeout := flag.Duration("hdr-timeout", 5*time.Second, "how long a connection may take to send its request headers before it is closed (slow-loris defense)")
 
 	route := flag.String("route", "", "comma-separated replica base URLs: run as a fault-tolerant router over them instead of serving a model")
 	hedge := flag.Bool("hedge", false, "router: race a second replica for requests exceeding their class's observed p99")
+	affinity := flag.Bool("affinity", false, "router: rendezvous-hash requests onto replicas by input cache key, so repeats hit the replica whose semantic cache holds the walk")
+	affinitySpill := flag.Float64("affinity-spill", 2, "router: spill an affinity pick to the next replica in hash order once its backlog exceeds this factor × the cluster mean (≥1)")
 
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of the HTTP server")
 	targets := flag.String("targets", "", "loadgen: comma-separated replica/router base URLs to drive over HTTP instead of an in-process server")
@@ -147,7 +160,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
 	deadlineMix := flag.String("deadlines", "", "loadgen: class mix like 4ms:0.5,12ms:0.5:hi — deadline:weight with an optional :hi marking the high-priority class (default: the -deadline flag at weight 1)")
 	scenario := flag.String("scenario", "constant", "loadgen: deterministic load shape — constant, diurnal (sinusoid 0.25×–1.75×), burst (0.5× calm with 3× bursts) or step (0.5×/1×/2×/4× staircase)")
-	repeat := flag.Float64("repeat", 0, "loadgen: fraction of requests re-sending a zipf-skewed hot-pool input (0..1; exercises the semantic cache; in-process mode only)")
+	repeat := flag.Float64("repeat", 0, "loadgen: fraction of requests re-sending a zipf-skewed hot-pool input (0..1; exercises the semantic cache, and with -targets the router's cache-affinity placement)")
 	slowConns := flag.Int("slow", 0, "loadgen: also open this many slow-loris connections against the first target (demonstrates -hdr-timeout)")
 	flag.Parse()
 
@@ -156,11 +169,15 @@ func main() {
 	}
 
 	if *route != "" {
-		serveRouter(splitTargets(*route), *addr, *deadline, *hedge, *hdrTimeout)
+		serveRouter(splitTargets(*route), *addr, *deadline, *hedge, *affinity, *affinitySpill, *hdrTimeout)
 		return
 	}
 
 	slos, err := parseSLOs(*sloSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exitMargin, exitMargins, err := parseExitMargins(*exitMarginSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -178,15 +195,16 @@ func main() {
 			log.Fatal("-repeat must be in 0..1")
 		}
 		if *targets != "" {
-			if *repeat > 0 {
-				log.Fatal("-repeat drives the in-process semantic cache; it is not supported with -targets")
-			}
-			runRemoteLoadgen(splitTargets(*targets), *rps, *duration, mix, *seed, *slowConns, *scenario, shape, slos)
+			// Remote repeats reuse the replicas' input geometry (the
+			// server builds with InC=3), so repeated payloads are
+			// bit-identical across requests and cache-key stable.
+			runRemoteLoadgen(splitTargets(*targets), *rps, *duration, mix, *seed, *slowConns, *scenario, shape, slos,
+				*repeat, 3*(*imgHW)*(*imgHW))
 			return
 		}
 		m, srv := mustBuildServing(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train,
 			*workers, *queueDepth, *maxBatch, *deadline, *priorities, *refresh, slos, *control,
-			*cacheEntries, *cacheBytes, *exitMargin, *exitCalibrate)
+			*cacheEntries, *cacheBytes, exitMargin, exitMargins, *exitCalibrate)
 		runLoadgen(srv, m, *rps, *duration, mix, *seed, *scenario, shape, slos, *repeat)
 		srv.Close()
 		return
@@ -205,6 +223,9 @@ func main() {
 		if err != nil {
 			return nil, nil, err
 		}
+		if margins == nil {
+			margins = exitMargins
+		}
 		cfg := serve.Config{
 			Model: m, Subnets: *subnets,
 			Workers: *workers, QueueDepth: *queueDepth, MaxBatch: *maxBatch,
@@ -217,7 +238,7 @@ func main() {
 			ExitMargins: margins,
 		}
 		if margins == nil {
-			cfg.ExitMargin = *exitMargin
+			cfg.ExitMargin = exitMargin
 		}
 		srv, err := serve.New(cfg)
 		if err != nil {
@@ -234,7 +255,7 @@ func main() {
 func mustBuildServing(modelName string, classes, imgHW int, expansion float64, subnets int, seed uint64, train bool,
 	workers, queueDepth, maxBatch int, deadline time.Duration, priorities int, refresh time.Duration,
 	slos []governor.SLO, control time.Duration,
-	cacheEntries int, cacheBytes int64, exitMargin float64, exitCalibrate int) (*models.Model, *serve.Server) {
+	cacheEntries int, cacheBytes int64, exitMargin float64, exitMargins []float64, exitCalibrate int) (*models.Model, *serve.Server) {
 	m, err := buildServeModel(modelName, classes, imgHW, expansion, subnets, seed, train)
 	if err != nil {
 		log.Fatal(err)
@@ -242,6 +263,9 @@ func mustBuildServing(modelName string, classes, imgHW int, expansion float64, s
 	margins, err := calibratedExitMargins(m, subnets, exitCalibrate, seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if margins == nil {
+		margins = exitMargins
 	}
 	cfg := serve.Config{
 		Model: m, Subnets: subnets,
@@ -264,6 +288,31 @@ func mustBuildServing(modelName string, classes, imgHW int, expansion float64, s
 	logCalibration(srv, m, subnets)
 	logCacheExit(cfg)
 	return m, srv
+}
+
+// parseExitMargins resolves the -exit-margin spec: empty disables the
+// exit, a single number is the scalar top-2 margin threshold, and a
+// comma-separated vector supplies per-predicted-class thresholds. The
+// vector's length is validated against the model's class count by
+// serve.New — a mismatched slice is a construction error, never an
+// out-of-range index on the serving path.
+func parseExitMargins(spec string) (scalar float64, margins []float64, err error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return 0, nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	vals := make([]float64, len(parts))
+	for i, p := range parts {
+		vals[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bad -exit-margin entry %q (want a number or comma-separated numbers)", p)
+		}
+	}
+	if len(vals) == 1 {
+		return vals[0], nil, nil
+	}
+	return 0, vals, nil
 }
 
 // calibratedExitMargins resolves -exit-calibrate: nCal seeded
@@ -643,15 +692,17 @@ func serveHTTP(addr string, seed uint64, hdrTimeout time.Duration, build func() 
 // contract, served by spreading requests over the replica URLs with
 // health probing, circuit breaking and deadline-aware retry/hedging
 // (see internal/cluster.Router).
-func serveRouter(targets []string, addr string, defaultDeadline time.Duration, hedge bool, hdrTimeout time.Duration) {
+func serveRouter(targets []string, addr string, defaultDeadline time.Duration, hedge, affinity bool, affinitySpill float64, hdrTimeout time.Duration) {
 	backends := make([]cluster.Backend, 0, len(targets))
 	for _, tgt := range targets {
 		backends = append(backends, cluster.NewRemote(tgt))
 	}
 	ro, err := cluster.NewRouter(cluster.RouterConfig{
-		Backends:        backends,
-		DefaultDeadline: defaultDeadline,
-		Hedge:           hedge,
+		Backends:            backends,
+		DefaultDeadline:     defaultDeadline,
+		Hedge:               hedge,
+		Affinity:            affinity,
+		AffinitySpillFactor: affinitySpill,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -752,11 +803,11 @@ func serveRouter(targets []string, addr string, defaultDeadline time.Duration, h
 	<-shutdownDone
 	ro.Close()
 	st := ro.Stats()
-	log.Printf("drained; routed %d (served %d, failed %d, retries %d, hedges %d)",
-		st.Submitted, st.Served, st.Failed, st.Retries, st.Hedges)
+	log.Printf("drained; routed %d (served %d, failed %d, retries %d, hedges %d, affinity %d routed/%d spilled)",
+		st.Submitted, st.Served, st.Failed, st.Retries, st.Hedges, st.AffinityRouted, st.AffinitySpilled)
 	for _, rs := range st.Replicas {
-		log.Printf("  %s: up=%v breaker=%s success=%d rejected=%d transport=%d retried=%d hedged=%d",
-			rs.Target, rs.Up, rs.Breaker, rs.Success, rs.Rejected, rs.TransportErrors, rs.Retried, rs.Hedged)
+		log.Printf("  %s: up=%v breaker=%s success=%d rejected=%d transport=%d bad=%d retried=%d hedged=%d affinity=%d spills=%d",
+			rs.Target, rs.Up, rs.Breaker, rs.Success, rs.Rejected, rs.TransportErrors, rs.BadInputs, rs.Retried, rs.Hedged, rs.AffinityHits, rs.AffinitySpills)
 	}
 }
 

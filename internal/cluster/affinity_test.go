@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"steppingnet/internal/serve"
+	"steppingnet/internal/serve/cache"
+	"steppingnet/internal/tensor"
+)
+
+// affinityInputs fabricates n distinct input vectors; the router keys
+// them with cache.KeyOf exactly as production traffic is keyed.
+func affinityInputs(n int) [][]float64 {
+	rng := tensor.NewRNG(0xAFF1)
+	inputs := make([][]float64, n)
+	for i := range inputs {
+		x := tensor.New(16)
+		x.FillNormal(rng, 0, 1)
+		inputs[i] = x.Data()
+	}
+	return inputs
+}
+
+// servedBy submits the input and reports which fake served it, by
+// submit-counter delta.
+func servedBy(t *testing.T, ro *Router, fakes []*fakeBackend, in []float64) int {
+	t.Helper()
+	before := make([]int64, len(fakes))
+	for i, f := range fakes {
+		before[i] = f.submits.Load()
+	}
+	if _, err := ro.Submit(serve.Request{Input: in, Deadline: 50 * time.Millisecond}); err != nil {
+		t.Fatalf("affinity submit failed: %v", err)
+	}
+	who := -1
+	for i, f := range fakes {
+		if d := f.submits.Load() - before[i]; d > 0 {
+			if d != 1 || who >= 0 {
+				t.Fatalf("submit dispatched more than once: deltas across fakes")
+			}
+			who = i
+		}
+	}
+	if who < 0 {
+		t.Fatal("no fake saw the submit")
+	}
+	return who
+}
+
+// TestAffinityStableUnderEjection pins rendezvous hashing's two load-
+// bearing properties end to end through Submit: every key maps to one
+// stable replica while the set is healthy; ejecting a replica remaps
+// ONLY the keys that ranked it first (each falls to its HRW second
+// choice, also stably) while every other key's winner is untouched;
+// and re-admission restores the original mapping exactly.
+func TestAffinityStableUnderEjection(t *testing.T) {
+	fakes := []*fakeBackend{{name: "a"}, {name: "b"}, {name: "c"}}
+	ro := newTestRouter(t, RouterConfig{Affinity: true}, fakes...)
+
+	inputs := affinityInputs(24)
+	winner := make([]int, len(inputs))
+	for i, in := range inputs {
+		winner[i] = servedBy(t, ro, fakes, in)
+		for rep := 0; rep < 3; rep++ {
+			if got := servedBy(t, ro, fakes, in); got != winner[i] {
+				t.Fatalf("key %d flapped: replica %d then %d with a healthy set", i, winner[i], got)
+			}
+		}
+	}
+	// A healthy HRW spread over 24 keys and 3 replicas should not
+	// degenerate to one replica (the weights avalanche per key).
+	seen := map[int]bool{}
+	for _, w := range winner {
+		seen[w] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all %d keys mapped to one replica — HRW weights are not spreading", len(inputs))
+	}
+
+	// Eject one winner; its keys fall over (stably), others hold.
+	ejected := winner[0]
+	ro.replicas[ejected].mu.Lock()
+	ro.replicas[ejected].up = false
+	ro.replicas[ejected].mu.Unlock()
+	fallback := make([]int, len(inputs))
+	for i, in := range inputs {
+		fallback[i] = servedBy(t, ro, fakes, in)
+		if fallback[i] == ejected {
+			t.Fatalf("key %d still routed to the ejected replica", i)
+		}
+		if winner[i] != ejected && fallback[i] != winner[i] {
+			t.Fatalf("key %d moved from %d to %d although its winner was not ejected (HRW minimal disruption violated)",
+				i, winner[i], fallback[i])
+		}
+		if got := servedBy(t, ro, fakes, in); got != fallback[i] {
+			t.Fatalf("key %d flapped between fallbacks %d and %d", i, fallback[i], got)
+		}
+	}
+
+	// Re-admission restores the original mapping bit for bit.
+	ro.replicas[ejected].mu.Lock()
+	ro.replicas[ejected].up = true
+	ro.replicas[ejected].mu.Unlock()
+	for i, in := range inputs {
+		if got := servedBy(t, ro, fakes, in); got != winner[i] {
+			t.Fatalf("key %d did not return to replica %d after re-admission (got %d)", i, winner[i], got)
+		}
+	}
+}
+
+// TestAffinitySpillEngagesAtBound pins the bounded-load spill: a key
+// sticks to its HRW choice until that replica's backlog score exceeds
+// AffinitySpillFactor × the candidate mean, then falls to the next
+// replica in HRW order, with the hit and spill counters attributing
+// both behaviors to the HRW-first replica.
+func TestAffinitySpillEngagesAtBound(t *testing.T) {
+	fakes := []*fakeBackend{{name: "a"}, {name: "b"}, {name: "c"}}
+	ro := newTestRouter(t, RouterConfig{Affinity: true, AffinitySpillFactor: 2}, fakes...)
+	in := affinityInputs(1)[0]
+
+	first := servedBy(t, ro, fakes, in)
+	st := ro.Stats()
+	if st.Replicas[first].AffinityHits != 1 || st.AffinityRouted != 1 {
+		t.Fatalf("unloaded affinity dispatch not counted as a hit: %+v", st.Replicas[first])
+	}
+
+	// Load the winner to 3× the cluster mean (scores 30, 0, 0 → mean
+	// 10, bound 20): the key must spill, and the spill must be charged
+	// to the overloaded HRW choice, not to the replica that caught it.
+	ro.replicas[first].storeSnap(snap(30))
+	spilledTo := servedBy(t, ro, fakes, in)
+	if spilledTo == first {
+		t.Fatalf("request stayed on a replica at 3× the mean backlog (spill bound 2×)")
+	}
+	st = ro.Stats()
+	if got := st.Replicas[first].AffinitySpills; got != 1 {
+		t.Fatalf("AffinitySpills on the HRW choice = %d, want 1", got)
+	}
+	if got := st.AffinitySpilled; got != 1 {
+		t.Fatalf("router AffinitySpilled = %d, want 1", got)
+	}
+	// The spill target is deterministic too: same key, same fallback.
+	if got := servedBy(t, ro, fakes, in); got != spilledTo {
+		t.Fatalf("spill target flapped: %d then %d", spilledTo, got)
+	}
+
+	// Below the bound (score 30 vs mean 30 with peers at 30 → bound
+	// 60) the key snaps back to its winner.
+	for i := range fakes {
+		ro.replicas[i].storeSnap(snap(30))
+	}
+	if got := servedBy(t, ro, fakes, in); got != first {
+		t.Fatalf("evenly-loaded cluster routed key to %d, want its HRW choice %d", got, first)
+	}
+}
+
+// TestAffinityKeylessFallsBackToLeastBacklog pins the keyless path:
+// with affinity armed, a request without an input still routes least
+// backlog first and moves no affinity counter.
+func TestAffinityKeylessFallsBackToLeastBacklog(t *testing.T) {
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	ro := newTestRouter(t, RouterConfig{Affinity: true}, a, b)
+	ro.replicas[0].storeSnap(snap(12))
+	ro.replicas[1].storeSnap(snap(1))
+
+	for i := 0; i < 5; i++ {
+		if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.submits.Load(); got != 5 {
+		t.Fatalf("least-backlogged replica served %d of 5 keyless requests", got)
+	}
+	st := ro.Stats()
+	if st.AffinityRouted != 0 || st.AffinitySpilled != 0 {
+		t.Fatalf("keyless requests moved affinity counters: routed=%d spilled=%d", st.AffinityRouted, st.AffinitySpilled)
+	}
+}
+
+// TestAffinityRetryPrefersHRWOrder pins the retry interplay: when the
+// HRW choice fails with a transport error, the retry lands on the
+// key's HRW SECOND choice (not the least-backlogged survivor), so a
+// rung cached during a previous spill is still the likely target.
+func TestAffinityRetryPrefersHRWOrder(t *testing.T) {
+	fakes := []*fakeBackend{{name: "a"}, {name: "b"}, {name: "c"}}
+	ro := newTestRouter(t, RouterConfig{Affinity: true}, fakes...)
+	in := affinityInputs(1)[0]
+
+	// Discover the key's full HRW order by ejecting winners in turn.
+	first := servedBy(t, ro, fakes, in)
+	ro.replicas[first].mu.Lock()
+	ro.replicas[first].up = false
+	ro.replicas[first].mu.Unlock()
+	second := servedBy(t, ro, fakes, in)
+	ro.replicas[first].mu.Lock()
+	ro.replicas[first].up = true
+	ro.replicas[first].mu.Unlock()
+
+	// Give the second choice a worse backlog than the third, so plain
+	// least-backlog retry ordering would pick the third instead.
+	for i := range fakes {
+		if i != first && i != second {
+			ro.replicas[i].storeSnap(snap(0, 0.001))
+		}
+	}
+	ro.replicas[second].storeSnap(snap(5, 0.001))
+	ro.replicas[first].storeSnap(snap(0, 0.001))
+
+	fakes[first].setSubmitErr(fmt.Errorf("%w: synthetic", ErrTransport))
+	pre := fakes[second].submits.Load()
+	if _, err := ro.Submit(serve.Request{Input: in, Deadline: 200 * time.Millisecond}); err != nil {
+		t.Fatalf("retryable failure did not recover: %v", err)
+	}
+	if got := fakes[second].submits.Load() - pre; got != 1 {
+		t.Fatalf("retry skipped the key's HRW second choice (delta %d, want 1)", got)
+	}
+}
+
+// TestHRWWeightMatchesKeyOf pins that the router keys requests with
+// the exact cache.KeyOf the replicas' semantic caches use — the whole
+// point of affinity routing — and that replica identities derive from
+// the target string alone (stable across router instances).
+func TestHRWWeightMatchesKeyOf(t *testing.T) {
+	in := affinityInputs(1)[0]
+	k := uint64(cache.KeyOf(in))
+	idA, idB := replicaID("http://a:1"), replicaID("http://b:1")
+	if idA == idB {
+		t.Fatal("distinct targets hashed to the same replica identity")
+	}
+	if replicaID("http://a:1") != idA {
+		t.Fatal("replica identity is not a pure function of the target")
+	}
+	if hrwWeight(k, idA) == hrwWeight(k, idB) {
+		t.Fatal("one key weighted two replicas identically — no rendezvous order")
+	}
+	// A different key must not preserve the order of every pair with
+	// probability 1; spot-check that orders differ across a few keys
+	// (avalanche sanity, not a distribution test).
+	ids := []uint64{replicaID("r0"), replicaID("r1"), replicaID("r2"), replicaID("r3")}
+	orders := map[string]bool{}
+	for _, in := range affinityInputs(16) {
+		k := uint64(cache.KeyOf(in))
+		best, bestW := 0, uint64(0)
+		for i, id := range ids {
+			if w := hrwWeight(k, id); w > bestW {
+				best, bestW = i, w
+			}
+		}
+		orders[fmt.Sprint(best)] = true
+	}
+	if len(orders) < 2 {
+		t.Fatal("16 random keys all ranked the same replica first")
+	}
+}

@@ -155,11 +155,17 @@ func TestClusterChaosKillOneReplica(t *testing.T) {
 		injectors = append(injectors, inj)
 		backends = append(backends, inj)
 	}
+	// Affinity armed (the -affinity configuration): the storm repeats
+	// ONE input, so rendezvous hashing concentrates it on a single
+	// replica until the bounded-load spill redistributes — the
+	// invariants below must survive that concentration AND the kill of
+	// whichever replica the key pins.
 	ro, err := cluster.NewRouter(cluster.RouterConfig{
 		Backends:      backends,
 		ProbeInterval: 20 * time.Millisecond, ProbeTimeout: 250 * time.Millisecond,
 		DownAfter: 2, ReadmitAfter: 3,
 		BreakerThreshold: 3, BreakerCooldown: 200 * time.Millisecond,
+		Affinity: true, AffinitySpillFactor: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -261,6 +267,18 @@ func TestClusterChaosKillOneReplica(t *testing.T) {
 	if rate := float64(highMet) / highReqs; rate < 0.99 {
 		t.Fatalf("high-priority deadline hit rate %.3f across replica kill, want ≥0.99", rate)
 	}
+
+	// A handful of malformed requests (wrong input geometry): each
+	// must come back as a typed ErrBadInput after exactly one
+	// dispatch, and land on the per-replica bad_input counter so the
+	// exact-accounting check below can include them.
+	const badReqs = 5
+	for i := 0; i < badReqs; i++ {
+		_, err := ro.Submit(serve.Request{Input: []float64{1, 2, 3}, Priority: 1, Deadline: time.Second})
+		if !errors.Is(err, serve.ErrBadInput) {
+			t.Fatalf("malformed request %d: got %v, want ErrBadInput", i, err)
+		}
+	}
 	// SLO attainment, client-measured: with ≥99/100 answers inside the
 	// deadline, the nearest-rank p99 must sit at or under the target.
 	sort.Slice(highLats, func(i, j int) bool { return highLats[i] < highLats[j] })
@@ -318,8 +336,8 @@ func TestClusterChaosKillOneReplica(t *testing.T) {
 		t.Fatalf("low-class outcomes %d != submits %d (hang or double answer)", got, lowSent.Load())
 	}
 	st := ro.Stats()
-	if st.Submitted != lowSent.Load()+highReqs {
-		t.Fatalf("router saw %d submits, clients sent %d", st.Submitted, lowSent.Load()+highReqs)
+	if st.Submitted != lowSent.Load()+highReqs+badReqs {
+		t.Fatalf("router saw %d submits, clients sent %d", st.Submitted, lowSent.Load()+highReqs+badReqs)
 	}
 	if st.Served != lowOK.Load()+highReqs {
 		t.Fatalf("router served %d, clients got %d answers", st.Served, lowOK.Load()+highReqs)
@@ -329,6 +347,29 @@ func TestClusterChaosKillOneReplica(t *testing.T) {
 	}
 	if lowShed.Load() == 0 {
 		t.Fatal("a 40-submitter storm over a capped cluster must shed low-priority traffic")
+	}
+	// Per-replica exact accounting: every dispatch resolved to exactly
+	// one of the four outcome counters — including the bad_input arm,
+	// which used to fall through uncounted.
+	var badTotal, affinityHits int64
+	for _, r := range st.Replicas {
+		if got := r.Success + r.Rejected + r.TransportErrors + r.BadInputs; got != r.Dispatches {
+			t.Fatalf("replica %s outcomes %d != dispatches %d: %+v", r.Target, got, r.Dispatches, r)
+		}
+		badTotal += r.BadInputs
+		affinityHits += r.AffinityHits
+	}
+	if badTotal != badReqs {
+		t.Fatalf("bad_input dispatches %d across replicas, want %d", badTotal, badReqs)
+	}
+	if st.AffinityRouted != affinityHits {
+		t.Fatalf("router AffinityRouted %d != summed per-replica hits %d", st.AffinityRouted, affinityHits)
+	}
+	if st.AffinityRouted == 0 {
+		t.Fatal("a keyed storm through an affinity router never hit an HRW choice")
+	}
+	if st.AffinitySpilled == 0 {
+		t.Fatal("a 12× single-key storm never tripped the bounded-load spill")
 	}
 
 	// Brownout ordering, per replica: class 0's ladder (3 subnets,
@@ -415,6 +456,7 @@ func TestExactlyOneAnswerUnderRandomFaults(t *testing.T) {
 		DownAfter: 2, ReadmitAfter: 2,
 		BreakerThreshold: 3, BreakerCooldown: 100 * time.Millisecond,
 		Hedge: true, HedgeMinSamples: 16,
+		Affinity: true, AffinitySpillFactor: 2,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"steppingnet/internal/serve"
+	"steppingnet/internal/serve/cache"
 )
 
 // Breaker states: a replica's circuit starts closed (requests flow),
@@ -89,6 +90,22 @@ type RouterConfig struct {
 	// the deadline, and canceling that answer would turn it into a
 	// spurious transport error. 0 means 100ms.
 	AttemptGrace time.Duration
+	// Affinity enables cache-affinity routing: requests that carry an
+	// input are keyed with cache.KeyOf and routed by rendezvous
+	// (highest-random-weight) hashing over the currently-admitted
+	// replicas, so repeats of the same input land on the replica whose
+	// semantic cache already holds the walk. Keyless requests fall
+	// back to least-backlog spreading, and the bounded-load spill
+	// (AffinitySpillFactor) keeps a hot key from drowning one replica
+	// while its peers idle.
+	Affinity bool
+	// AffinitySpillFactor bounds the load a key may pin to its
+	// affinity choice: when that replica's backlog score exceeds this
+	// multiple of the mean backlog over the admitted candidates, the
+	// request spills to the next replica in HRW order. Must be ≥ 1
+	// (the least-loaded candidate is never above the bound, so a
+	// qualifying replica always exists); 0 means 2.
+	AffinitySpillFactor float64
 }
 
 // withDefaults fills zero fields and validates the rest.
@@ -136,6 +153,12 @@ func (c RouterConfig) withDefaults() (RouterConfig, error) {
 	if c.AttemptGrace <= 0 {
 		c.AttemptGrace = 100 * time.Millisecond
 	}
+	if c.AffinitySpillFactor == 0 {
+		c.AffinitySpillFactor = 2
+	}
+	if c.AffinitySpillFactor < 1 {
+		return c, fmt.Errorf("cluster: AffinitySpillFactor %v < 1 would spill away even the least-loaded replica", c.AffinitySpillFactor)
+	}
 	return c, nil
 }
 
@@ -143,6 +166,10 @@ func (c RouterConfig) withDefaults() (RouterConfig, error) {
 // whether and when it receives traffic.
 type replica struct {
 	b Backend
+	// id is the stable rendezvous-hash identity (a hash of the
+	// backend's target name), fixed at construction so every router
+	// over the same replica set agrees on each key's HRW order.
+	id uint64
 
 	// mu guards the prober and breaker state below.
 	mu           sync.Mutex
@@ -151,6 +178,12 @@ type replica struct {
 	probeOKs     int           // consecutive probe successes
 	backoff      time.Duration // current probe backoff (0 = base cadence)
 	lastProbeErr error
+	snapSeq      int64 // sequence of the probe whose snapshot is cached
+
+	// probeSeq numbers probe exchanges at their start, so a slow
+	// probe's stale snapshot can be recognized and dropped when a
+	// later probe has already published a fresher one.
+	probeSeq atomic.Int64
 
 	brState     int
 	brFails     int // consecutive submit failures
@@ -164,11 +197,15 @@ type replica struct {
 	inflight atomic.Int64
 
 	// Outcome counters for RouterStats.
+	dispatches     atomic.Int64 // attempts dispatched to this replica
 	success        atomic.Int64
 	rejected       atomic.Int64
 	transport      atomic.Int64
+	badInput       atomic.Int64 // typed ErrBadInput refusals
 	retried        atomic.Int64 // attempts on this replica that were retries
 	hedged         atomic.Int64 // hedge attempts landed here
+	affinityHits   atomic.Int64 // first attempts routed here as the key's HRW choice
+	affinitySpills atomic.Int64 // first attempts spilled AWAY from here by the load bound
 	probeFailTotal atomic.Int64
 }
 
@@ -300,8 +337,9 @@ func (lr *latRing) p99(minSamples int) time.Duration {
 	return time.Duration(serve.PercentileMs(samples, 0.99) * float64(time.Millisecond))
 }
 
-// Router spreads requests over a set of replicas, least backlog
-// first, keeping each replica behind a health prober and a circuit
+// Router spreads requests over a set of replicas — least backlog
+// first, or rendezvous-hashed on the input's cache key when Affinity
+// is on — keeping each replica behind a health prober and a circuit
 // breaker, and re-dispatching failed or tail-slow attempts under a
 // deadline-aware budget. Create with NewRouter, submit with Submit,
 // stop with Close.
@@ -310,11 +348,13 @@ type Router struct {
 	replicas []*replica
 
 	// Router-level outcome counters.
-	submitted atomic.Int64
-	served    atomic.Int64
-	failed    atomic.Int64
-	retries   atomic.Int64
-	hedges    atomic.Int64
+	submitted       atomic.Int64
+	served          atomic.Int64
+	failed          atomic.Int64
+	retries         atomic.Int64
+	hedges          atomic.Int64
+	affinityRouted  atomic.Int64 // first attempts that landed on their key's HRW choice
+	affinitySpilled atomic.Int64 // first attempts diverted by the bounded-load spill
 
 	rr atomic.Int64 // rotation offset for backlog ties
 
@@ -337,7 +377,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	ro := &Router{cfg: cfg, stop: make(chan struct{})}
 	for _, b := range cfg.Backends {
-		ro.replicas = append(ro.replicas, &replica{b: b, up: true})
+		ro.replicas = append(ro.replicas, &replica{b: b, id: replicaID(b.Target()), up: true})
 	}
 	if cfg.ProbeInterval > 0 {
 		for _, r := range ro.replicas {
@@ -389,6 +429,11 @@ func (ro *Router) probeLoop(r *replica) {
 // its breaker reset, since the health evidence is fresher than the
 // failure run that opened it.
 func (ro *Router) probeOnce(r *replica) {
+	// The sequence number is drawn BEFORE the exchange: a probe that
+	// started earlier carries older data no matter when it finishes,
+	// so finishProbe can drop its snapshot if a later probe already
+	// published.
+	seq := r.probeSeq.Add(1)
 	ctx, cancel := context.WithTimeout(context.Background(), ro.cfg.ProbeTimeout)
 	err := r.b.Health(ctx)
 	var snap serve.Snapshot
@@ -397,7 +442,16 @@ func (ro *Router) probeOnce(r *replica) {
 		snap, serr = r.b.Stats(ctx)
 	}
 	cancel()
+	ro.finishProbe(r, seq, err, snap, serr)
+}
 
+// finishProbe folds one probe exchange's outcome into the replica's
+// admission state and snapshot cache. The snapshot store happens under
+// r.mu and only when no later-started probe has published yet —
+// without the ordering, a slow probe finishing after a re-admission
+// cycle would overwrite the fresher snapshot and walk floor with stale
+// ones.
+func (ro *Router) finishProbe(r *replica, seq int64, err error, snap serve.Snapshot, serr error) {
 	r.mu.Lock()
 	if err != nil {
 		r.probeOKs = 0
@@ -433,10 +487,11 @@ func (ro *Router) probeOnce(r *replica) {
 			r.brTrialBusy = false
 		}
 	}
-	r.mu.Unlock()
-	if err == nil && serr == nil {
+	if err == nil && serr == nil && seq > r.snapSeq {
+		r.snapSeq = seq
 		r.storeSnap(snap)
 	}
+	r.mu.Unlock()
 }
 
 // Available counts replicas currently admitted (up, breaker not
@@ -455,22 +510,25 @@ func (ro *Router) Available() int {
 	return n
 }
 
-// pick selects the admitted, untried replica with the least predicted
-// backlog (breaking ties with a rotating offset so equal replicas
-// share first-attempt load), claiming its breaker slot. Retries
-// additionally require the remaining deadline to afford the
-// candidate's calibrated MinSubnet walk. Returns nil when no replica
-// qualifies.
-func (ro *Router) pick(tried []*replica, isRetry bool, absDeadline time.Time) *replica {
+// pick selects an admitted, untried replica and claims its breaker
+// slot. Keyless requests (and routers without Affinity) take the
+// least predicted backlog, breaking ties with a rotating offset so
+// equal replicas share first-attempt load; keyed requests under
+// Affinity take rendezvous-hash order with the bounded-load spill
+// (see orderByAffinity). Retries additionally require the remaining
+// deadline to afford the candidate's calibrated MinSubnet walk.
+// Returns nil when no replica qualifies.
+func (ro *Router) pick(tried []*replica, isRetry bool, absDeadline time.Time, key uint64, hasKey bool) *replica {
 	now := time.Now()
 	remaining := absDeadline.Sub(now)
-	type cand struct {
-		r     *replica
-		score float64
-	}
-	var cands []cand
-	offset := int(ro.rr.Add(1))
+	var cands []candidate
 	n := len(ro.replicas)
+	// The rotation counter wraps: reduce it in uint64 space before
+	// converting, because int(raw) goes negative past math.MaxInt (on
+	// every wrap for 32-bit int) and a negative offset would turn
+	// (offset+i)%n into a negative index.
+	offset := int(uint64(ro.rr.Add(1)) % uint64(n))
+	useAff := ro.cfg.Affinity && hasKey
 	for i := 0; i < n; i++ {
 		r := ro.replicas[(offset+i)%n]
 		if contains(tried, r) {
@@ -485,11 +543,37 @@ func (ro *Router) pick(tried []*replica, isRetry bool, absDeadline time.Time) *r
 		if isRetry && !r.affordable(remaining, ro.cfg.RetryMargin) {
 			continue
 		}
-		cands = append(cands, cand{r, r.backlogScore()})
+		c := candidate{r: r, score: r.backlogScore()}
+		if useAff {
+			c.weight = hrwWeight(key, r.id)
+		}
+		cands = append(cands, c)
 	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	if len(cands) == 0 {
+		return nil
+	}
+	var hrwFirst *replica
+	demoted := false
+	if useAff {
+		hrwFirst, demoted = orderByAffinity(cands, ro.cfg.AffinitySpillFactor)
+	} else {
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	}
 	for _, c := range cands {
 		if c.r.brAcquire(now) {
+			if useAff && !isRetry {
+				// Affinity accounting covers first attempts only —
+				// retries and hedges merely PREFER warm replicas and
+				// would dilute the hit/spill signal.
+				switch {
+				case c.r == hrwFirst:
+					c.r.affinityHits.Add(1)
+					ro.affinityRouted.Add(1)
+				case demoted:
+					hrwFirst.affinitySpills.Add(1)
+					ro.affinitySpilled.Add(1)
+				}
+			}
 			return c.r
 		}
 	}
@@ -517,6 +601,7 @@ type attemptResult struct {
 // and counters. The context deadline is the request deadline plus
 // AttemptGrace (see RouterConfig.AttemptGrace).
 func (ro *Router) dispatch(r *replica, req serve.Request, absDeadline time.Time, isRetry, isHedge bool) attemptResult {
+	r.dispatches.Add(1)
 	if isRetry {
 		r.retried.Add(1)
 		ro.retries.Add(1)
@@ -542,7 +627,10 @@ func (ro *Router) dispatch(r *replica, req serve.Request, absDeadline time.Time,
 		r.rejected.Add(1)
 		r.brReport(true, now, ro.cfg.BreakerThreshold, ro.cfg.BreakerCooldown)
 	case errors.Is(err, serve.ErrBadInput):
-		// The request's own fault; says nothing about the replica.
+		// The request's own fault; says nothing about the replica —
+		// but it still consumed a dispatch, so it gets its own counter
+		// (per-replica outcomes must sum to dispatches).
+		r.badInput.Add(1)
 		r.brReport(true, now, ro.cfg.BreakerThreshold, ro.cfg.BreakerCooldown)
 	default:
 		// Transport failure, timeout, or a draining replica
@@ -580,10 +668,11 @@ func (ro *Router) observeLatency(class int, d time.Duration) {
 }
 
 // Submit routes one request through the cluster and blocks until an
-// answer or a typed error: it picks the least-backlogged admitted
-// replica, optionally hedges a tail-slow first attempt, and retries
-// failed attempts on different replicas while the remaining deadline
-// still affords their calibrated minimum walk. Every call resolves to
+// answer or a typed error: it picks a replica (rendezvous-hashed on
+// the input's cache key under Affinity, least-backlogged otherwise),
+// optionally hedges a tail-slow first attempt, and retries failed
+// attempts on different replicas while the remaining deadline still
+// affords their calibrated minimum walk. Every call resolves to
 // exactly one outcome; errors pass through typed
 // (serve.ErrOverloaded, serve.ErrBadInput, ErrTransport-wrapped
 // failures) or ErrNoReplicas when nothing could take the request.
@@ -597,13 +686,23 @@ func (ro *Router) Submit(req serve.Request) (serve.Result, error) {
 	start := time.Now()
 	absDeadline := start.Add(d)
 
+	// The affinity key is computed once per request, not per attempt:
+	// retries and hedges keep preferring the same HRW order, so a
+	// resumed rung is still likely warm wherever the request ends up.
+	var key uint64
+	hasKey := false
+	if ro.cfg.Affinity && len(req.Input) > 0 {
+		key = uint64(cache.KeyOf(req.Input))
+		hasKey = true
+	}
+
 	var (
 		tried   []*replica
 		lastErr error
 	)
 	attempts := 0
 	for attempts < ro.cfg.MaxAttempts {
-		r := ro.pick(tried, attempts > 0, absDeadline)
+		r := ro.pick(tried, attempts > 0, absDeadline, key, hasKey)
 		if r == nil {
 			break
 		}
@@ -614,7 +713,7 @@ func (ro *Router) Submit(req serve.Request) (serve.Result, error) {
 		var out attemptResult
 		if first && ro.cfg.Hedge {
 			var hedgedAttempt bool
-			out, hedgedAttempt = ro.dispatchHedged(r, req, absDeadline, &tried)
+			out, hedgedAttempt = ro.dispatchHedged(r, req, absDeadline, &tried, key, hasKey)
 			if hedgedAttempt {
 				attempts++
 			}
@@ -649,7 +748,7 @@ func (ro *Router) Submit(req serve.Request) (serve.Result, error) {
 // primary's eventual answer is discarded, not duplicated. Reports
 // whether a hedge was actually launched (the hedged replica is
 // appended to tried either way it resolves).
-func (ro *Router) dispatchHedged(r *replica, req serve.Request, absDeadline time.Time, tried *[]*replica) (attemptResult, bool) {
+func (ro *Router) dispatchHedged(r *replica, req serve.Request, absDeadline time.Time, tried *[]*replica, key uint64, hasKey bool) (attemptResult, bool) {
 	delay := ro.hedgeDelay(req.Priority)
 	primary := make(chan attemptResult, 1)
 	go func() { primary <- ro.dispatch(r, req, absDeadline, false, false) }()
@@ -663,7 +762,7 @@ func (ro *Router) dispatchHedged(r *replica, req serve.Request, absDeadline time
 		return out, false
 	case <-timer.C:
 	}
-	h := ro.pick(*tried, true, absDeadline)
+	h := ro.pick(*tried, true, absDeadline, key, hasKey)
 	if h == nil {
 		return <-primary, false
 	}
@@ -673,30 +772,26 @@ func (ro *Router) dispatchHedged(r *replica, req serve.Request, absDeadline time
 
 	// First success wins; a failure waits for the other leg. Both
 	// channels are buffered, so the losing goroutine never blocks and
-	// its breaker/counter bookkeeping always completes.
-	var firstFail attemptResult
+	// its breaker/counter bookkeeping always completes. When both legs
+	// fail, the FIRST failure is the one surfaced: it is the cause —
+	// the leg that failed later typically failed because the request's
+	// budget was already gone.
 	select {
 	case out := <-primary:
 		if out.err == nil {
 			return out, true
 		}
-		firstFail = out
-		out = <-secondary
-		if out.err == nil {
-			return out, true
+		if second := <-secondary; second.err == nil {
+			return second, true
 		}
-		_ = firstFail
 		return out, true
 	case out := <-secondary:
 		if out.err == nil {
 			return out, true
 		}
-		firstFail = out
-		out = <-primary
-		if out.err == nil {
-			return out, true
+		if first := <-primary; first.err == nil {
+			return first, true
 		}
-		_ = firstFail
 		return out, true
 	}
 }
@@ -709,6 +804,10 @@ type ReplicaStats struct {
 	Up bool `json:"up"`
 	// Breaker is the circuit state: "closed", "open" or "half-open".
 	Breaker string `json:"breaker"`
+	// Dispatches counts attempts dispatched to this replica (first
+	// tries, retries and hedges). Success + Rejected +
+	// TransportErrors + BadInputs always sums to it.
+	Dispatches int64 `json:"dispatches"`
 	// Success counts answered dispatches to this replica.
 	Success int64 `json:"success"`
 	// Rejected counts typed overload refusals from this replica.
@@ -716,11 +815,21 @@ type ReplicaStats struct {
 	// TransportErrors counts failed exchanges (timeouts, refused or
 	// torn connections, draining replies).
 	TransportErrors int64 `json:"transport_errors"`
+	// BadInputs counts typed ErrBadInput refusals — the request's own
+	// fault, not the replica's, but still a consumed dispatch.
+	BadInputs int64 `json:"bad_input"`
 	// Retried counts dispatches to this replica that were retries of
 	// an attempt failed elsewhere.
 	Retried int64 `json:"retried"`
 	// Hedged counts hedge attempts landed on this replica.
 	Hedged int64 `json:"hedged"`
+	// AffinityHits counts first attempts routed to this replica
+	// because it was the request key's rendezvous-hash choice (0 when
+	// affinity routing is off).
+	AffinityHits int64 `json:"affinity_hits"`
+	// AffinitySpills counts first attempts whose rendezvous choice was
+	// this replica but that the bounded-load spill diverted elsewhere.
+	AffinitySpills int64 `json:"affinity_spills"`
 	// ProbeFails counts health-probe failures since startup.
 	ProbeFails int64 `json:"probe_fails"`
 	// InFlight gauges this router's dispatches currently running on
@@ -774,6 +883,12 @@ type RouterStats struct {
 	Retries int64 `json:"retries"`
 	// Hedges counts tail-hedge attempts launched.
 	Hedges int64 `json:"hedges"`
+	// AffinityRouted counts first attempts that landed on their key's
+	// rendezvous-hash choice (0 unless Affinity is on).
+	AffinityRouted int64 `json:"affinity_routed"`
+	// AffinitySpilled counts first attempts the bounded-load spill
+	// diverted away from their rendezvous choice.
+	AffinitySpilled int64 `json:"affinity_spilled"`
 	// Available counts replicas currently admitted.
 	Available int `json:"available"`
 	// Replicas breaks the counters down per replica.
@@ -783,11 +898,13 @@ type RouterStats struct {
 // Stats snapshots the router's counters and per-replica states.
 func (ro *Router) Stats() RouterStats {
 	st := RouterStats{
-		Submitted: ro.submitted.Load(),
-		Served:    ro.served.Load(),
-		Failed:    ro.failed.Load(),
-		Retries:   ro.retries.Load(),
-		Hedges:    ro.hedges.Load(),
+		Submitted:       ro.submitted.Load(),
+		Served:          ro.served.Load(),
+		Failed:          ro.failed.Load(),
+		Retries:         ro.retries.Load(),
+		Hedges:          ro.hedges.Load(),
+		AffinityRouted:  ro.affinityRouted.Load(),
+		AffinitySpilled: ro.affinitySpilled.Load(),
 	}
 	now := time.Now()
 	for _, r := range ro.replicas {
@@ -807,11 +924,15 @@ func (ro *Router) Stats() RouterStats {
 			rs.LastProbeError = r.lastProbeErr.Error()
 		}
 		r.mu.Unlock()
+		rs.Dispatches = r.dispatches.Load()
 		rs.Success = r.success.Load()
 		rs.Rejected = r.rejected.Load()
 		rs.TransportErrors = r.transport.Load()
+		rs.BadInputs = r.badInput.Load()
 		rs.Retried = r.retried.Load()
 		rs.Hedged = r.hedged.Load()
+		rs.AffinityHits = r.affinityHits.Load()
+		rs.AffinitySpills = r.affinitySpills.Load()
 		rs.InFlight = r.inflight.Load()
 		rs.WalkFloorMs = float64(r.floorNs.Load()) / float64(time.Millisecond)
 		if snap := r.snap.Load(); snap != nil {

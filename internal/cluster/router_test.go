@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -420,5 +422,126 @@ func TestLeastBacklogPick(t *testing.T) {
 func TestRouterConfigValidation(t *testing.T) {
 	if _, err := NewRouter(RouterConfig{}); err == nil {
 		t.Fatal("want error for empty backend list")
+	}
+	if _, err := NewRouter(RouterConfig{
+		Backends: []Backend{&fakeBackend{name: "a"}}, ProbeInterval: -1,
+		Affinity: true, AffinitySpillFactor: 0.5,
+	}); err == nil {
+		t.Fatal("want error for a spill factor < 1 (it would demote even the least-loaded replica)")
+	}
+}
+
+// TestPickSurvivesWrappedRotationCounter is the regression test for
+// the rotation-offset bug: the tie-break counter is a monotonically
+// incremented int64, and converting it to int yields a NEGATIVE
+// offset once it exceeds math.MaxInt (guaranteed within hours on a
+// 32-bit int, eventually everywhere) — the unnormalized
+// (offset+i)%n then indexed the replica slice at a negative
+// position and panicked. Pre-wrap the counter to both danger zones
+// and require picks to keep working.
+func TestPickSurvivesWrappedRotationCounter(t *testing.T) {
+	a := &fakeBackend{name: "a"}
+	b := &fakeBackend{name: "b"}
+	c := &fakeBackend{name: "c"}
+	ro := newTestRouter(t, RouterConfig{}, a, b, c)
+
+	for _, pre := range []int64{-8, math.MinInt64, math.MaxInt32 - 1, math.MaxInt64 - 1} {
+		ro.rr.Store(pre)
+		for i := 0; i < 4; i++ { // cross the wrap boundary itself, too
+			if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); err != nil {
+				t.Fatalf("submit with rotation counter pre-set to %d: %v", pre, err)
+			}
+		}
+	}
+}
+
+// TestProbeSnapshotOrdering is the regression test for the stale-
+// probe overwrite: probe A starts, stalls mid-exchange, and finishes
+// AFTER a later probe B has already published a fresher snapshot —
+// A's stale snapshot (and the walk floor derived from it) must be
+// dropped, not stored. The probes are driven by hand through the
+// begin/finish seam probeOnce uses.
+func TestProbeSnapshotOrdering(t *testing.T) {
+	f := &fakeBackend{name: "slowprobe"}
+	ro := newTestRouter(t, RouterConfig{}, f)
+	r := ro.replicas[0]
+
+	seqA := r.probeSeq.Add(1) // probe A begins its exchange first...
+	seqB := r.probeSeq.Add(1) // ...then probe B begins
+	fresh := snap(2, 5)       // B observes the replica later: fresher
+	stale := snap(40, 500)    // A's view from before re-admission
+	ro.finishProbe(r, seqB, nil, fresh, nil)
+	ro.finishProbe(r, seqA, nil, stale, nil)
+
+	got := r.snap.Load()
+	if got == nil || got.QueueLen != fresh.QueueLen {
+		t.Fatalf("slow probe overwrote the fresher snapshot: cached %+v, want queue %d", got, fresh.QueueLen)
+	}
+	if floor := time.Duration(r.floorNs.Load()); floor != 5*time.Millisecond {
+		t.Fatalf("walk floor %v reflects the stale probe, want 5ms from the fresh one", floor)
+	}
+	// A later-started probe still updates normally.
+	seqC := r.probeSeq.Add(1)
+	ro.finishProbe(r, seqC, nil, snap(7, 5), nil)
+	if got := r.snap.Load(); got.QueueLen != 7 {
+		t.Fatalf("in-order probe failed to update the snapshot: %+v", got)
+	}
+}
+
+// TestHedgeBothLegsFailReturnsFirstFailure pins the error surfaced
+// when a hedged pair both fail: the FIRST leg to fail is the cause
+// (the later one typically dies of the already-exhausted budget), so
+// its error must be the one the caller sees — previously the last
+// failure won and the root cause was discarded.
+func TestHedgeBothLegsFailReturnsFirstFailure(t *testing.T) {
+	slow := &fakeBackend{name: "slow"}
+	fast := &fakeBackend{name: "fast"}
+	slow.setDelay(60 * time.Millisecond)
+	slow.setSubmitErr(fmt.Errorf("%w: slow-leg-failure", ErrTransport))
+	fast.setSubmitErr(fmt.Errorf("%w: first-failure-cause", ErrTransport))
+	ro := newTestRouter(t, RouterConfig{
+		Hedge: true, HedgeMinSamples: 4, MaxAttempts: 2,
+	}, slow, fast)
+	ro.replicas[0].storeSnap(snap(0, 0.001))
+	ro.replicas[1].storeSnap(snap(10, 0.001))
+	for i := 0; i < 4; i++ {
+		ro.observeLatency(0, time.Millisecond)
+	}
+
+	_, err := ro.Submit(serve.Request{Deadline: 500 * time.Millisecond})
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("got %v, want a transport error", err)
+	}
+	// The hedge (fast) fails ~immediately; the primary stalls 60ms
+	// before failing. The fast leg's error is the first failure.
+	if !strings.Contains(err.Error(), "first-failure-cause") {
+		t.Fatalf("surfaced error %q, want the first failure's cause", err)
+	}
+}
+
+// TestBadInputCountedInReplicaAccounting pins the accounting hole:
+// an ErrBadInput dispatch consumed a replica attempt but moved no
+// outcome counter, so per-replica outcomes did not sum to
+// dispatches. Now they must, with the bad input on its own counter.
+func TestBadInputCountedInReplicaAccounting(t *testing.T) {
+	f := &fakeBackend{name: "picky"}
+	f.setSubmitErr(fmt.Errorf("%w: wrong geometry", serve.ErrBadInput))
+	ro := newTestRouter(t, RouterConfig{}, f)
+
+	for i := 0; i < 3; i++ {
+		if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); !errors.Is(err, serve.ErrBadInput) {
+			t.Fatalf("got %v, want ErrBadInput", err)
+		}
+	}
+	f.setSubmitErr(nil)
+	if _, err := ro.Submit(serve.Request{Deadline: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	rs := ro.Stats().Replicas[0]
+	if rs.BadInputs != 3 {
+		t.Fatalf("BadInputs = %d, want 3", rs.BadInputs)
+	}
+	if got := rs.Success + rs.Rejected + rs.TransportErrors + rs.BadInputs; got != rs.Dispatches || rs.Dispatches != 4 {
+		t.Fatalf("outcomes %d != dispatches %d (want both 4)", got, rs.Dispatches)
 	}
 }

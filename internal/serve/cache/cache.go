@@ -42,6 +42,12 @@ const (
 // cannot collide trivially. Bitwise-equal inputs — and only the bit
 // pattern matters, so -0 and +0 differ and equal NaN payloads match —
 // always produce equal keys.
+//
+// The cluster router keys its rendezvous hashing on this same value,
+// so repeats of an input land on the replica whose cache holds the
+// walk. The construction is therefore part of the wire contract: it
+// must stay deterministic across processes and releases (the golden
+// values in cache_test.go pin it).
 func KeyOf(x []float64) Key {
 	h := uint64(fnvOffset)
 	mix := func(v uint64) {

@@ -63,6 +63,46 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// TestExitMarginsValidation pins the per-class margin-vector checks:
+// the early-exit path indexes ExitMargins by predicted class, so a
+// vector whose length disagrees with the model's class count (or that
+// carries a negative threshold) must be rejected at construction —
+// not discovered as an out-of-range panic on the first inference.
+func TestExitMarginsValidation(t *testing.T) {
+	m := buildModel(3) // 4 classes
+	base := Config{Model: m, Subnets: 3, Workers: 1, Calibration: instantSteps(m, 3)}
+
+	short := base
+	short.ExitMargins = []float64{1, 1, 1}
+	if _, err := New(short); err == nil {
+		t.Fatal("want error for a 3-entry ExitMargins on a 4-class model")
+	}
+	long := base
+	long.ExitMargins = []float64{1, 1, 1, 1, 1}
+	if _, err := New(long); err == nil {
+		t.Fatal("want error for a 5-entry ExitMargins on a 4-class model")
+	}
+	neg := base
+	neg.ExitMargins = []float64{1, -0.5, 1, 1}
+	if _, err := New(neg); err == nil {
+		t.Fatal("want error for a negative per-class margin")
+	}
+
+	ok := base
+	ok.ExitMargins = []float64{0.5, 1.5, 0, 2}
+	srv, err := New(ok)
+	if err != nil {
+		t.Fatalf("valid per-class margins rejected: %v", err)
+	}
+	defer srv.Close()
+	// The margin vector must actually drive serving, not just pass
+	// validation: a request through the full path may exit early on
+	// any class without indexing out of range.
+	if _, err := srv.Submit(Request{Input: inputVec(9, srv.imgLen), Deadline: time.Second}); err != nil {
+		t.Fatalf("submit with per-class margins: %v", err)
+	}
+}
+
 func TestSubmitBadInput(t *testing.T) {
 	m := buildModel(2)
 	srv, err := New(Config{Model: m, Subnets: 3, Workers: 1, Calibration: instantSteps(m, 3)})
