@@ -113,10 +113,12 @@ echo "== chaos (default backend) =="
 # The serving layer's randomized lifecycle storm always runs under the
 # race detector (even with --quick) and under both GEMM backends:
 # close/submit races are exactly where the backends' differing step
-# timings shake out different interleavings.
-go test -race -count=1 -run TestChaosRandomizedLifecycles ./internal/serve
+# timings shake out different interleavings. The cache-staleness storm
+# rides along: concurrent TTL expiry, calibration-swap invalidation
+# and speculative pre-climbs against a live submit stream.
+go test -race -count=1 -run 'TestChaosRandomizedLifecycles|TestChaosCacheStaleness' ./internal/serve
 echo "== chaos (scalar backend) =="
-STEPPINGNET_NOSIMD=1 go test -race -count=1 -run TestChaosRandomizedLifecycles ./internal/serve
+STEPPINGNET_NOSIMD=1 go test -race -count=1 -run 'TestChaosRandomizedLifecycles|TestChaosCacheStaleness' ./internal/serve
 
 echo "== overload governor (default backend) =="
 # The SLO-driven brownout loop always runs under the race detector on
@@ -141,24 +143,30 @@ echo "== cluster chaos (scalar backend) =="
 STEPPINGNET_NOSIMD=1 go test -race -count=1 -run 'TestClusterChaosKillOneReplica|TestExactlyOneAnswerUnderRandomFaults' ./internal/cluster
 
 echo "== router e2e smoke =="
-# Stand up three real replica processes (each with a semantic cache)
-# and an affinity-routing router over them, then drive two loadgen
-# phases: a mixed multi-target spray (router plus one replica
-# directly, with a couple of slow-loris connections against the
-# router), and a repeat-heavy phase whose hot keys must concentrate on
-# the replicas their cache key hashes to — asserted from the loadgen's
-# router view (affinity routed > 0, cluster-wide cache hits > 0).
-# Everything shuts down with SIGTERM so the graceful-drain path
-# executes. The subshell keeps the process cleanup trap local.
+# Stand up three real replica processes (each with a TTL'd semantic
+# cache and idle-window speculation armed) and an affinity-routing,
+# cache-warming router over them, then drive three loadgen phases: a
+# mixed multi-target spray (router plus one replica directly, with a
+# couple of slow-loris connections against the router), a repeat-heavy
+# phase whose hot keys must concentrate on the replicas their cache
+# key hashes to — asserted from the loadgen's router view (affinity
+# routed > 0, cluster-wide cache hits > 0) — and an overload phase
+# whose generous deadlines let queues build on the hot HRW winners
+# until the bounded-load spill engages and the router warms the
+# spilled keys' entries onto the replicas that caught them (asserted
+# via the router view's warming summary). Everything shuts down with
+# SIGTERM so the graceful-drain path executes. The subshell keeps the
+# process cleanup trap local.
 (
     E2E_TMP=$(mktemp -d)
     trap 'kill $(jobs -p) 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$E2E_TMP"' EXIT
     go build -o "$E2E_TMP/stepserve" ./cmd/stepserve
-    "$E2E_TMP/stepserve" -addr 127.0.0.1:18081 -workers 1 -queue 16 -batch 4 -refresh 0 -cache 64 &
-    "$E2E_TMP/stepserve" -addr 127.0.0.1:18082 -workers 1 -queue 16 -batch 4 -refresh 0 -cache 64 &
-    "$E2E_TMP/stepserve" -addr 127.0.0.1:18083 -workers 1 -queue 16 -batch 4 -refresh 0 -cache 64 &
+    REPLICA_FLAGS='-workers 1 -queue 16 -batch 4 -refresh 0 -cache 64 -cache-ttl 1m -speculate'
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18081 $REPLICA_FLAGS &
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18082 $REPLICA_FLAGS &
+    "$E2E_TMP/stepserve" -addr 127.0.0.1:18083 $REPLICA_FLAGS &
     "$E2E_TMP/stepserve" -addr 127.0.0.1:18080 \
-        -route http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 -affinity &
+        -route http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 -affinity -warm &
     # The load generator waits for a healthy target itself, so no sleep
     # is needed between replica startup and the drive.
     "$E2E_TMP/stepserve" -loadgen -targets http://127.0.0.1:18080,http://127.0.0.1:18081 \
@@ -171,6 +179,14 @@ echo "== router e2e smoke =="
         { echo "router e2e: no affinity-routed requests reported" >&2; exit 1; }
     grep -E '[1-9][0-9]* cache hits\+resumes cluster-wide' "$E2E_TMP/affinity.out" >/dev/null ||
         { echo "router e2e: repeat traffic produced no replica cache reuse" >&2; exit 1; }
+    # Phase 3: sustained overload with generous deadlines — walks climb
+    # the full ladder, queues build unevenly on the hot keys' HRW
+    # winners, the spill demotes them and the warming loop transfers
+    # the spilled entries to the replicas that caught them.
+    "$E2E_TMP/stepserve" -loadgen -targets http://127.0.0.1:18080 \
+        -rps 400 -duration 3s -deadlines 500ms:1 -repeat 0.8 | tee "$E2E_TMP/warming.out"
+    grep -E 'warming: [1-9][0-9]* entries transferred' "$E2E_TMP/warming.out" >/dev/null ||
+        { echo "router e2e: overload produced no cross-replica cache warming" >&2; exit 1; }
     kill -TERM $(jobs -p)
     wait
 )

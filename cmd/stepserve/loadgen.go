@@ -600,9 +600,13 @@ func printRemoteView(target string) {
 				line += fmt.Sprintf(" affinity=%-5d spills=%d", rs.AffinityHits, rs.AffinitySpills)
 			}
 			// Each replica's own /stats reveals where cache reuse
-			// actually landed — the concentration affinity buys.
-			if hits, ok := replicaCacheHits(rs.Target); ok {
-				line += fmt.Sprintf(" cache-hits=%d", hits)
+			// actually landed — the concentration affinity buys — and
+			// what the lifecycle did to it (entries warmed in by the
+			// router, entries aged out by the TTL).
+			if snap, ok := replicaCacheSnap(rs.Target); ok {
+				line += fmt.Sprintf(" cache-hits=%-5d warmed=%-4d expired=%d",
+					snap.CacheHits+snap.CacheResumes, snap.CacheWarmed, snap.CacheExpired)
+				hits := snap.CacheHits + snap.CacheResumes
 				hitTotal += hits
 				if hits > hitTop {
 					hitTop = hits
@@ -618,6 +622,10 @@ func printRemoteView(target string) {
 			}
 			fmt.Println(line)
 		}
+		if rst.WarmTransfers > 0 || rst.WarmFailures > 0 {
+			fmt.Printf("  warming: %d entries transferred (%d KiB) onto spill targets, %d failures\n",
+				rst.WarmTransfers, rst.WarmBytes>>10, rst.WarmFailures)
+		}
 		return
 	}
 	var snap serve.Snapshot
@@ -630,24 +638,24 @@ func printRemoteView(target string) {
 	printClassProtection(snap)
 }
 
-// replicaCacheHits fetches one replica's own /stats and returns its
-// semantic-cache reuse count (hits + resumes), reporting false when
-// the replica is unreachable or runs no cache.
-func replicaCacheHits(target string) (int64, bool) {
+// replicaCacheSnap fetches one replica's own /stats snapshot for the
+// cache columns of the router view, reporting false when the replica
+// is unreachable or runs no cache.
+func replicaCacheSnap(target string) (serve.Snapshot, bool) {
+	var snap serve.Snapshot
 	resp, err := http.Get(strings.TrimRight(target, "/") + "/stats")
 	if err != nil {
-		return 0, false
+		return snap, false
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 	if err != nil || resp.StatusCode != http.StatusOK {
-		return 0, false
+		return snap, false
 	}
-	var snap serve.Snapshot
 	if json.Unmarshal(body, &snap) != nil || !snap.CacheEnabled {
-		return 0, false
+		return snap, false
 	}
-	return snap.CacheHits + snap.CacheResumes, true
+	return snap, true
 }
 
 // printClassProtection renders a server snapshot's per-priority
@@ -674,9 +682,14 @@ func printClassProtection(snap serve.Snapshot) {
 		if snap.Served > 0 {
 			reuse = float64(snap.CacheHits+snap.CacheResumes) / float64(snap.Served)
 		}
-		fmt.Printf("semantic cache: %d hits, %d resumes (%.1f%% of answers), %d early exits; %d entries / %d KiB live, %d evictions\n",
+		fmt.Printf("semantic cache: %d hits, %d resumes (%.1f%% of answers), %d early exits; %d entries / %d KiB live, %d evictions (%d expired, %d invalidated), gen %d\n",
 			snap.CacheHits, snap.CacheResumes, 100*reuse, snap.EarlyExits,
-			snap.CacheEntries, snap.CacheBytes>>10, snap.CacheEvictions)
+			snap.CacheEntries, snap.CacheBytes>>10, snap.CacheEvictions,
+			snap.CacheExpired, snap.CacheInvalidated, snap.CacheGeneration)
+		if snap.Speculated > 0 || snap.CacheWarmed > 0 {
+			fmt.Printf("cache lifecycle: %d speculative pre-climbs (%d kMAC idle-window work), %d entries warmed in from peers\n",
+				snap.Speculated, snap.SpeculativeMACs/1e3, snap.CacheWarmed)
+		}
 	} else if snap.EarlyExits > 0 {
 		fmt.Printf("early exit: %d answers stopped below their affordable rung\n", snap.EarlyExits)
 	}

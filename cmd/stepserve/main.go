@@ -145,6 +145,9 @@ func main() {
 	control := flag.Duration("control", 0, "overload governor tick interval (0 = 100ms when -slo is set)")
 	cacheEntries := flag.Int("cache", 0, "semantic result cache capacity in entries (0 disables; repeated inputs are answered from — or resumed off — cached ladder state)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "semantic cache memory bound in bytes (0 = 64MiB default when -cache is set)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "semantic cache entry time-to-live (0 = no age bound; entries still invalidate on calibration refresh)")
+	speculate := flag.Bool("speculate", false, "pre-climb the hottest sub-top cached walks during idle worker windows (requires -cache; speculative MACs are metered separately)")
+	warmFile := flag.String("warm-file", "", "server: persist the hot input set here on drain and pre-climb it on startup (restart warming)")
 	exitMarginSpec := flag.String("exit-margin", "", "confidence early-exit top-2 logit margin: a single threshold, or a comma-separated per-class vector indexed by predicted class (empty disables the exit)")
 	exitCalibrate := flag.Int("exit-calibrate", 0, "derive argmax-safe per-class early-exit margins from this many seeded calibration inputs (overrides -exit-margin)")
 	hdrTimeout := flag.Duration("hdr-timeout", 5*time.Second, "how long a connection may take to send its request headers before it is closed (slow-loris defense)")
@@ -153,6 +156,7 @@ func main() {
 	hedge := flag.Bool("hedge", false, "router: race a second replica for requests exceeding their class's observed p99")
 	affinity := flag.Bool("affinity", false, "router: rendezvous-hash requests onto replicas by input cache key, so repeats hit the replica whose semantic cache holds the walk")
 	affinitySpill := flag.Float64("affinity-spill", 2, "router: spill an affinity pick to the next replica in hash order once its backlog exceeds this factor × the cluster mean (≥1)")
+	warm := flag.Bool("warm", false, "router: transfer a spilled key's cache entry from its affinity winner to the replica that caught it (requires -affinity)")
 
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of the HTTP server")
 	targets := flag.String("targets", "", "loadgen: comma-separated replica/router base URLs to drive over HTTP instead of an in-process server")
@@ -169,7 +173,7 @@ func main() {
 	}
 
 	if *route != "" {
-		serveRouter(splitTargets(*route), *addr, *deadline, *hedge, *affinity, *affinitySpill, *hdrTimeout)
+		serveRouter(splitTargets(*route), *addr, *deadline, *hedge, *affinity, *affinitySpill, *warm, *hdrTimeout)
 		return
 	}
 
@@ -204,7 +208,7 @@ func main() {
 		}
 		m, srv := mustBuildServing(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train,
 			*workers, *queueDepth, *maxBatch, *deadline, *priorities, *refresh, slos, *control,
-			*cacheEntries, *cacheBytes, exitMargin, exitMargins, *exitCalibrate)
+			*cacheEntries, *cacheBytes, *cacheTTL, *speculate, exitMargin, exitMargins, *exitCalibrate)
 		runLoadgen(srv, m, *rps, *duration, mix, *seed, *scenario, shape, slos, *repeat)
 		srv.Close()
 		return
@@ -214,7 +218,7 @@ func main() {
 	// background. /healthz answers 503 until the model is ready, so a
 	// router's probes (and orchestrator readiness checks) see an
 	// honest starting state instead of a connection-refused window.
-	serveHTTP(*addr, *seed, *hdrTimeout, func() (*serve.Server, *models.Model, error) {
+	serveHTTP(*addr, *seed, *hdrTimeout, *warmFile, func() (*serve.Server, *models.Model, error) {
 		m, err := buildServeModel(*modelName, *classes, *imgHW, *expansion, *subnets, *seed, *train)
 		if err != nil {
 			return nil, nil, err
@@ -235,6 +239,7 @@ func main() {
 			SLOs:            slos,
 			ControlInterval: *control,
 			CacheEntries:    *cacheEntries, CacheBytes: *cacheBytes,
+			CacheTTL: *cacheTTL, Speculate: *speculate,
 			ExitMargins: margins,
 		}
 		if margins == nil {
@@ -246,6 +251,13 @@ func main() {
 		}
 		logCalibration(srv, m, *subnets)
 		logCacheExit(cfg)
+		// Restart warming: replay the predecessor process's persisted
+		// hot set up the ladder before /healthz goes ready, so the
+		// first repeats after a rolling restart hit a warm cache.
+		if inputs := loadWarmFile(*warmFile); len(inputs) > 0 {
+			n := srv.Prewarm(inputs, 0)
+			log.Printf("warm file: pre-climbed %d/%d persisted hot inputs", n, len(inputs))
+		}
 		return srv, m, nil
 	})
 }
@@ -255,7 +267,8 @@ func main() {
 func mustBuildServing(modelName string, classes, imgHW int, expansion float64, subnets int, seed uint64, train bool,
 	workers, queueDepth, maxBatch int, deadline time.Duration, priorities int, refresh time.Duration,
 	slos []governor.SLO, control time.Duration,
-	cacheEntries int, cacheBytes int64, exitMargin float64, exitMargins []float64, exitCalibrate int) (*models.Model, *serve.Server) {
+	cacheEntries int, cacheBytes int64, cacheTTL time.Duration, speculate bool,
+	exitMargin float64, exitMargins []float64, exitCalibrate int) (*models.Model, *serve.Server) {
 	m, err := buildServeModel(modelName, classes, imgHW, expansion, subnets, seed, train)
 	if err != nil {
 		log.Fatal(err)
@@ -276,6 +289,7 @@ func mustBuildServing(modelName string, classes, imgHW int, expansion float64, s
 		SLOs:            slos,
 		ControlInterval: control,
 		CacheEntries:    cacheEntries, CacheBytes: cacheBytes,
+		CacheTTL: cacheTTL, Speculate: speculate,
 		ExitMargins: margins,
 	}
 	if margins == nil {
@@ -336,7 +350,14 @@ func calibratedExitMargins(m *models.Model, subnets, nCal int, seed uint64) ([]f
 // see at startup what the serving path will short-circuit.
 func logCacheExit(cfg serve.Config) {
 	if cfg.CacheEntries > 0 {
-		log.Printf("semantic cache: %d entries", cfg.CacheEntries)
+		line := fmt.Sprintf("semantic cache: %d entries", cfg.CacheEntries)
+		if cfg.CacheTTL > 0 {
+			line += fmt.Sprintf(", TTL %v", cfg.CacheTTL)
+		}
+		if cfg.Speculate {
+			line += ", idle-window speculation on"
+		}
+		log.Print(line)
 	}
 	switch {
 	case len(cfg.ExitMargins) > 0:
@@ -551,6 +572,56 @@ func newMux(a *app) *http.ServeMux {
 			log.Printf("stats encode: %v", err)
 		}
 	})
+	// The cache-warming wire surface (see cluster.CacheTransfer): GET
+	// exports one semantic-cache entry by its hex key, POST installs a
+	// transferred one under the local generation. Both answer on a
+	// cache-less replica too — GET with an honest 404, POST as a no-op
+	// accept — so a heterogeneous fleet never turns warming into
+	// breaker evidence.
+	mux.HandleFunc("/cache/entry", func(w http.ResponseWriter, r *http.Request) {
+		if msg := a.notReady(); msg != "" {
+			http.Error(w, msg, http.StatusServiceUnavailable)
+			return
+		}
+		srv := a.srv.Load()
+		switch r.Method {
+		case http.MethodGet:
+			key, err := cluster.ParseKey(r.URL.Query().Get("key"))
+			if err != nil {
+				http.Error(w, "bad key (want base-16)", http.StatusBadRequest)
+				return
+			}
+			ent, ok := srv.CachePeek(key)
+			if !ok {
+				http.Error(w, "no cache entry", http.StatusNotFound)
+				return
+			}
+			wire, err := cluster.WireCacheEntry(key, ent)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(wire); err != nil {
+				log.Printf("cache entry encode: %v", err)
+			}
+		case http.MethodPost:
+			var wire cluster.CacheEntryWire
+			if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&wire); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			k, ent, err := wire.Entry()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			srv.WarmInstall(k, ent)
+			fmt.Fprintln(w, "ok")
+		default:
+			http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		}
+	})
 	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -639,7 +710,7 @@ func newHTTPServer(addr string, h http.Handler, hdrTimeout time.Duration) *http.
 // flips /healthz to 200 when done, and a signal drains in order —
 // readiness down first, then the HTTP server, then the serving layer,
 // so in-flight handlers never see ErrClosed.
-func serveHTTP(addr string, seed uint64, hdrTimeout time.Duration, build func() (*serve.Server, *models.Model, error)) {
+func serveHTTP(addr string, seed uint64, hdrTimeout time.Duration, warmFile string, build func() (*serve.Server, *models.Model, error)) {
 	a := newApp(seed)
 	hs := newHTTPServer(addr, newMux(a), hdrTimeout)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -680,6 +751,7 @@ func serveHTTP(addr string, seed uint64, hdrTimeout time.Duration, build func() 
 	<-shutdownDone
 	err := <-initErr
 	if srv := a.srv.Load(); srv != nil {
+		saveWarmFile(warmFile, srv.HotInputs())
 		srv.Close()
 		log.Printf("drained; final stats: %+v", srv.Stats())
 	}
@@ -688,11 +760,52 @@ func serveHTTP(addr string, seed uint64, hdrTimeout time.Duration, build func() 
 	}
 }
 
+// saveWarmFile persists the draining server's hot input set (hottest
+// first) as JSON, so the successor process can pre-climb the same keys
+// before taking traffic. Best-effort: a failed write logs and moves
+// on — a drain must never hang on a full disk.
+func saveWarmFile(path string, inputs [][]float64) {
+	if path == "" || len(inputs) == 0 {
+		return
+	}
+	blob, err := json.Marshal(inputs)
+	if err != nil {
+		log.Printf("warm file: marshal: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		log.Printf("warm file: %v", err)
+		return
+	}
+	log.Printf("warm file: persisted %d hot inputs to %s", len(inputs), path)
+}
+
+// loadWarmFile reads a predecessor's persisted hot set. A missing or
+// unreadable file returns nil — a fresh start is never an error.
+func loadWarmFile(path string) [][]float64 {
+	if path == "" {
+		return nil
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("warm file: %v", err)
+		}
+		return nil
+	}
+	var inputs [][]float64
+	if err := json.Unmarshal(blob, &inputs); err != nil {
+		log.Printf("warm file: bad contents: %v", err)
+		return nil
+	}
+	return inputs
+}
+
 // serveRouter runs the fault-tolerant router mode: the same /infer
 // contract, served by spreading requests over the replica URLs with
 // health probing, circuit breaking and deadline-aware retry/hedging
 // (see internal/cluster.Router).
-func serveRouter(targets []string, addr string, defaultDeadline time.Duration, hedge, affinity bool, affinitySpill float64, hdrTimeout time.Duration) {
+func serveRouter(targets []string, addr string, defaultDeadline time.Duration, hedge, affinity bool, affinitySpill float64, warm bool, hdrTimeout time.Duration) {
 	backends := make([]cluster.Backend, 0, len(targets))
 	for _, tgt := range targets {
 		backends = append(backends, cluster.NewRemote(tgt))
@@ -703,6 +816,7 @@ func serveRouter(targets []string, addr string, defaultDeadline time.Duration, h
 		Hedge:               hedge,
 		Affinity:            affinity,
 		AffinitySpillFactor: affinitySpill,
+		Warm:                warm,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -803,8 +917,9 @@ func serveRouter(targets []string, addr string, defaultDeadline time.Duration, h
 	<-shutdownDone
 	ro.Close()
 	st := ro.Stats()
-	log.Printf("drained; routed %d (served %d, failed %d, retries %d, hedges %d, affinity %d routed/%d spilled)",
-		st.Submitted, st.Served, st.Failed, st.Retries, st.Hedges, st.AffinityRouted, st.AffinitySpilled)
+	log.Printf("drained; routed %d (served %d, failed %d, retries %d, hedges %d, affinity %d routed/%d spilled, warmed %d entries/%d B, %d warm failures)",
+		st.Submitted, st.Served, st.Failed, st.Retries, st.Hedges, st.AffinityRouted, st.AffinitySpilled,
+		st.WarmTransfers, st.WarmBytes, st.WarmFailures)
 	for _, rs := range st.Replicas {
 		log.Printf("  %s: up=%v breaker=%s success=%d rejected=%d transport=%d bad=%d retried=%d hedged=%d affinity=%d spills=%d",
 			rs.Target, rs.Up, rs.Breaker, rs.Success, rs.Rejected, rs.TransportErrors, rs.BadInputs, rs.Retried, rs.Hedged, rs.AffinityHits, rs.AffinitySpills)

@@ -106,6 +106,23 @@ type RouterConfig struct {
 	// (the least-loaded candidate is never above the bound, so a
 	// qualifying replica always exists); 0 means 2.
 	AffinitySpillFactor float64
+	// Warm enables affinity-aware cache warming: every bounded-load
+	// spill records the (key → HRW winner → spill target) triple, and
+	// a background loop transfers the winner's cache entry to the
+	// spill target so the overflow replica serves the hot key warm
+	// instead of walking it cold. Requires Affinity (the spill signal
+	// does not exist without it) and backends implementing
+	// CacheTransfer (others are skipped).
+	Warm bool
+	// WarmInterval is the warming loop's cadence. 0 means 500ms;
+	// negative disables the background loop (deterministic tests
+	// drive warmOnce by hand).
+	WarmInterval time.Duration
+	// WarmBudgetBytes bounds how many payload bytes one warming pass
+	// may install into any single replica — cache transfers ride the
+	// same network and cache capacity real traffic uses, so a pass
+	// must not flood a replica with state. 0 means 4 MiB.
+	WarmBudgetBytes int64
 }
 
 // withDefaults fills zero fields and validates the rest.
@@ -158,6 +175,15 @@ func (c RouterConfig) withDefaults() (RouterConfig, error) {
 	}
 	if c.AffinitySpillFactor < 1 {
 		return c, fmt.Errorf("cluster: AffinitySpillFactor %v < 1 would spill away even the least-loaded replica", c.AffinitySpillFactor)
+	}
+	if c.Warm && !c.Affinity {
+		return c, fmt.Errorf("cluster: Warm requires Affinity (warming is fed by the bounded-load spill signal)")
+	}
+	if c.WarmInterval == 0 {
+		c.WarmInterval = 500 * time.Millisecond
+	}
+	if c.WarmBudgetBytes <= 0 {
+		c.WarmBudgetBytes = 4 << 20
 	}
 	return c, nil
 }
@@ -356,6 +382,14 @@ type Router struct {
 	affinityRouted  atomic.Int64 // first attempts that landed on their key's HRW choice
 	affinitySpilled atomic.Int64 // first attempts diverted by the bounded-load spill
 
+	// Warming state (RouterConfig.Warm): the spill-fed task queue and
+	// the transfer outcome counters.
+	warmMu        sync.Mutex
+	warmQueue     []warmTask
+	warmTransfers atomic.Int64 // entries installed into a spill target
+	warmBytes     atomic.Int64 // payload bytes transferred
+	warmFailures  atomic.Int64 // fetches or installs that errored
+
 	rr atomic.Int64 // rotation offset for backlog ties
 
 	classLats [hedgeClassMax]latRing
@@ -384,6 +418,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 			ro.wg.Add(1)
 			go ro.probeLoop(r)
 		}
+	}
+	if cfg.Warm && cfg.WarmInterval > 0 {
+		ro.wg.Add(1)
+		go ro.warmLoop()
 	}
 	return ro, nil
 }
@@ -572,6 +610,10 @@ func (ro *Router) pick(tried []*replica, isRetry bool, absDeadline time.Time, ke
 				case demoted:
 					hrwFirst.affinitySpills.Add(1)
 					ro.affinitySpilled.Add(1)
+					// The spill is the warming signal: this key's
+					// traffic just overflowed its warm replica onto a
+					// cold one.
+					ro.noteSpill(key, hrwFirst, c.r)
 				}
 			}
 			return c.r
@@ -861,6 +903,10 @@ type ReplicaStats struct {
 	// CacheResumes is the replica's cumulative cache-seeded resumed
 	// walks at its last successful probe.
 	CacheResumes int64 `json:"cache_resumes"`
+	// CacheWarmed is the replica's cumulative count of cache entries
+	// installed by cross-replica warming transfers, at its last
+	// successful probe.
+	CacheWarmed int64 `json:"cache_warmed"`
 	// EarlyExits is the replica's cumulative confidence early exits
 	// at its last successful probe.
 	EarlyExits int64 `json:"early_exits"`
@@ -889,6 +935,14 @@ type RouterStats struct {
 	// AffinitySpilled counts first attempts the bounded-load spill
 	// diverted away from their rendezvous choice.
 	AffinitySpilled int64 `json:"affinity_spilled"`
+	// WarmTransfers counts cache entries the warming loop installed
+	// into spill targets (0 unless Warm is on).
+	WarmTransfers int64 `json:"warm_transfers"`
+	// WarmBytes counts payload bytes moved by warming transfers.
+	WarmBytes int64 `json:"warm_bytes"`
+	// WarmFailures counts warming fetches or installs that errored
+	// (a missing source entry is a drop, not a failure).
+	WarmFailures int64 `json:"warm_failures"`
 	// Available counts replicas currently admitted.
 	Available int `json:"available"`
 	// Replicas breaks the counters down per replica.
@@ -905,6 +959,9 @@ func (ro *Router) Stats() RouterStats {
 		Hedges:          ro.hedges.Load(),
 		AffinityRouted:  ro.affinityRouted.Load(),
 		AffinitySpilled: ro.affinitySpilled.Load(),
+		WarmTransfers:   ro.warmTransfers.Load(),
+		WarmBytes:       ro.warmBytes.Load(),
+		WarmFailures:    ro.warmFailures.Load(),
 	}
 	now := time.Now()
 	for _, r := range ro.replicas {
@@ -942,6 +999,7 @@ func (ro *Router) Stats() RouterStats {
 			rs.BrownoutTransitions = snap.BrownoutTransitions
 			rs.CacheHits = snap.CacheHits
 			rs.CacheResumes = snap.CacheResumes
+			rs.CacheWarmed = snap.CacheWarmed
 			rs.EarlyExits = snap.EarlyExits
 			if snap.Policy != nil {
 				rs.BrownoutLevel = snap.Policy.MaxLevel

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"steppingnet/internal/serve/cache"
+)
+
+// ErrNoEntry is returned by FetchCacheEntry when the replica's cache
+// holds nothing for the key — the entry was evicted, expired, or
+// invalidated between the spill and the warming pass. Not a fault:
+// the warmer just drops the task.
+var ErrNoEntry = errors.New("cluster: no cache entry for key")
+
+// CacheTransfer is the optional Backend capability behind
+// affinity-aware cache warming: reading one semantic-cache entry off a
+// replica and installing one into it. Local and Remote both implement
+// it; the router type-asserts at warming time, so a Backend without
+// the capability (a test fake, an older replica) simply never warms.
+type CacheTransfer interface {
+	// FetchCacheEntry reads the replica's cache entry for key, or
+	// ErrNoEntry if it holds none.
+	FetchCacheEntry(ctx context.Context, key cache.Key) (CacheEntryWire, error)
+	// InstallCacheEntry offers a transferred entry to the replica's
+	// cache; the replica applies its normal admission rules
+	// (widest-rung-wins, LRU bounds), so an install is best-effort.
+	InstallCacheEntry(ctx context.Context, w CacheEntryWire) error
+}
+
+// FetchCacheEntry implements CacheTransfer for an in-process replica.
+// The entry round-trips through the wire form even locally, so local
+// and remote warming exercise identical validation and the installed
+// entry never aliases the source replica's tensors.
+func (l *Local) FetchCacheEntry(_ context.Context, key cache.Key) (CacheEntryWire, error) {
+	ent, ok := l.Srv.CachePeek(key)
+	if !ok {
+		return CacheEntryWire{}, ErrNoEntry
+	}
+	return WireCacheEntry(key, ent)
+}
+
+// InstallCacheEntry implements CacheTransfer for an in-process
+// replica, decoding through the same validation path a remote install
+// takes.
+func (l *Local) InstallCacheEntry(_ context.Context, w CacheEntryWire) error {
+	k, ent, err := w.Entry()
+	if err != nil {
+		return err
+	}
+	l.Srv.WarmInstall(k, ent)
+	return nil
+}
+
+// FetchCacheEntry implements CacheTransfer over HTTP: GET
+// /cache/entry?key=<hex>, mapping the replica's documented 404 to
+// ErrNoEntry and everything transport-shaped to ErrTransport.
+func (r *Remote) FetchCacheEntry(ctx context.Context, key cache.Key) (CacheEntryWire, error) {
+	var w CacheEntryWire
+	u := r.target + "/cache/entry?key=" + url.QueryEscape(FormatKey(key))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return w, fmt.Errorf("%w: %v", ErrTransport, err)
+	}
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		return w, fmt.Errorf("%w: %s: %v", ErrTransport, r.target, err)
+	}
+	defer drain(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.NewDecoder(io.LimitReader(resp.Body, remoteMaxResp)).Decode(&w); err != nil {
+			return CacheEntryWire{}, fmt.Errorf("%w: %s: bad entry body: %v", ErrTransport, r.target, err)
+		}
+		return w, nil
+	case http.StatusNotFound:
+		return w, fmt.Errorf("%w: %s", ErrNoEntry, r.target)
+	default:
+		return w, fmt.Errorf("%w: %s: /cache/entry status %d: %s",
+			ErrTransport, r.target, resp.StatusCode, readErr(resp.Body))
+	}
+}
+
+// InstallCacheEntry implements CacheTransfer over HTTP: POST
+// /cache/entry with the wire entry as the body. A 400 means the
+// replica rejected the payload (malformed key or state) — returned
+// verbatim so the warmer counts it as a failure, not a retry.
+func (r *Remote) InstallCacheEntry(ctx context.Context, w CacheEntryWire) error {
+	body, err := json.Marshal(w)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal cache entry: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.target+"/cache/entry", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrTransport, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrTransport, r.target, err)
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s: /cache/entry install status %d: %s",
+			ErrTransport, r.target, resp.StatusCode, readErr(resp.Body))
+	}
+	return nil
+}
+
+// warmQueueMax bounds the spill-fed warming queue: a handful of
+// genuinely hot spilled keys is all one warming pass can usefully
+// transfer, and the queue dedups by key, so a deep backlog would only
+// hold stale routing history.
+const warmQueueMax = 64
+
+// warmTask is one pending cache transfer: move key's entry from the
+// replica that holds it warm (its HRW winner) to the replica the
+// bounded-load spill diverted its traffic onto.
+type warmTask struct {
+	key  cache.Key
+	from *replica
+	to   *replica
+}
+
+// noteSpill records a bounded-load spill as a warming task. Called
+// from pick's demoted branch, so it must stay cheap: one small
+// mutex-guarded dedup-and-append, no I/O. A key already queued is left
+// as is (its first spill already scheduled the transfer); a full queue
+// drops the newest signal rather than evicting older ones mid-drain.
+func (ro *Router) noteSpill(key uint64, from, to *replica) {
+	if !ro.cfg.Warm {
+		return
+	}
+	ro.warmMu.Lock()
+	defer ro.warmMu.Unlock()
+	for _, t := range ro.warmQueue {
+		if t.key == cache.Key(key) {
+			return
+		}
+	}
+	if len(ro.warmQueue) >= warmQueueMax {
+		return
+	}
+	ro.warmQueue = append(ro.warmQueue, warmTask{key: cache.Key(key), from: from, to: to})
+}
+
+// warmLoop drives warming passes at the configured cadence until
+// Close.
+func (ro *Router) warmLoop() {
+	defer ro.wg.Done()
+	t := time.NewTicker(ro.cfg.WarmInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ro.stop:
+			return
+		case <-t.C:
+			ro.warmOnce()
+		}
+	}
+}
+
+// warmOnce drains the spill queue, transferring each task's cache
+// entry from its HRW winner to its spill target under a per-replica
+// byte budget (RouterConfig.WarmBudgetBytes per pass). A missing
+// entry (evicted, expired or invalidated since the spill) just drops
+// the task; fetch or install errors count under WarmFailures; a
+// replica whose budget is exhausted has its remaining tasks dropped —
+// the next spill of a still-hot key re-queues it. Returns how many
+// entries were installed.
+func (ro *Router) warmOnce() int {
+	ro.warmMu.Lock()
+	tasks := ro.warmQueue
+	ro.warmQueue = nil
+	ro.warmMu.Unlock()
+	if len(tasks) == 0 {
+		return 0
+	}
+	installed := 0
+	spent := make(map[*replica]int64)
+	for _, task := range tasks {
+		src, ok := task.from.b.(CacheTransfer)
+		if !ok {
+			continue
+		}
+		dst, ok := task.to.b.(CacheTransfer)
+		if !ok {
+			continue
+		}
+		if spent[task.to] >= ro.cfg.WarmBudgetBytes {
+			continue
+		}
+		task.to.mu.Lock()
+		up := task.to.up
+		task.to.mu.Unlock()
+		if !up {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), ro.cfg.ProbeTimeout)
+		w, err := src.FetchCacheEntry(ctx, task.key)
+		if err != nil {
+			cancel()
+			if !errors.Is(err, ErrNoEntry) {
+				ro.warmFailures.Add(1)
+			}
+			continue
+		}
+		n := w.Bytes()
+		if spent[task.to]+n > ro.cfg.WarmBudgetBytes {
+			cancel()
+			continue
+		}
+		err = dst.InstallCacheEntry(ctx, w)
+		cancel()
+		if err != nil {
+			ro.warmFailures.Add(1)
+			continue
+		}
+		spent[task.to] += n
+		ro.warmTransfers.Add(1)
+		ro.warmBytes.Add(n)
+		installed++
+	}
+	return installed
+}

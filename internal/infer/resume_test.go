@@ -1,6 +1,8 @@
 package infer
 
 import (
+	"encoding/json"
+	"math"
 	"runtime"
 	"testing"
 
@@ -63,10 +65,12 @@ func TestResumeMatchesColdWalk(t *testing.T) {
 		}
 		cold.Close()
 
-		// Resume from every rung at every worker count and climb to
-		// the top: bitwise logits and exact MACs per climbed step.
-		for s := 1; s <= n; s++ {
-			st := states[s]
+		// checkResume imports st at every worker count and climbs to
+		// the top: bitwise logits and exact MACs per climbed step,
+		// regardless of how st was produced.
+		checkResume := func(label string, st *LadderState) {
+			t.Helper()
+			s := st.Subnet
 			for _, w := range workerCounts {
 				r := NewEngine(m.Net)
 				r.Workers = w
@@ -74,14 +78,14 @@ func TestResumeMatchesColdWalk(t *testing.T) {
 					t.Fatal(err)
 				}
 				if r.Current() != s {
-					t.Fatalf("grid %d rung %d workers=%d: Current()=%d after import", gi, s, w, r.Current())
+					t.Fatalf("grid %d %s rung %d workers=%d: Current()=%d after import", gi, label, s, w, r.Current())
 				}
 				if got := r.Output().Data(); len(got) != len(coldOut[s]) {
-					t.Fatalf("grid %d rung %d: imported output length %d, cold %d", gi, s, len(got), len(coldOut[s]))
+					t.Fatalf("grid %d %s rung %d: imported output length %d, cold %d", gi, label, s, len(got), len(coldOut[s]))
 				}
 				for e, v := range r.Output().Data() {
 					if v != coldOut[s][e] {
-						t.Fatalf("grid %d rung %d workers=%d: imported logit[%d]=%v, cold %v", gi, s, w, e, v, coldOut[s][e])
+						t.Fatalf("grid %d %s rung %d workers=%d: imported logit[%d]=%v, cold %v", gi, label, s, w, e, v, coldOut[s][e])
 					}
 				}
 				var climbed int64
@@ -91,26 +95,140 @@ func TestResumeMatchesColdWalk(t *testing.T) {
 						t.Fatal(err)
 					}
 					if macs != coldMACs[up] {
-						t.Fatalf("grid %d resume@%d→%d workers=%d: %d MACs, cold step %d",
-							gi, s, up, w, macs, coldMACs[up])
+						t.Fatalf("grid %d %s resume@%d→%d workers=%d: %d MACs, cold step %d",
+							gi, label, s, up, w, macs, coldMACs[up])
 					}
 					climbed += macs
 					for e, v := range out.Data() {
 						if v != coldOut[up][e] {
-							t.Fatalf("grid %d resume@%d→%d workers=%d: logit[%d] rounds differently: %v vs cold %v",
-								gi, s, up, w, e, v, coldOut[up][e])
+							t.Fatalf("grid %d %s resume@%d→%d workers=%d: logit[%d] rounds differently: %v vs cold %v",
+								gi, label, s, up, w, e, v, coldOut[up][e])
 						}
 					}
 				}
 				// Resumed rungs cost 0 new MACs: the engine's meter
 				// holds exactly the climbed steps' work.
 				if r.TotalMACs() != climbed {
-					t.Fatalf("grid %d resume@%d workers=%d: TotalMACs %d, climbed steps sum %d",
-						gi, s, w, r.TotalMACs(), climbed)
+					t.Fatalf("grid %d %s resume@%d workers=%d: TotalMACs %d, climbed steps sum %d",
+						gi, label, s, w, r.TotalMACs(), climbed)
 				}
 				r.Close()
 			}
 		}
+
+		// Resume from every rung: the directly exported state, the
+		// same state round-tripped through its JSON wire form (the
+		// cluster warming path), and — below the top rung — a
+		// SPECULATED state: imported, climbed one rung by a scratch
+		// engine (the idle-window pre-climb op), and re-exported. All
+		// three must be indistinguishable to the resumer.
+		for s := 1; s <= n; s++ {
+			checkResume("direct", states[s])
+			checkResume("wire", wireRoundTrip(t, states[s]))
+			if s < n {
+				spec := NewEngine(m.Net)
+				spec.Workers = 1
+				if err := spec.ImportState(x, states[s]); err != nil {
+					t.Fatal(err)
+				}
+				spec.MustStep(s + 1)
+				specSt, err := spec.ExportState(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec.Close()
+				checkResume("speculated", specSt)
+				checkResume("speculated-wire", wireRoundTrip(t, specSt))
+			}
+		}
+	}
+}
+
+// wireRoundTrip pushes a state through its portable wire form and a
+// real JSON encode/decode — the exact path a warmed cache entry
+// travels between replicas — and returns the rebuilt state. Bitwise
+// fidelity is asserted by the caller's resume check.
+func wireRoundTrip(t *testing.T, st *LadderState) *LadderState {
+	t.Helper()
+	w, err := st.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireState
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := back.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rebuilt
+}
+
+// TestWireStateRejectsMalformed pins the wire-form validation: a
+// payload whose shape disagrees with its data, claims a multi-image
+// batch, or carries a non-positive subnet must be rejected by State
+// before it can reach an engine; Wire refuses non-finite values
+// (JSON cannot carry them).
+func TestWireStateRejectsMalformed(t *testing.T) {
+	m := intraGridModel(171, 1, 8, 1.0)
+	x := tensor.New(1, 1, 8, 8)
+	x.FillNormal(tensor.NewRNG(271), 0, 1)
+	e := NewEngine(m.Net)
+	e.Workers = 1
+	defer e.Close()
+	e.Reset(x)
+	e.MustStep(2)
+	st, err := e.ExportState(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := st.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *good
+	bad.Subnet = 0
+	if _, err := bad.State(); err == nil {
+		t.Fatal("subnet 0 wire state should be rejected")
+	}
+	bad = *good
+	bad.In = []int{2, 1, 8, 8}
+	if _, err := bad.State(); err == nil {
+		t.Fatal("multi-image wire state should be rejected")
+	}
+	bad = *good
+	bad.Layers = append([]WireTensor(nil), good.Layers...)
+	bad.Layers[0] = WireTensor{Shape: []int{1, 4}, Data: []float64{1, 2, 3}}
+	if _, err := bad.State(); err == nil {
+		t.Fatal("shape/data mismatch should be rejected")
+	}
+	bad = *good
+	bad.Layers = append([]WireTensor(nil), good.Layers...)
+	bad.Layers[0] = WireTensor{Shape: []int{2, 2}, Data: []float64{1, 2, 3, 4}}
+	if _, err := bad.State(); err == nil {
+		t.Fatal("non-batch-1 wire layer should be rejected")
+	}
+	bad = *good
+	bad.Layers = nil
+	if _, err := bad.State(); err == nil {
+		t.Fatal("layerless wire state should be rejected")
+	}
+
+	// Wire refuses non-finite values.
+	poisoned := *st
+	poisoned.Layers = append([]*tensor.Tensor(nil), st.Layers...)
+	pt := tensor.New(poisoned.Layers[0].Shape()...)
+	copy(pt.Data(), poisoned.Layers[0].Data())
+	pt.Data()[0] = math.NaN()
+	poisoned.Layers[0] = pt
+	if _, err := poisoned.Wire(); err == nil {
+		t.Fatal("Wire should reject NaN state")
 	}
 }
 

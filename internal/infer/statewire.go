@@ -1,0 +1,111 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"steppingnet/internal/tensor"
+)
+
+// WireTensor is the portable form of one batch-1 state tensor: its
+// shape and raw float64 data, ready for JSON. Go's encoder emits
+// every finite float64 in shortest-round-trip form, so a decoded
+// tensor is bitwise identical to the encoded one — which is what
+// lets a warmed (wire-transferred) state keep the resume-equivalence
+// contract (TestResumeMatchesColdWalk's wire leg pins it).
+type WireTensor struct {
+	// Shape is the tensor's dimensions (batch dimension first, 1 for
+	// ladder-state tensors).
+	Shape []int `json:"shape"`
+	// Data is the tensor's elements in row-major order.
+	Data []float64 `json:"data"`
+}
+
+// WireState is the portable form of a LadderState, shaped for the
+// cluster's cache-warming wire endpoint: a spilled key's HRW winner
+// serializes its cached state with Wire, the router carries it over
+// HTTP, and the second-choice replica rebuilds it with State. JSON
+// cannot carry NaN or Inf, so Wire rejects states containing them —
+// a healthy walk never produces either.
+type WireState struct {
+	// Subnet is the rung the state resumes at (≥ 1).
+	Subnet int `json:"subnet"`
+	// In is the batch-1 input shape the state was exported under.
+	In []int `json:"in"`
+	// Layers holds one WireTensor per network layer, in order.
+	Layers []WireTensor `json:"layers"`
+}
+
+// Wire converts the state to its portable form. The wire form copies
+// nothing — it aliases the state's (immutable) tensor data — so
+// serializing an entry does not double its footprint; callers must
+// treat the result as read-only. An error is returned if any element
+// is NaN or ±Inf (unrepresentable in JSON) or a layer is missing.
+func (st *LadderState) Wire() (*WireState, error) {
+	if st == nil {
+		return nil, fmt.Errorf("infer: Wire of nil state")
+	}
+	w := &WireState{Subnet: st.Subnet, In: st.In, Layers: make([]WireTensor, len(st.Layers))}
+	for i, t := range st.Layers {
+		if t == nil {
+			return nil, fmt.Errorf("infer: Wire found nil layer %d", i)
+		}
+		for _, v := range t.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("infer: Wire layer %d holds a non-finite value", i)
+			}
+		}
+		w.Layers[i] = WireTensor{Shape: t.Shape(), Data: t.Data()}
+	}
+	return w, nil
+}
+
+// State rebuilds a LadderState from its wire form, validating the
+// same structural properties ImportState demands (subnet ≥ 1,
+// batch-1 layer tensors, shape/data agreement) so a malformed or
+// hostile wire payload is rejected here with an error instead of
+// corrupting an engine later. The rebuilt state holds fresh private
+// copies — it shares nothing with the wire form, satisfying the
+// LadderState immutability contract.
+func (w *WireState) State() (*LadderState, error) {
+	if w == nil {
+		return nil, fmt.Errorf("infer: State of nil wire form")
+	}
+	if w.Subnet < 1 {
+		return nil, fmt.Errorf("infer: wire state subnet %d out of range", w.Subnet)
+	}
+	if len(w.In) == 0 || w.In[0] != 1 {
+		return nil, fmt.Errorf("infer: wire state input shape %v is not batch-1", w.In)
+	}
+	if len(w.Layers) == 0 {
+		return nil, fmt.Errorf("infer: wire state has no layers")
+	}
+	st := &LadderState{
+		Subnet: w.Subnet,
+		In:     append([]int(nil), w.In...),
+		Layers: make([]*tensor.Tensor, len(w.Layers)),
+	}
+	for i, lw := range w.Layers {
+		if len(lw.Shape) == 0 || lw.Shape[0] != 1 {
+			return nil, fmt.Errorf("infer: wire layer %d shape %v is not batch-1", i, lw.Shape)
+		}
+		n := 1
+		for _, d := range lw.Shape {
+			if d < 1 {
+				return nil, fmt.Errorf("infer: wire layer %d has non-positive dim in %v", i, lw.Shape)
+			}
+			if n > (1<<31)/d {
+				return nil, fmt.Errorf("infer: wire layer %d shape %v overflows", i, lw.Shape)
+			}
+			n *= d
+		}
+		if n != len(lw.Data) {
+			return nil, fmt.Errorf("infer: wire layer %d shape %v wants %d elements, has %d",
+				i, lw.Shape, n, len(lw.Data))
+		}
+		t := tensor.New(lw.Shape...)
+		copy(t.Data(), lw.Data)
+		st.Layers[i] = t
+	}
+	return st, nil
+}

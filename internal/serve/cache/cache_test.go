@@ -3,6 +3,7 @@ package cache
 import (
 	"math"
 	"testing"
+	"time"
 
 	"steppingnet/internal/infer"
 	"steppingnet/internal/tensor"
@@ -142,6 +143,187 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if cb.Len() != before {
 		t.Fatal("oversized Put disturbed the live set")
+	}
+}
+
+// TestWidenRetainsState pins the widen-retains-state fix: a wider
+// logits-only offer (State == nil — legal per the Entry doc, and
+// exactly what the warming wire path can produce) replacing a
+// narrower RESUMABLE entry must keep the old state, so later repeats
+// can still full-hit at the new rung AND seed a climb from the
+// retained rung. Byte accounting must follow the merged entry.
+func TestWidenRetainsState(t *testing.T) {
+	c := New(Config{MaxEntries: 8, MaxBytes: 1 << 20})
+	k := KeyOf([]float64{7})
+	narrow := entry(2, 64) // resumable at rung 2
+	if !c.Put(k, narrow) {
+		t.Fatal("first Put should store")
+	}
+	wide := entry(3, 0) // logits-only at rung 3
+	if wide.State != nil {
+		t.Fatal("test setup: wide offer should be logits-only")
+	}
+	if !c.Put(k, wide) {
+		t.Fatal("wider offer should replace")
+	}
+	e, ok := c.Get(k)
+	if !ok || e.Subnet != 3 {
+		t.Fatalf("Get returned %+v, want rung-3 entry", e)
+	}
+	if e.State == nil {
+		t.Fatal("widen dropped the narrower entry's resume state")
+	}
+	if e.State.Subnet != 2 {
+		t.Fatalf("retained state at rung %d, want 2", e.State.Subnet)
+	}
+	// Accounting: the live entry is the merged one — rung-3 logits
+	// plus the rung-2 state.
+	want := (&Entry{Subnet: 3, Logits: wide.Logits, State: narrow.State}).bytes()
+	if c.Bytes() != want {
+		t.Fatalf("Bytes %d, want merged footprint %d", c.Bytes(), want)
+	}
+	// A wider offer that carries its OWN state replaces outright.
+	wider := entry(4, 32)
+	if !c.Put(k, wider) {
+		t.Fatal("wider resumable offer should replace")
+	}
+	if e, _ := c.Get(k); e.State != wider.State {
+		t.Fatal("resumable widen should install the new state")
+	}
+}
+
+// TestTTLExpiryGolden pins the expiry accounting contract exactly: a
+// lookup that finds an entry past its TTL evicts it and reports a
+// miss — one miss, one eviction, one expired, nothing else — and the
+// Len == Inserts − Evictions identity holds across the transition.
+func TestTTLExpiryGolden(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	c := New(Config{MaxEntries: 8, MaxBytes: 1 << 20, TTL: 10 * time.Second, Now: clock})
+	k := KeyOf([]float64{1})
+	if !c.Put(k, entry(2, 16)) {
+		t.Fatal("Put should store")
+	}
+	now = now.Add(10 * time.Second) // exactly at TTL: still live
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("entry at exactly TTL should still be live")
+	}
+	now = now.Add(time.Nanosecond) // past TTL
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry past TTL should miss")
+	}
+	st := c.Stats()
+	if st.Counters.Misses != 1 || st.Counters.Evictions != 1 || st.Counters.Expired != 1 {
+		t.Fatalf("expiry counted misses=%d evictions=%d expired=%d, want exactly 1/1/1",
+			st.Counters.Misses, st.Counters.Evictions, st.Counters.Expired)
+	}
+	if st.Counters.Invalidated != 0 {
+		t.Fatalf("expiry misattributed as invalidation: %d", st.Counters.Invalidated)
+	}
+	if st.Len != 0 || int64(st.Len) != st.Counters.Inserts-st.Counters.Evictions {
+		t.Fatalf("identity broken after expiry: len=%d inserts=%d evictions=%d",
+			st.Len, st.Counters.Inserts, st.Counters.Evictions)
+	}
+	if st.Bytes != 0 {
+		t.Fatalf("expired entry's bytes not released: %d", st.Bytes)
+	}
+	// A fresh Put after the expiry restamps and serves again.
+	if !c.Put(k, entry(2, 16)) {
+		t.Fatal("re-Put after expiry should store")
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("restamped entry should be live")
+	}
+}
+
+// TestGenerationInvalidation pins the generation contract: after
+// BumpGeneration every pre-bump entry is evicted at its next lookup
+// (miss + eviction + invalidated), Put across the bump compares
+// against nothing stale, and PutIfGeneration discards an offer whose
+// inputs were read before the bump.
+func TestGenerationInvalidation(t *testing.T) {
+	c := New(Config{MaxEntries: 8, MaxBytes: 1 << 20})
+	k := KeyOf([]float64{3})
+	c.Put(k, entry(3, 64))
+	gen := c.Generation()
+	if got := c.BumpGeneration(); got != gen+1 {
+		t.Fatalf("BumpGeneration returned %d, want %d", got, gen+1)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("pre-bump entry should miss after the bump")
+	}
+	st := c.Stats()
+	if st.Counters.Invalidated != 1 || st.Counters.Evictions != 1 || st.Counters.Misses != 1 {
+		t.Fatalf("invalidation counted invalidated=%d evictions=%d misses=%d, want 1/1/1",
+			st.Counters.Invalidated, st.Counters.Evictions, st.Counters.Misses)
+	}
+	if int64(st.Len) != st.Counters.Inserts-st.Counters.Evictions {
+		t.Fatalf("identity broken after invalidation: %+v", st)
+	}
+	// A stale slot found by Put (no intervening lookup) is evicted
+	// with attribution, and the new offer stores fresh — even at a
+	// NARROWER rung than the stale data.
+	c.Put(k, entry(3, 64))
+	c.BumpGeneration()
+	if !c.Put(k, entry(1, 16)) {
+		t.Fatal("post-bump Put at a narrower rung should store (stale slot must not outrank it)")
+	}
+	if e, ok := c.Get(k); !ok || e.Subnet != 1 {
+		t.Fatalf("post-bump entry %+v, want fresh rung-1 entry", e)
+	}
+	// PutIfGeneration: an offer computed under the old generation is
+	// dropped.
+	old := c.Generation()
+	c.BumpGeneration()
+	if c.PutIfGeneration(KeyOf([]float64{4}), entry(2, 16), old) {
+		t.Fatal("PutIfGeneration should drop a cross-generation offer")
+	}
+	if c.PutIfGeneration(KeyOf([]float64{4}), entry(2, 16), c.Generation()) != true {
+		t.Fatal("PutIfGeneration at the current generation should store")
+	}
+}
+
+// TestLookupTouchRecency pins the recency split the serving layer
+// depends on: Lookup counts but does not move the LRU order (doomed
+// requests cannot churn live keys), Touch moves without counting,
+// and Get remains lookup+touch.
+func TestLookupTouchRecency(t *testing.T) {
+	c := New(Config{MaxEntries: 3, MaxBytes: 1 << 20})
+	keys := make([]Key, 4)
+	for i := range keys {
+		keys[i] = KeyOf([]float64{float64(i)})
+		if i < 3 {
+			c.Put(keys[i], entry(1, 16))
+		}
+	}
+	// Lookup key 0 (oldest) — recency must NOT refresh, so the next
+	// insert still evicts key 0.
+	if _, ok := c.Lookup(keys[0]); !ok {
+		t.Fatal("Lookup should find key 0")
+	}
+	c.Put(keys[3], entry(1, 16))
+	if _, ok := c.Peek(keys[0]); ok {
+		t.Fatal("Lookup refreshed recency: key 0 survived, key 1 evicted")
+	}
+	// Rebuild; Touch key 0 — now it must survive.
+	c = New(Config{MaxEntries: 3, MaxBytes: 1 << 20})
+	for i := 0; i < 3; i++ {
+		c.Put(keys[i], entry(1, 16))
+	}
+	c.Touch(keys[0])
+	c.Put(keys[3], entry(1, 16))
+	if _, ok := c.Peek(keys[0]); !ok {
+		t.Fatal("Touch did not refresh recency: key 0 evicted")
+	}
+	if _, ok := c.Peek(keys[1]); ok {
+		t.Fatal("key 1 should be the LRU victim after Touch(key 0)")
+	}
+	// Peek counts nothing.
+	before := c.Counters()
+	c.Peek(keys[0])
+	c.Peek(keys[1])
+	if after := c.Counters(); after != before {
+		t.Fatalf("Peek moved counters: %+v -> %+v", before, after)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"steppingnet/internal/infer"
 	"steppingnet/internal/models"
@@ -71,18 +72,24 @@ func FuzzCacheResume(f *testing.F) {
 			t.Fatal("equal inputs hash differently")
 		}
 
-		// (2) Eviction under churn: drive a tightly bounded cache with
-		// the byte stream as ops; every op must preserve the bounds
-		// and the Len == Inserts − Evictions identity.
+		// (2) Eviction under churn: drive a tightly bounded cache —
+		// with the full lifecycle armed (TTL on a deterministic fake
+		// clock, generation bumps) — with the byte stream as ops;
+		// every op must preserve the bounds and, on ONE coherent
+		// Stats snapshot, the Len == Inserts − Evictions identity
+		// (every expiry and invalidation must count as an eviction).
 		const maxEntries, maxBytes = 4, 8192
-		c := New(Config{MaxEntries: maxEntries, MaxBytes: maxBytes})
+		var tick int64
+		clock := func() time.Time { return time.Unix(0, tick) }
+		c := New(Config{MaxEntries: maxEntries, MaxBytes: maxBytes, TTL: 40, Now: clock})
 		ops := data
 		if len(ops) > 256 {
 			ops = ops[:256]
 		}
 		for _, b := range ops {
+			tick += int64(b % 8) // advance the clock 0–7ns per op
 			k := KeyOf([]float64{float64(b % 16)})
-			switch b % 3 {
+			switch b % 5 {
 			case 0, 1:
 				stored := c.Put(k, entry(1+int(b>>4)%3, 8*(1+int(b%29))))
 				if stored {
@@ -92,14 +99,27 @@ func FuzzCacheResume(f *testing.F) {
 				}
 			case 2:
 				c.Get(k)
+			case 3:
+				c.Lookup(k)
+				c.Peek(k)
+				c.Touch(k)
+			case 4:
+				if b%32 == 4 { // occasional generation bump
+					c.BumpGeneration()
+				} else {
+					c.Get(k)
+				}
 			}
-			if c.Len() > maxEntries || c.Bytes() > maxBytes {
-				t.Fatalf("bounds violated: len %d bytes %d", c.Len(), c.Bytes())
+			st := c.Stats()
+			if st.Len > maxEntries || st.Bytes > maxBytes {
+				t.Fatalf("bounds violated: len %d bytes %d", st.Len, st.Bytes)
 			}
-			ctr := c.Counters()
-			if int64(c.Len()) != ctr.Inserts-ctr.Evictions {
+			if int64(st.Len) != st.Counters.Inserts-st.Counters.Evictions {
 				t.Fatalf("counter identity broken: len %d, inserts %d, evictions %d",
-					c.Len(), ctr.Inserts, ctr.Evictions)
+					st.Len, st.Counters.Inserts, st.Counters.Evictions)
+			}
+			if st.Counters.Expired+st.Counters.Invalidated > st.Counters.Evictions {
+				t.Fatalf("attribution exceeds evictions: %+v", st.Counters)
 			}
 		}
 

@@ -84,6 +84,13 @@ func (s *Server) refreshCalibration() bool {
 		return false
 	}
 	s.lat.Store(next)
+	// A recalibration means the execution environment moved underneath
+	// the cache's stored walks; bump the generation so no resume seeds
+	// from state observed under the old calibration (entries are
+	// evicted lazily at their next lookup, counted under Invalidated).
+	if s.cache != nil {
+		s.cache.BumpGeneration()
+	}
 	s.stats.recordRefresh()
 	return true
 }

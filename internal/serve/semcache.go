@@ -26,16 +26,30 @@ const exitRelaxSteps = 2
 // The survivors, returned in order, carry their lookup result in
 // p.ent for the batch-1 resume path and the post-walk insert. Callers
 // own the batch slice; the filter compacts it in place.
+//
+// Recency discipline: the lookup uses Lookup, which never reorders
+// the LRU list — only requests that commit to an answer here are
+// Touched. Survivors are Touched later, after their walk actually
+// runs (runBatch's post-walk publish), so a batch that dies in
+// failBatch cannot push live keys toward eviction just by having been
+// looked up.
 func (s *Server) serveCacheHits(batch []*pending, started time.Time) []*pending {
 	keep := batch[:0]
 	for _, p := range batch {
 		p.started = started
 		p.key = cache.KeyOf(p.input)
 		p.hasKey = true
-		if ent, ok := s.cache.Get(p.key); ok {
+		if ent, ok := s.cache.Lookup(p.key); ok {
 			p.ent = ent
+			// A hot key still below the top rung is speculation fuel:
+			// the idle-window pre-climber can finish the climb before
+			// the next repeat arrives.
+			if ent.Subnet < s.n && ent.State != nil {
+				s.noteSpecCandidate(p.key, p.input)
+			}
 			if ent.Subnet >= p.ladderCap {
 				p.cacheHit = true
+				s.cache.Touch(p.key)
 				logits := append([]float64(nil), ent.Logits...)
 				s.answer(p, logits, ent.Subnet)
 				continue

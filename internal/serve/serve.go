@@ -176,6 +176,28 @@ type Config struct {
 	// rungs whose argmax falls on that class. Arms the early exit just
 	// like ExitMargin.
 	ExitMargins []float64
+	// CacheTTL, when positive, bounds every cache entry's lifetime
+	// from its insertion: a repeat arriving past the TTL sees a miss
+	// (the stale entry is evicted, counted under CacheExpired) and
+	// walks cold. 0 means entries live until the LRU bounds or a
+	// generation bump remove them. Ignored when the cache is off.
+	CacheTTL time.Duration
+	// CacheNow overrides the cache's TTL clock — the injection point
+	// that makes expiry deterministic in tests. Nil means time.Now.
+	CacheNow func() time.Time
+	// Speculate, when true, arms the idle-window speculative
+	// pre-climber: whenever the batch former finds the queue empty and
+	// a worker idle, it pops the hottest cache key whose stored walk
+	// sits below the top rung off a small candidate ring (fed by cache
+	// hits), seeds an engine from the cached state, and climbs exactly
+	// one rung — so the next repeat of a hot input finds a wider (often
+	// full-ladder, zero-MAC) entry. Strictly preemptible: a speculative
+	// step aborts before touching the engine if any real request has
+	// been admitted, and never spans more than one rung. Its MACs are
+	// accounted separately (Snapshot.SpeculativeMACs), never against
+	// request traffic. Requires the cache (CacheEntries > 0); off by
+	// default.
+	Speculate bool
 }
 
 // withDefaults fills zero fields and validates the rest.
@@ -249,6 +271,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CacheEntries > 0 && c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
+	}
+	if c.CacheTTL < 0 {
+		return c, fmt.Errorf("serve: negative CacheTTL %v", c.CacheTTL)
+	}
+	if c.Speculate && c.CacheEntries == 0 {
+		return c, fmt.Errorf("serve: Speculate requires the cache (CacheEntries > 0)")
 	}
 	if c.ExitMargin < 0 {
 		return c, fmt.Errorf("serve: negative ExitMargin %v", c.ExitMargin)
@@ -356,6 +384,12 @@ type pending struct {
 	cacheHit  bool
 	resumed   bool
 	earlyExit bool
+
+	// speculative marks an idle-window pre-climb job manufactured by
+	// the batch former (Config.Speculate) rather than a submitted
+	// request: it has no waiter (done is nil), no deadline, and is
+	// served by runSpeculative instead of the batch walk.
+	speculative bool
 }
 
 // Server is a concurrent anytime-inference service over one model.
@@ -396,6 +430,19 @@ type Server struct {
 	// configured (ExitMargin or ExitMargins).
 	cache     *cache.Cache
 	exitArmed bool
+
+	// specRing is the speculative pre-climber's candidate ring
+	// (Config.Speculate): the hottest cache keys whose stored walks
+	// sit below the top rung, each carrying a private copy of its
+	// input. Guarded by qmu — the former pops candidates under the
+	// same lock it checks the queue under, and adding one signals
+	// qcond so an idle former wakes. speculated/specMACs meter the
+	// pre-climbed steps separately from request traffic; warmed counts
+	// cache entries installed by a peer-transfer (WarmInstall).
+	specRing   []specCand
+	speculated atomic.Int64
+	specMACs   atomic.Int64
+	warmed     atomic.Int64
 
 	// The priority admission queue: one FIFO lane per class, guarded
 	// by qmu. qcond signals the batch former on arrivals and close.
@@ -462,7 +509,12 @@ func New(cfg Config) (*Server, error) {
 
 	s.exitArmed = cfg.ExitMargin > 0 || len(cfg.ExitMargins) > 0
 	if cfg.CacheEntries > 0 {
-		s.cache = cache.New(cache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes})
+		s.cache = cache.New(cache.Config{
+			MaxEntries: cfg.CacheEntries,
+			MaxBytes:   cfg.CacheBytes,
+			TTL:        cfg.CacheTTL,
+			Now:        cfg.CacheNow,
+		})
 	}
 
 	if len(cfg.SLOs) > 0 {
@@ -544,11 +596,22 @@ func (s *Server) Stats() Snapshot {
 	snap.MinSubnet = s.cfg.MinSubnet
 	snap.ServiceEwmaMs = float64(s.svcNs.Load()) / float64(time.Millisecond)
 	if s.cache != nil {
+		// One coherent cache snapshot: separate Len/Bytes/Counters
+		// calls acquire the cache lock three times and can tear against
+		// concurrent Put/evict traffic (the gauges would disagree with
+		// the counters they are reported alongside).
+		cs := s.cache.Stats()
 		snap.CacheEnabled = true
-		snap.CacheEntries = s.cache.Len()
-		snap.CacheBytes = s.cache.Bytes()
-		snap.CacheEvictions = s.cache.Counters().Evictions
+		snap.CacheEntries = cs.Len
+		snap.CacheBytes = cs.Bytes
+		snap.CacheEvictions = cs.Counters.Evictions
+		snap.CacheExpired = cs.Counters.Expired
+		snap.CacheInvalidated = cs.Counters.Invalidated
+		snap.CacheGeneration = cs.Generation
 	}
+	snap.Speculated = s.speculated.Load()
+	snap.SpeculativeMACs = s.specMACs.Load()
+	snap.CacheWarmed = s.warmed.Load()
 	lat := s.lat.Load()
 	snap.MACRate = lat.MACRate()
 	snap.StepTimeMs = make([]float64, s.n)
@@ -828,11 +891,20 @@ func compatibleHeadroom(a, b time.Duration, la float64) bool {
 
 // popBatch blocks until at least one request is queued (or the server
 // is closed and drained, returning nil), then pops up to max requests
-// in priority order.
+// in priority order. With speculation armed, an empty queue with a
+// candidate waiting yields a speculative batch instead of blocking —
+// idle workers pre-climb hot cache entries; real arrivals always win
+// the next pop.
 func (s *Server) popBatch(max int) []*pending {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
 	for s.qtotal == 0 && !s.closed {
+		// The ring is fed whenever the cache is armed (it doubles as
+		// the restart-warming hot set), so the pop must gate on the
+		// flag, not on ring occupancy.
+		if s.cfg.Speculate && len(s.specRing) > 0 {
+			return []*pending{s.popSpeculativeLocked()}
+		}
 		s.qcond.Wait()
 	}
 	if s.qtotal == 0 {
@@ -947,6 +1019,10 @@ func (s *Server) stepEstimate(lat governor.LatencyModel, next, b int) time.Durat
 // low-priority requests answer narrow while generous, high-priority
 // ones keep climbing.
 func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []*pending) {
+	if len(batch) == 1 && batch[0].speculative {
+		s.runSpeculative(e, bufs, batch[0])
+		return
+	}
 	started := time.Now()
 	if s.cfg.ServeDelay > 0 {
 		time.Sleep(s.cfg.ServeDelay)
@@ -995,7 +1071,11 @@ func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []
 	// cache cannot hold rows at different rungs).
 	if b == 1 && batch[0].ent != nil && batch[0].ent.State != nil {
 		if err := e.ImportState(x, batch[0].ent.State); err == nil {
-			cur = batch[0].ent.Subnet
+			// The engine resumes at the STATE's rung, which can sit
+			// below the entry's logits rung after a widen retained an
+			// older state — the climb accounting must follow the
+			// engine, not the entry.
+			cur = batch[0].ent.State.Subnet
 			out = e.Output()
 			batch[0].resumed = true
 		} else {
@@ -1075,7 +1155,16 @@ func (s *Server) runBatch(e *infer.Engine, bufs map[int]*tensor.Tensor, batch []
 	// live entry's rung are dropped inside Put.
 	if s.cache != nil && cur >= 1 {
 		for i, p := range batch {
-			if !p.hasKey || (p.ent != nil && p.ent.Subnet >= cur) {
+			if !p.hasKey {
+				continue
+			}
+			if p.ent != nil && p.ent.Subnet >= cur {
+				// Nothing wider to publish, but the request did reach a
+				// walk: this is the point the deferred recency refresh
+				// (Lookup at batch formation, Touch on commitment)
+				// lands — doomed requests released by failBatch never
+				// get here.
+				s.cache.Touch(p.key)
 				continue
 			}
 			st, err := e.ExportState(i)

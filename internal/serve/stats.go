@@ -297,8 +297,30 @@ type Snapshot struct {
 	CacheEntries int `json:"cache_entries"`
 	// CacheBytes gauges the cache's accounted memory footprint.
 	CacheBytes int64 `json:"cache_bytes"`
-	// CacheEvictions counts entries the cache's LRU bounds removed.
+	// CacheEvictions counts entries the cache removed for any reason:
+	// the LRU bounds, TTL expiry, or generation invalidation.
 	CacheEvictions int64 `json:"cache_evictions"`
+	// CacheExpired attributes evictions caused by the TTL bound
+	// (Config.CacheTTL): the entry was found past its lifetime at
+	// lookup and removed. Each also counts in CacheEvictions.
+	CacheExpired int64 `json:"cache_expired"`
+	// CacheInvalidated attributes evictions caused by a generation
+	// bump (a model or calibration swap underneath the cache). Each
+	// also counts in CacheEvictions.
+	CacheInvalidated int64 `json:"cache_invalidated"`
+	// CacheGeneration is the cache's current generation stamp —
+	// incremented on every calibration-refresh swap.
+	CacheGeneration uint64 `json:"cache_generation"`
+	// Speculated counts idle-window speculative pre-climb steps
+	// executed (Config.Speculate; 0 with speculation off).
+	Speculated int64 `json:"speculated"`
+	// SpeculativeMACs sums the MACs spent by speculative pre-climbs —
+	// metered separately so TotalMACs keeps meaning "MACs spent on
+	// request traffic".
+	SpeculativeMACs int64 `json:"speculative_macs"`
+	// CacheWarmed counts cache entries installed by peer transfer
+	// (Server.WarmInstall — the router's affinity-aware warming).
+	CacheWarmed int64 `json:"cache_warmed"`
 }
 
 // PolicySnapshot is the JSON shape of the overload governor's current
